@@ -1,0 +1,541 @@
+// Package bench holds the repository-level benchmark harness: one
+// testing.B benchmark per experiment in DESIGN.md's per-experiment index
+// (the paper's figures E1–E12 and the A-series ablations). The benchmarks
+// exercise the same code paths as cmd/benchrunner, which prints the
+// corresponding report tables.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"db2www/internal/baseline/gsql"
+	"db2www/internal/baseline/rawcgi"
+	"db2www/internal/baseline/wdb"
+	"db2www/internal/cgi"
+	"db2www/internal/core"
+	"db2www/internal/experiments"
+	"db2www/internal/gateway"
+	"db2www/internal/htmlutil"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+	"db2www/internal/workload"
+)
+
+// newStack builds the standard Appendix A stack for benchmarks.
+func newStack(b *testing.B, rows int) *experiments.Stack {
+	b.Helper()
+	st, err := experiments.NewStack(experiments.StackConfig{Rows: rows, Seed: 1, CacheMacros: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(st.Close)
+	return st
+}
+
+// BenchmarkE1_Figure1_ConcurrentClients measures the full browser → HTTP
+// → CGI → macro engine → SQL → report flow under parallel clients
+// (Figure 1's many-browsers topology).
+func BenchmarkE1_Figure1_ConcurrentClients(b *testing.B) {
+	st := newStack(b, 500)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		c := st.Client()
+		for pb.Next() {
+			if _, err := experiments.URLQueryFlow(c); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkE2_Figure2_InputMode measures input-mode macro processing:
+// generating the paper's Figure 2 form.
+func BenchmarkE2_Figure2_InputMode(b *testing.B) {
+	src, err := os.ReadFile("testdata/macros/figure2.d2w")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Parse("figure2.d2w", string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &core.Engine{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := e.Run(m, core.ModeInput, nil, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_Figure3_FormFillSubmit measures the client side of
+// Figure 3: parsing the generated form, applying selections, and
+// producing the submission pairs.
+func BenchmarkE3_Figure3_FormFillSubmit(b *testing.B) {
+	body, err := experiments.RenderFigure2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forms := htmlutil.ParseForms(body)
+		if len(forms) != 1 {
+			b.Fatal("form count")
+		}
+		if err := forms[0].SelectOptions("DBFIELD", "title", "desc"); err != nil {
+			b.Fatal(err)
+		}
+		if forms[0].Submission().Len() != 6 {
+			b.Fatal("pair count")
+		}
+	}
+}
+
+// BenchmarkE4_Figure4_CGIFlows measures the two invocation flows of
+// Figure 4 against the in-process harness, and the fork/exec subprocess
+// model in a sub-benchmark.
+func BenchmarkE4_Figure4_CGIFlows(b *testing.B) {
+	st := newStack(b, 500)
+	qs := "SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title"
+	getReq := &cgi.Request{Method: "GET", PathInfo: "/urlquery.d2w/report", QueryString: qs}
+	postReq := &cgi.Request{Method: "POST", PathInfo: "/urlquery.d2w/report",
+		ContentType: cgi.FormEncoded, Body: qs}
+
+	b.Run("GET_QueryString", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.App.ServeCGI(getReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("POST_Stdin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.App.ServeCGI(postReq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Subprocess", func(b *testing.B) {
+		bin, err := buildOnce()
+		if err != nil {
+			b.Skipf("cannot build db2www: %v", err)
+		}
+		env := []string{
+			"DB2WWW_MACRO_DIR=" + st.MacroDir,
+			"DB2WWW_DATABASE=" + st.DBName,
+			"DB2WWW_DATASET=urldb:500:1",
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cgi.InvokeProcess(bin, nil, getReq, env, 30*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+var (
+	buildMu   sync.Mutex
+	builtBin  string
+	buildErr  error
+	buildDone bool
+)
+
+// buildOnce compiles cmd/db2www a single time per bench run.
+func buildOnce() (string, error) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if !buildDone {
+		dir, err := os.MkdirTemp("", "db2www-bench-")
+		if err == nil {
+			builtBin, buildErr = experiments.BuildDB2WWW(dir)
+		} else {
+			buildErr = err
+		}
+		buildDone = true
+	}
+	return builtBin, buildErr
+}
+
+// BenchmarkE5_Figure5_MacroPipeline measures the development pipeline:
+// parse + lint of the Appendix A macro.
+func BenchmarkE5_Figure5_MacroPipeline(b *testing.B) {
+	src, err := os.ReadFile("testdata/macros/urlquery.d2w")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.Parse("urlquery.d2w", string(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warnings := core.Lint(m); len(warnings) != 0 {
+			b.Fatal("unexpected lint warnings")
+		}
+	}
+}
+
+// BenchmarkE6_Figure6_RuntimeModes measures input- vs report-mode
+// processing of the same macro (the Figure 6 flow fork).
+func BenchmarkE6_Figure6_RuntimeModes(b *testing.B) {
+	m, err := core.Parse("lazy.d2w", `
+%define X = "One$(Y)$(Z)"
+%define Y = " Two"
+%HTML_INPUT{$(X)%}
+%define Z = " Three"
+%HTML_REPORT{$(X)%}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &core.Engine{}
+	for _, mode := range []core.Mode{core.ModeInput, core.ModeReport} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := e.Run(m, mode, nil, &buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_Figure78_AppendixA measures the complete Appendix A
+// application turn: form fetch, fill, submit, report with hyperlinks.
+func BenchmarkE7_Figure78_AppendixA(b *testing.B) {
+	st := newStack(b, 500)
+	c := st.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.URLQueryFlow(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_WhereClause measures the Section 3.1.3 conditional+list
+// WHERE-clause construction.
+func BenchmarkE8_WhereClause(b *testing.B) {
+	m, err := core.Parse("where.d2w", `
+%define{
+%list " AND " where_list
+where_list = ? "custid = $(cust_inp)"
+where_list = ? "product_name LIKE '$(prod_inp)%'"
+where_clause = ? "WHERE $(where_list)"
+%}
+%HTML_INPUT{$(where_clause)%}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := cgi.NewForm()
+	in.Add("cust_inp", "10100")
+	in.Add("prod_inp", "bikes")
+	e := &core.Engine{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := e.Run(m, core.ModeInput, in, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_TransactionModes measures report processing of a
+// three-statement update macro under the two Section 5 transaction modes.
+func BenchmarkE9_TransactionModes(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		txn  core.TxnMode
+	}{{"AutoCommit", core.TxnAutoCommit}, {"SingleTxn", core.TxnSingle}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := sqldb.NewDatabase("BENCHTXN")
+			s := sqldb.NewSession(db)
+			if _, err := s.ExecScript("CREATE TABLE t (id INTEGER, v VARCHAR(20))"); err != nil {
+				b.Fatal(err)
+			}
+			sqldriver.Register("BENCHTXN", db)
+			defer sqldriver.Unregister("BENCHTXN")
+			m, err := core.Parse("txn.d2w", `
+%define DATABASE = "BENCHTXN"
+%SQL{INSERT INTO t VALUES (1, 'a')%}
+%SQL{UPDATE t SET v = 'b' WHERE id = 1%}
+%SQL{DELETE FROM t WHERE id = 1%}
+%HTML_REPORT{%EXEC_SQL%}
+`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := &core.Engine{DB: gateway.NewSQLProvider(), Txn: mode.txn}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := eng.Run(m, core.ModeReport, nil, &buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_Baselines measures the same report request on all four
+// systems of the Section 6 comparison.
+func BenchmarkE10_Baselines(b *testing.B) {
+	db := sqldb.NewDatabase("BENCHBASE")
+	if err := workload.URLDB(db, 500, 1); err != nil {
+		b.Fatal(err)
+	}
+	sqldriver.Register("BENCHBASE", db)
+	b.Cleanup(func() { sqldriver.Unregister("BENCHBASE") })
+
+	st, err := experiments.NewStack(experiments.StackConfig{
+		DBName: "BENCHCEL", Rows: 500, Seed: 1, CacheMacros: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(st.Close)
+	// Retarget the stack macro at its own database name.
+	src, err := os.ReadFile("testdata/macros/urlquery.d2w")
+	if err != nil {
+		b.Fatal(err)
+	}
+	macro := bytes.Replace(src, []byte(`DATABASE = "CELDIAL"`), []byte(`DATABASE = "BENCHCEL"`), 1)
+	if err := st.WriteMacro("urlquery.d2w", string(macro)); err != nil {
+		b.Fatal(err)
+	}
+
+	proc, err := gsql.ParseProc(`
+HEADING "URL Query"
+INPUT SEARCH text
+DATABASE BENCHBASE
+SQL SELECT url, title FROM urldb WHERE title LIKE '%$SEARCH%' ORDER BY title
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fdf, err := wdb.GenerateFDF("BENCHBASE", "urldb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &cgi.Request{Method: "GET", PathInfo: "/urlquery.d2w/report",
+		QueryString: "SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title"}
+	systems := []struct {
+		name string
+		h    cgi.Handler
+	}{
+		{"DB2WWW", st.App},
+		{"GSQL", &gsql.App{Proc: proc}},
+		{"WDB", &wdb.App{FDF: fdf}},
+		{"RawCGI", &rawcgi.App{Database: "BENCHBASE"}},
+	}
+	for _, sys := range systems {
+		b.Run(sys.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resp, err := sys.h.ServeCGI(req)
+				if err != nil || resp.Status != 200 {
+					b.Fatalf("status %d err %v", resp.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11_Restyle measures report rendering under the three
+// Section 7 report styles over identical SQL.
+func BenchmarkE11_Restyle(b *testing.B) {
+	db := sqldb.NewDatabase("RESTYLE")
+	if err := workload.URLDB(db, 200, 1); err != nil {
+		b.Fatal(err)
+	}
+	sqldriver.Register("RESTYLE", db)
+	b.Cleanup(func() { sqldriver.Unregister("RESTYLE") })
+	for name, src := range experiments.Restyles() {
+		m, err := core.Parse(name, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := &core.Engine{DB: gateway.NewSQLProvider()}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := eng.Run(m, core.ModeReport, nil, &buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12_ListVariables measures list-variable expansion at
+// increasing input fan-out.
+func BenchmarkE12_ListVariables(b *testing.B) {
+	m, err := core.Parse("list.d2w", `
+%define{
+%list " OR " conds
+%}
+%HTML_INPUT{WHERE $(conds)%}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &core.Engine{}
+	for _, k := range []int{1, 16, 256} {
+		in := cgi.NewForm()
+		for i := 0; i < k; i++ {
+			in.Add("conds", fmt.Sprintf("col%d = 'v%d'", i, i))
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := e.Run(m, core.ModeInput, in, &buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA1_LazyVsEager measures page generation when k of 1000
+// defined variables are actually referenced: lazy evaluation pays only
+// for k (the k=1000 row is what an eager evaluator always pays).
+func BenchmarkA1_LazyVsEager(b *testing.B) {
+	var defs bytes.Buffer
+	defs.WriteString("%define{\nv0 = \"x\"\n")
+	for i := 1; i < 1000; i++ {
+		fmt.Fprintf(&defs, "v%d = \"$(v%d).\"\n", i, i-1)
+	}
+	defs.WriteString("%}\n")
+	for _, k := range []int{1, 100, 1000} {
+		var refs bytes.Buffer
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&refs, "$(v%d)", i%32)
+		}
+		m, err := core.Parse("a1.d2w", defs.String()+"%HTML_INPUT{"+refs.String()+"%}")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := &core.Engine{}
+		b.Run(fmt.Sprintf("used=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := e.Run(m, core.ModeInput, nil, &buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA2_ParseCache measures per-request cost with the parsed-macro
+// cache off (the faithful re-read-per-process CGI model) and on.
+func BenchmarkA2_ParseCache(b *testing.B) {
+	req := &cgi.Request{Method: "GET", PathInfo: "/urlquery.d2w/input"}
+	for _, cache := range []struct {
+		name string
+		on   bool
+	}{{"Off", false}, {"On", true}} {
+		b.Run(cache.name, func(b *testing.B) {
+			st, err := experiments.NewStack(experiments.StackConfig{
+				DBName: "BENCHA2", Rows: 50, Seed: 1, CacheMacros: cache.on})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := st.App.ServeCGI(req)
+				if err != nil || resp.Status != 200 {
+					b.Fatalf("status %d err %v", resp.Status, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA3_ReportFormats compares the default table format with a
+// custom %SQL_REPORT block at 1000 result rows.
+func BenchmarkA3_ReportFormats(b *testing.B) {
+	db := sqldb.NewDatabase("RESTYLE")
+	if err := workload.URLDB(db, 1000, 1); err != nil {
+		b.Fatal(err)
+	}
+	sqldriver.Register("RESTYLE", db)
+	b.Cleanup(func() { sqldriver.Unregister("RESTYLE") })
+	styles := experiments.Restyles()
+	for _, name := range []string{"default-table", "bullet-list"} {
+		m, err := core.Parse(name, styles[name])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := &core.Engine{DB: gateway.NewSQLProvider()}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := eng.Run(m, core.ModeReport, nil, &buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA5_IndexVsScan measures the sqldb access paths under the macro
+// workload's characteristic predicates.
+func BenchmarkA5_IndexVsScan(b *testing.B) {
+	db := sqldb.NewDatabase("A5BENCH")
+	if err := workload.URLDB(db, 10000, 1); err != nil {
+		b.Fatal(err)
+	}
+	s := sqldb.NewSession(db)
+	defer s.Close()
+	res, err := s.Exec("SELECT url FROM urldb ORDER BY url LIMIT 1 OFFSET 5000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := res.Rows[0][0]
+	for _, idx := range []struct {
+		name string
+		on   bool
+	}{{"IndexScan", true}, {"FullScan", false}} {
+		b.Run(idx.name, func(b *testing.B) {
+			db.SetIndexScansEnabled(idx.on)
+			defer db.SetIndexScansEnabled(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec("SELECT title FROM urldb WHERE url = ?", key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

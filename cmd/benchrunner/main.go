@@ -1,0 +1,126 @@
+// Command benchrunner regenerates every experiment in DESIGN.md's
+// per-experiment index: the reproductions of the paper's figures and
+// worked examples (E1–E12) and the design-choice ablations (A1–A5).
+//
+//	benchrunner                  run everything at default scale
+//	benchrunner -exp e7,e8       run selected experiments
+//	benchrunner -rows 2000 -requests 1000
+//	benchrunner -write-golden    (re)generate the golden HTML files
+//	benchrunner -no-subprocess   skip building cmd/db2www for E4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"db2www/internal/experiments"
+)
+
+func main() {
+	var (
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a5) or all")
+		rows         = flag.Int("rows", 500, "urldb dataset rows")
+		requests     = flag.Int("requests", 200, "requests per measurement")
+		seed         = flag.Int64("seed", 1, "dataset seed")
+		writeGolden  = flag.Bool("write-golden", false, "write the golden HTML files and exit")
+		noSubprocess = flag.Bool("no-subprocess", false, "skip the E4 fork/exec flow")
+	)
+	flag.Parse()
+
+	if *writeGolden {
+		if err := writeGoldens(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Rows: *rows, Requests: *requests, Seed: *seed}
+	runners := map[string]func(io.Writer, experiments.Config) error{
+		"e1": experiments.E1, "e2": experiments.E2, "e3": experiments.E3,
+		"e4": experiments.E4, "e5": experiments.E5, "e6": experiments.E6,
+		"e7": experiments.E7, "e8": experiments.E8, "e9": experiments.E9,
+		"e10": experiments.E10, "e11": experiments.E11, "e12": experiments.E12,
+		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
+		"a5": experiments.A5,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.ToLower(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	needsBinary := false
+	for _, id := range selected {
+		if id == "e4" {
+			needsBinary = true
+		}
+	}
+	if needsBinary && !*noSubprocess {
+		dir, err := os.MkdirTemp("", "db2www-bin-")
+		if err == nil {
+			defer os.RemoveAll(dir)
+			if bin, berr := experiments.BuildDB2WWW(dir); berr == nil {
+				cfg.DB2WWWBinary = bin
+			} else {
+				fmt.Fprintf(os.Stderr, "benchrunner: e4 subprocess flow disabled: %v\n", berr)
+			}
+		}
+	}
+
+	failed := false
+	for _, id := range selected {
+		if err := runners[id](os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s FAILED: %v\n", id, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeGoldens regenerates the golden HTML files the E2/E7 reproductions
+// pin against.
+func writeGoldens() error {
+	dir := filepath.Join(experiments.RepoRoot(), "testdata", "golden")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fig2, err := experiments.RenderFigure2()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "figure2.html"), []byte(fig2), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", filepath.Join(dir, "figure2.html"), len(fig2))
+	input, report, err := experiments.Figure7Report(60, 1)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "figure7_input.html"), []byte(input), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", filepath.Join(dir, "figure7_input.html"), len(input))
+	if err := os.WriteFile(filepath.Join(dir, "figure8_report.html"), []byte(report), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", filepath.Join(dir, "figure8_report.html"), len(report))
+	return nil
+}

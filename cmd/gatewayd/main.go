@@ -1,0 +1,129 @@
+// Command gatewayd is the Web server of the paper's Figure 1: it serves
+// an organisation's static pages and routes /cgi-bin/db2www URLs to the
+// DB2WWW application — in-process by default, or by forking a real CGI
+// subprocess per request with -cgi (the faithful 1996 process model).
+//
+//	gatewayd -addr :8080 -macros ./macros -dataset urldb:500:1
+//	gatewayd -addr :8080 -macros ./macros -cgi ./db2www
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+	"db2www/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		macros   = flag.String("macros", "./macros", "macro root directory")
+		docroot  = flag.String("docroot", "", "static document root (optional)")
+		database = flag.String("database", "CELDIAL", "in-memory database name")
+		dataset  = flag.String("dataset", "urldb", "dataset spec (see workload.Load)")
+		txn      = flag.String("txn", "auto", "transaction mode: auto or single")
+		cache    = flag.Bool("cache", true, "cache parsed macros")
+		maxRows  = flag.Int("maxrows", 0, "default report row cap (0 = unlimited)")
+		cgiProg  = flag.String("cgi", "", "path to a db2www CGI executable; enables subprocess mode")
+		auth     = flag.String("auth", "", "user:password for HTTP basic auth (optional)")
+		load     = flag.String("load", "", "restore a database dump instead of generating -dataset")
+		save     = flag.String("save", "", "dump the database to this file on SIGINT/SIGTERM")
+		logPath  = flag.String("accesslog", "", "write NCSA Common Log Format lines to this file; also enables /server-status")
+	)
+	flag.Parse()
+
+	h := &gateway.Handler{DocRoot: *docroot}
+	if *cgiProg != "" {
+		h.CGIProgram = *cgiProg
+		h.CGIEnv = []string{
+			"DB2WWW_MACRO_DIR=" + *macros,
+			"DB2WWW_DATABASE=" + *database,
+			"DB2WWW_DATASET=" + *dataset,
+		}
+		if *txn == "single" {
+			h.CGIEnv = append(h.CGIEnv, "DB2WWW_TXN=single")
+		}
+	} else {
+		db := sqldb.NewDatabase(*database)
+		if *load != "" {
+			if err := sqldb.RestoreFromFile(db, *load); err != nil {
+				log.Fatalf("restoring %s: %v", *load, err)
+			}
+		} else if err := workload.Load(db, *dataset); err != nil {
+			log.Fatalf("loading dataset: %v", err)
+		}
+		sqldriver.Register(*database, db)
+		if *save != "" {
+			saveOnSignal(db, *save)
+		}
+		engine := &core.Engine{
+			DB:       gateway.NewSQLProvider(),
+			Commands: core.NewCommandRegistry(),
+			MaxRows:  *maxRows,
+		}
+		if *txn == "single" {
+			engine.Txn = core.TxnSingle
+		}
+		h.App = &gateway.App{MacroDir: *macros, Engine: engine, CacheMacros: *cache}
+	}
+	if *auth != "" {
+		user, pass, ok := strings.Cut(*auth, ":")
+		if !ok {
+			log.Fatal("-auth wants user:password")
+		}
+		h.Authenticate = gateway.BasicAuthUsers(map[string]string{user: pass})
+	}
+
+	var root http.Handler = h
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening access log: %v", err)
+		}
+		defer f.Close()
+		root = gateway.NewAccessLog(h, f)
+		fmt.Printf("gatewayd: access log at %s, stats at /server-status\n", *logPath)
+	}
+
+	fmt.Printf("gatewayd: serving macros from %s on %s\n", *macros, *addr)
+	fmt.Printf("gatewayd: try http://localhost%s/cgi-bin/db2www/urlquery.d2w/input\n",
+		ensureColon(*addr))
+	log.Fatal(http.ListenAndServe(*addr, root))
+}
+
+// saveOnSignal dumps the database to path when the process receives
+// SIGINT or SIGTERM, then exits — a poor man's durability story for a
+// demo server (the paper's deployments delegated durability to DB2).
+func saveOnSignal(db *sqldb.Database, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Printf("\ngatewayd: %v — dumping database to %s\n", sig, path)
+		if err := db.DumpToFile(path); err != nil {
+			log.Printf("gatewayd: dump failed: %v", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
+}
+
+func ensureColon(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return addr
+	}
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[i:]
+	}
+	return ":" + addr
+}

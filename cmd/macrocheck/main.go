@@ -1,0 +1,114 @@
+// Command macrocheck is the developer-tooling half of the paper's
+// Figure 5 workflow: it validates macro files and extracts their HTML and
+// SQL sections so external editors and query tools can operate on them.
+//
+//	macrocheck app.d2w ...          lint (exit 1 on errors)
+//	macrocheck -extract html app.d2w   print HTML sections
+//	macrocheck -extract sql app.d2w    print SQL commands
+//	macrocheck -vars app.d2w           list variables defined/referenced
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"db2www/internal/core"
+)
+
+func main() {
+	var (
+		extract = flag.String("extract", "", "extract sections: html or sql")
+		vars    = flag.Bool("vars", false, "list defined and referenced variables")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: macrocheck [-extract html|sql] [-vars] macro.d2w ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macrocheck: %v\n", err)
+			failed = true
+			continue
+		}
+		m, err := core.Parse(path, string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macrocheck: %v\n", err)
+			failed = true
+			continue
+		}
+		switch {
+		case *extract != "":
+			extractSections(m, *extract)
+		case *vars:
+			listVars(m)
+		default:
+			warnings := core.Lint(m)
+			for _, w := range warnings {
+				fmt.Printf("%s: warning: %s\n", path, w)
+			}
+			fmt.Printf("%s: OK (%d sections, %d warnings)\n", path, len(m.Sections), len(warnings))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func extractSections(m *core.Macro, what string) {
+	switch what {
+	case "html":
+		for _, sec := range m.Sections {
+			if h, ok := sec.(*core.HTMLSection); ok {
+				kind := "HTML_INPUT"
+				if h.Report {
+					kind = "HTML_REPORT"
+				}
+				fmt.Printf("-- %%%s (line %d)\n", kind, h.Line)
+				for _, it := range h.Items {
+					if it.ExecSQL {
+						fmt.Printf("[%%EXEC_SQL(%s)]\n", it.SQLName)
+					} else {
+						fmt.Print(it.Text)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	case "sql":
+		for _, q := range m.SQLSections() {
+			name := q.SectName
+			if name == "" {
+				name = "(unnamed)"
+			}
+			fmt.Printf("-- %%SQL %s (line %d)\n%s\n", name, q.Line, q.Command)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "macrocheck: -extract wants html or sql, got %q\n", what)
+		os.Exit(2)
+	}
+}
+
+func listVars(m *core.Macro) {
+	defined, referenced := core.Variables(m)
+	fmt.Println("defined:")
+	printSorted(defined)
+	fmt.Println("referenced:")
+	printSorted(referenced)
+}
+
+func printSorted(set map[string]bool) {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println("  " + strings.TrimSpace(n))
+	}
+}

@@ -1,0 +1,199 @@
+// Command sqlsh is an interactive shell for the embedded sqldb engine —
+// the "visual query tool" slot of the paper's Figure 5 development
+// workflow, reduced to a terminal. Statements end with ';'. Meta
+// commands: \d lists tables, \d NAME describes one, \q quits.
+//
+//	sqlsh -dataset urldb:100:1
+//	sqlsh -e "SELECT COUNT(*) FROM urldb"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"db2www/internal/sqldb"
+	"db2www/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset spec to preload (see workload.Load)")
+		execSQL = flag.String("e", "", "execute this SQL and exit")
+		script  = flag.String("file", "", "execute statements from a file and exit")
+		load    = flag.String("load", "", "restore a database dump before starting")
+		dump    = flag.String("dump", "", "write a database dump on exit")
+	)
+	flag.Parse()
+
+	db := sqldb.NewDatabase("SHELL")
+	if *dataset != "" {
+		if err := workload.Load(db, *dataset); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *load != "" {
+		if err := sqldb.RestoreFromFile(db, *load); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlsh: restoring %s: %v\n", *load, err)
+			os.Exit(1)
+		}
+	}
+	if *dump != "" {
+		defer func() {
+			if err := db.DumpToFile(*dump); err != nil {
+				fmt.Fprintf(os.Stderr, "sqlsh: dumping to %s: %v\n", *dump, err)
+			}
+		}()
+	}
+	sess := sqldb.NewSession(db)
+	defer sess.Close()
+
+	if *execSQL != "" {
+		if !runStatement(sess, *execSQL) {
+			os.Exit(1)
+		}
+		return
+	}
+	if *script != "" {
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+			os.Exit(1)
+		}
+		stmts, err := sqldb.ParseAll(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+			os.Exit(1)
+		}
+		for _, st := range stmts {
+			res, err := sess.ExecStmt(st)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+				os.Exit(1)
+			}
+			printResult(res)
+		}
+		return
+	}
+
+	fmt.Println("sqlsh — embedded SQL shell. Statements end with ';'. \\q quits, \\d lists tables.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !metaCommand(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			runStatement(sess, stmt)
+		}
+		prompt()
+	}
+}
+
+// metaCommand handles backslash commands; returns false to quit.
+func metaCommand(db *sqldb.Database, cmd string) bool {
+	switch {
+	case cmd == "\\q":
+		return false
+	case cmd == "\\d":
+		for _, name := range db.TableNames() {
+			fmt.Println(name)
+		}
+	case strings.HasPrefix(cmd, "\\d "):
+		name := strings.TrimSpace(cmd[3:])
+		t, err := db.Table(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return true
+		}
+		for _, c := range t.Columns {
+			attrs := ""
+			if c.NotNull {
+				attrs += " NOT NULL"
+			}
+			if c.PrimaryKey {
+				attrs += " PRIMARY KEY"
+			}
+			fmt.Printf("%-24s %s%s\n", c.Name, c.Type, attrs)
+		}
+		fmt.Printf("(%d rows)\n", t.RowCount())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown meta command %q\n", cmd)
+	}
+	return true
+}
+
+func runStatement(sess *sqldb.Session, stmt string) bool {
+	res, err := sess.Exec(stmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return false
+	}
+	printResult(res)
+	return true
+}
+
+// printResult renders a result as an aligned text table.
+func printResult(res *sqldb.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Printf("%d row(s) affected\n", res.RowsAffected)
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			if v.IsNull() {
+				s = "NULL"
+			}
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	sep := make([]string, len(widths))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	printRow := func(vals []string) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	printRow(res.Columns)
+	printRow(sep)
+	for _, row := range cells {
+		printRow(row)
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,113 @@
+// Guestbook: the paper's update path ("both read and/or update access is
+// possible", Section 1) as a complete application. One macro handles
+// both directions: the report page INSERTs the visitor's entry (guarded
+// by an %IF validation block), then SELECTs and lists all entries. A
+// %SQL_MESSAGE handler turns duplicate-signature errors into a friendly
+// page instead of a DBMS diagnostic.
+//
+//	go run ./examples/guestbook
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+	"db2www/internal/webclient"
+)
+
+const macro = `
+%define DATABASE = "GUESTDB"
+%SQL(add){
+INSERT INTO guestbook (visitor, message) VALUES ('$(@sq:VISITOR)', '$(@sq:MESSAGE)')
+%SQL_REPORT{<P>Thanks for signing, $(@html:VISITOR)!</P>
+%}
+%SQL_MESSAGE{
+23505 : "<P><B>You have already signed the guestbook.</B></P>" : continue
+%}
+%}
+%SQL(list){
+SELECT visitor, message FROM guestbook ORDER BY visitor
+%SQL_REPORT{
+<H2>Entries</H2>
+<DL>
+%ROW{<DT>$(@html:V1)<DD>$(@html:V2)
+%}
+</DL>
+<P>$(ROW_NUM) entries.</P>
+%}
+%}
+%HTML_INPUT{<TITLE>Guestbook</TITLE>
+<H1>Sign the guestbook</H1>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/guestbook.d2w/report">
+Name: <INPUT NAME="VISITOR"><BR>
+Message: <INPUT NAME="MESSAGE" SIZE=40><BR>
+<INPUT TYPE="submit" VALUE="Sign">
+</FORM>
+%}
+%HTML_REPORT{<TITLE>Guestbook</TITLE>
+%IF($(VISITOR))
+%EXEC_SQL(add)
+%ELSE
+<P><B>Please supply a name.</B> Your entry was not recorded.</P>
+%ENDIF
+%EXEC_SQL(list)
+<P><A HREF="/cgi-bin/db2www/guestbook.d2w/input">Sign again</A></P>
+%}
+`
+
+func main() {
+	db := sqldb.NewDatabase("GUESTDB")
+	s := sqldb.NewSession(db)
+	if _, err := s.ExecScript(`
+CREATE TABLE guestbook (
+  visitor VARCHAR(40) NOT NULL PRIMARY KEY,
+  message VARCHAR(200))`); err != nil {
+		log.Fatal(err)
+	}
+	sqldriver.Register("GUESTDB", db)
+
+	dir, err := os.MkdirTemp("", "guestbook-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(dir+"/guestbook.d2w", []byte(macro), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	handler := &gateway.Handler{App: &gateway.App{
+		MacroDir: dir,
+		Engine:   &core.Engine{DB: gateway.NewSQLProvider()},
+	}}
+	c := &webclient.Client{Handler: handler}
+
+	sign := func(name, message string) {
+		page, err := c.Get("http://example/cgi-bin/db2www/guestbook.d2w/input")
+		if err != nil {
+			log.Fatal(err)
+		}
+		form, err := page.Form(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name != "" {
+			_ = form.SetText("VISITOR", name)
+		}
+		_ = form.SetText("MESSAGE", message)
+		result, err := page.Submit(form)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== after signing as %q ===\n%s\n", name, result.Body)
+	}
+
+	sign("ada", "What a lovely gateway")
+	sign("tim", "Forms & hyperlinks — it's the future")
+	sign("ada", "Trying to sign twice")        // duplicate: custom %SQL_MESSAGE
+	sign("", "No name given — %IF validation") // validation arm
+	sign("o'brien", "Quotes are handled by @sq:")
+}

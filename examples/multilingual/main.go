@@ -1,0 +1,82 @@
+// Multilingual: the Section 5 practical issue — multi-byte character
+// support for international Web pages. The macro, the data, and the user
+// input are all UTF-8; variables, LIKE patterns, and report formatting
+// must treat them as characters, not bytes (note LENGTH and the '_'
+// wildcard counting runes).
+//
+//	go run ./examples/multilingual
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"db2www/internal/cgi"
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+)
+
+const macro = `
+%define DATABASE = "WORLD"
+%SQL{
+SELECT greeting, lang, LENGTH(greeting) AS chars FROM greetings
+WHERE lang LIKE '$(LANGPAT)%' ORDER BY lang
+%SQL_REPORT{
+<H2>Grüße / 挨拶 / salutations — pattern "$(LANGPAT)"</H2>
+<UL>
+%ROW{<LI>[$(V.lang)] $(V.greeting) ($(V.chars) characters)
+%}
+</UL>
+%}
+%}
+%HTML_REPORT{<TITLE>多言語 DB2WWW</TITLE>
+%EXEC_SQL
+%}
+`
+
+func main() {
+	db := sqldb.NewDatabase("WORLD")
+	s := sqldb.NewSession(db)
+	if _, err := s.ExecScript(`
+CREATE TABLE greetings (greeting VARCHAR(40), lang VARCHAR(20));
+INSERT INTO greetings VALUES
+  ('こんにちは世界', 'ja'),
+  ('Grüß Gott', 'de-AT'),
+  ('Bonjour à tous', 'fr'),
+  ('Γειά σου κόσμε', 'el'),
+  ('Здравствуй, мир', 'ru'),
+  ('你好，世界', 'zh')`); err != nil {
+		log.Fatal(err)
+	}
+	sqldriver.Register("WORLD", db)
+
+	m, err := core.Parse("world.d2w", macro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := &core.Engine{DB: gateway.NewSQLProvider()}
+
+	for _, pat := range []string{"", "ja", "de"} {
+		inputs := cgi.NewForm()
+		inputs.Add("LANGPAT", pat)
+		fmt.Printf("=== LANGPAT=%q ===\n", pat)
+		if err := engine.Run(m, core.ModeReport, inputs, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	// Multi-byte input travels the CGI wire format intact.
+	form := cgi.NewForm()
+	form.Add("LANGPAT", "日本語")
+	encoded := form.Encode()
+	back, err := cgi.ParseForm(encoded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := back.Get("LANGPAT")
+	fmt.Printf("CGI round trip: %q -> %s -> %q\n", "日本語", encoded, v)
+}

@@ -1,0 +1,98 @@
+// Paging: the "scrollable cursor" idiom of Section 4.3.2, end to end
+// through the gateway. The macro carries the scroll position in a hidden
+// form field (RPT_STARTROW); each "Next page" submission re-issues the
+// query and prints the next window of rows — multiple client-server
+// interactions related purely by the variable substitution mechanism,
+// with no server-side session state at all.
+//
+//	go run ./examples/paging
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+	"db2www/internal/webclient"
+	"db2www/internal/workload"
+)
+
+const macro = `
+%define{
+DATABASE = "CELDIAL"
+RPT_MAXROWS = "5"
+RPT_STARTROW = "1"
+%}
+%SQL{
+SELECT url, title FROM urldb ORDER BY url
+%SQL_REPORT{
+<UL>
+%ROW{<LI>#$(ROW_NUM) <A HREF="$(V1)">$(V2)</A>
+%}
+</UL>
+<P>$(ROW_NUM) rows in all.</P>
+%}
+%}
+%HTML_REPORT{<TITLE>Paged URL catalogue</TITLE>
+<H1>URL catalogue</H1>
+%EXEC_SQL
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/paging.d2w/report">
+<INPUT TYPE="hidden" NAME="RPT_STARTROW" VALUE="$(NEXTSTART)">
+<INPUT TYPE="submit" VALUE="Next page">
+</FORM>
+%}
+`
+
+func main() {
+	db := sqldb.NewDatabase("CELDIAL")
+	if err := workload.URLDB(db, 17, 4); err != nil {
+		log.Fatal(err)
+	}
+	sqldriver.Register("CELDIAL", db)
+
+	dir, err := os.MkdirTemp("", "paging-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(dir+"/paging.d2w", []byte(macro), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	handler := &gateway.Handler{App: &gateway.App{
+		MacroDir: dir,
+		Engine:   &core.Engine{DB: gateway.NewSQLProvider()},
+	}}
+	c := &webclient.Client{Handler: handler}
+
+	// Walk every page. The client computes the next start position the
+	// way the original applications did: current start + page size,
+	// carried in the hidden field.
+	start := 1
+	const pageSize = 5
+	for page := 1; ; page++ {
+		url := fmt.Sprintf(
+			"http://example/cgi-bin/db2www/paging.d2w/report?RPT_STARTROW=%d&NEXTSTART=%d",
+			start, start+pageSize)
+		p, err := c.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := strings.Count(p.Body, "<LI>")
+		fmt.Printf("--- page %d (RPT_STARTROW=%d): %d rows ---\n", page, start, rows)
+		for _, line := range strings.Split(p.Body, "\n") {
+			if strings.HasPrefix(line, "<LI>") {
+				fmt.Println("  " + line)
+			}
+		}
+		if rows < pageSize {
+			fmt.Println("last page reached")
+			break
+		}
+		start += pageSize
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest complete DB2WWW application, entirely
+// in-process. It creates an in-memory database, writes a three-section
+// macro (DEFINE + SQL + HTML report), and runs the engine in both modes —
+// the two arrows of the paper's Figure 6.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"db2www/internal/cgi"
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+)
+
+const macro = `
+%{ A greeting application: the form asks for a name prefix, the report
+   lists matching people. %}
+%define DATABASE = "QUICK"
+%SQL{
+SELECT name, role FROM people
+WHERE name LIKE '$(PREFIX)%' ORDER BY name
+%SQL_REPORT{
+<H2>People matching "$(PREFIX)"</H2>
+<UL>
+%ROW{<LI>$(V1) — $(V2)
+%}
+</UL>
+<P>$(ROW_NUM) match(es).</P>
+%}
+%}
+%HTML_INPUT{<TITLE>Quickstart</TITLE>
+<FORM METHOD="post" ACTION="/cgi-bin/db2www/quickstart.d2w/report">
+Name prefix: <INPUT NAME="PREFIX" VALUE="a">
+<INPUT TYPE="submit" VALUE="Search">
+</FORM>
+%}
+%HTML_REPORT{<TITLE>Quickstart Result</TITLE>
+%EXEC_SQL
+%}
+`
+
+func main() {
+	// 1. An in-memory database, registered under the name the macro's
+	// DATABASE variable selects.
+	db := sqldb.NewDatabase("QUICK")
+	sess := sqldb.NewSession(db)
+	if _, err := sess.ExecScript(`
+CREATE TABLE people (name VARCHAR(40), role VARCHAR(40));
+INSERT INTO people VALUES
+  ('ada', 'analyst'), ('alan', 'logician'), ('edgar', 'relational'),
+  ('grace', 'compiler'), ('tim', 'web')`); err != nil {
+		log.Fatal(err)
+	}
+	sqldriver.Register("QUICK", db)
+
+	// 2. Parse the macro and build an engine.
+	m, err := core.Parse("quickstart.d2w", macro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := &core.Engine{DB: gateway.NewSQLProvider()}
+
+	// 3. Input mode: the fill-in form.
+	fmt.Println("=== input mode (the HTML form) ===")
+	if err := engine.Run(m, core.ModeInput, nil, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report mode: as if the user typed "a" and clicked Search.
+	fmt.Println("\n=== report mode (PREFIX=a) ===")
+	inputs := cgi.NewForm()
+	inputs.Add("PREFIX", "a")
+	if err := engine.Run(m, core.ModeReport, inputs, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

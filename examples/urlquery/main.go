@@ -1,0 +1,109 @@
+// URL query: the paper's Appendix A application, run against the full
+// stack — HTTP gateway, CGI layer, macro engine, embedded DBMS — and
+// driven by the browser simulator exactly as a user would: fetch the
+// form (Figure 7), fill it out, submit, read the report (Figure 8),
+// follow a hyperlink.
+//
+//	go run ./examples/urlquery            # scripted walk-through
+//	go run ./examples/urlquery -serve :8080   # serve it for a real browser
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+	"db2www/internal/webclient"
+	"db2www/internal/workload"
+)
+
+func main() {
+	serve := flag.String("serve", "", "serve on this address instead of running the scripted flow")
+	flag.Parse()
+
+	// The CELDIAL database of the Appendix A macro, with synthetic rows.
+	db := sqldb.NewDatabase("CELDIAL")
+	if err := workload.URLDB(db, 80, 1); err != nil {
+		log.Fatal(err)
+	}
+	sqldriver.Register("CELDIAL", db)
+
+	macroDir := findMacroDir()
+	handler := &gateway.Handler{App: &gateway.App{
+		MacroDir:    macroDir,
+		Engine:      &core.Engine{DB: gateway.NewSQLProvider()},
+		CacheMacros: true,
+	}}
+
+	if *serve != "" {
+		fmt.Printf("serving on %s — open http://localhost%s/cgi-bin/db2www/urlquery.d2w/input\n",
+			*serve, *serve)
+		log.Fatal(http.ListenAndServe(*serve, handler))
+	}
+
+	// Scripted walk-through with the in-process browser.
+	c := &webclient.Client{Handler: handler}
+	page, err := c.Get("http://example/cgi-bin/db2www/urlquery.d2w/input")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched input form: %q (%d bytes)\n", page.Title(), len(page.Body))
+
+	form, err := page.Form(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Figure 7 selections: search "ib" in URL and Title, show the Title
+	// column, echo the SQL.
+	if err := form.SetText("SEARCH", "ib"); err != nil {
+		log.Fatal(err)
+	}
+	if err := form.ChooseRadio("SHOWSQL", "YES"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitting: %s\n", form.Submission().Encode())
+
+	report, err := page.Submit(form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("got report: %q with %d hyperlinks\n", report.Title(), len(report.Links()))
+	fmt.Println("---- report page ----")
+	fmt.Println(report.Body)
+	fmt.Println("---------------------")
+
+	// Step 4 of the paper's application model: continue from a hyperlink
+	// embedded in the report (the last link returns to a fresh query).
+	links := report.Links()
+	next, err := report.Follow(len(links) - 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("followed %q -> %q\n", links[len(links)-1], next.Title())
+}
+
+// findMacroDir locates testdata/macros relative to the module root.
+func findMacroDir() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		cand := filepath.Join(dir, "testdata", "macros")
+		if _, err := os.Stat(filepath.Join(cand, "urlquery.d2w")); err == nil {
+			return cand
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			log.Fatal("cannot find testdata/macros; run from within the repository")
+		}
+		dir = parent
+	}
+}

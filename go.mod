@@ -1,0 +1,3 @@
+module db2www
+
+go 1.22

@@ -1,0 +1,52 @@
+package cgi
+
+import "testing"
+
+// FuzzDecodeComponent checks decoding never panics and that
+// encode→decode is the identity.
+func FuzzDecodeComponent(f *testing.F) {
+	f.Add("hello world")
+	f.Add("%20%ZZ%")
+	f.Add("a+b%26c")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = DecodeComponent(s)
+		enc := EncodeComponent(s)
+		dec, err := DecodeComponent(enc)
+		if err != nil {
+			t.Fatalf("decode(encode(%q)) error: %v", s, err)
+		}
+		if dec != s {
+			t.Fatalf("round trip %q -> %q -> %q", s, enc, dec)
+		}
+	})
+}
+
+// FuzzParseForm checks form decoding never panics and re-encodes stably.
+func FuzzParseForm(f *testing.F) {
+	f.Add("a=1&b=2&b=3")
+	f.Add("==&&=x&%41=%42")
+	f.Fuzz(func(t *testing.T, qs string) {
+		form, err := ParseForm(qs)
+		if err != nil {
+			return
+		}
+		// Re-encoding and re-parsing must be a fixed point.
+		enc := form.Encode()
+		back, err := ParseForm(enc)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", enc, err)
+		}
+		if back.Encode() != enc {
+			t.Fatalf("not a fixed point: %q vs %q", back.Encode(), enc)
+		}
+	})
+}
+
+// FuzzParseResponse checks CGI response parsing never panics.
+func FuzzParseResponse(f *testing.F) {
+	f.Add("Content-Type: text/html\n\nbody")
+	f.Add("Status: 404 Nope\r\nContent-Type: a/b\r\n\r\n")
+	f.Fuzz(func(t *testing.T, raw string) {
+		_, _ = ParseResponse(raw)
+	})
+}

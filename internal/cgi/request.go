@@ -1,0 +1,154 @@
+package cgi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Request models everything a Web server hands a CGI application for one
+// invocation (Section 2.3): the request method, the PATH_INFO extracted
+// from the URL after the program name, the QUERY_STRING, and — for POST —
+// the request body. SplitPathInfo decodes the DB2WWW convention
+// "/{macro-file}/{cmd}".
+type Request struct {
+	Method      string // "GET" or "POST"
+	ScriptName  string // e.g. "/cgi-bin/db2www"
+	PathInfo    string // e.g. "/urlquery.d2w/report"
+	QueryString string // raw, still percent-encoded
+	ContentType string // for POST
+	Body        string // raw POST body
+	ServerName  string
+	ServerPort  int
+	RemoteAddr  string
+	AuthUser    string // REMOTE_USER when the server authenticated the client
+}
+
+// FormEncoded is the content type of HTML form submissions.
+const FormEncoded = "application/x-www-form-urlencoded"
+
+// Inputs decodes the request's HTML input variables: QUERY_STRING for GET,
+// the body for POST (the two flows of Figure 4). For POST, variables in
+// the QUERY_STRING are also honoured, body values first — matching NCSA
+// httpd behaviour where both channels could carry inputs.
+func (r *Request) Inputs() (*Form, error) {
+	switch strings.ToUpper(r.Method) {
+	case "", "GET", "HEAD":
+		return ParseForm(r.QueryString)
+	case "POST":
+		if r.ContentType != "" && !strings.HasPrefix(r.ContentType, FormEncoded) {
+			return nil, fmt.Errorf("cgi: unsupported content type %q", r.ContentType)
+		}
+		f, err := ParseForm(strings.TrimRight(r.Body, "\r\n"))
+		if err != nil {
+			return nil, err
+		}
+		if r.QueryString != "" {
+			qf, err := ParseForm(r.QueryString)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range qf.Pairs() {
+				f.Add(p.Name, p.Value)
+			}
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("cgi: unsupported method %q", r.Method)
+	}
+}
+
+// SplitPathInfo decodes the DB2WWW PATH_INFO convention
+// "/{macro-file}/{cmd}" (Section 4). The macro file may itself contain
+// slashes (macros can live in subdirectories of the macro root); the last
+// segment is the command.
+func SplitPathInfo(pathInfo string) (macro, cmd string, err error) {
+	p := strings.Trim(pathInfo, "/")
+	if p == "" {
+		return "", "", fmt.Errorf("cgi: empty PATH_INFO, want /{macro-file}/{cmd}")
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i < 0 {
+		return "", "", fmt.Errorf("cgi: PATH_INFO %q lacks a command, want /{macro-file}/{cmd}", pathInfo)
+	}
+	macro, cmd = p[:i], p[i+1:]
+	if macro == "" || cmd == "" {
+		return "", "", fmt.Errorf("cgi: malformed PATH_INFO %q", pathInfo)
+	}
+	return macro, cmd, nil
+}
+
+// Env renders the request as CGI/1.1 environment variables, sorted by
+// name. This is the exact contract between the Web server and a spawned
+// CGI process.
+func (r *Request) Env() []string {
+	m := map[string]string{
+		"GATEWAY_INTERFACE": "CGI/1.1",
+		"SERVER_PROTOCOL":   "HTTP/1.0",
+		"SERVER_SOFTWARE":   "db2www-gatewayd/1.0",
+		"REQUEST_METHOD":    strings.ToUpper(r.Method),
+		"SCRIPT_NAME":       r.ScriptName,
+		"PATH_INFO":         r.PathInfo,
+		"QUERY_STRING":      r.QueryString,
+	}
+	if m["REQUEST_METHOD"] == "" {
+		m["REQUEST_METHOD"] = "GET"
+	}
+	if r.ServerName != "" {
+		m["SERVER_NAME"] = r.ServerName
+	}
+	if r.ServerPort != 0 {
+		m["SERVER_PORT"] = strconv.Itoa(r.ServerPort)
+	}
+	if r.RemoteAddr != "" {
+		m["REMOTE_ADDR"] = r.RemoteAddr
+	}
+	if r.AuthUser != "" {
+		m["REMOTE_USER"] = r.AuthUser
+		m["AUTH_TYPE"] = "Basic"
+	}
+	if strings.ToUpper(r.Method) == "POST" {
+		ct := r.ContentType
+		if ct == "" {
+			ct = FormEncoded
+		}
+		m["CONTENT_TYPE"] = ct
+		m["CONTENT_LENGTH"] = strconv.Itoa(len(r.Body))
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	env := make([]string, 0, len(keys))
+	for _, k := range keys {
+		env = append(env, k+"="+m[k])
+	}
+	return env
+}
+
+// RequestFromEnv reconstructs a Request inside a CGI process from its
+// environment and stdin body — what cmd/db2www does at startup.
+func RequestFromEnv(getenv func(string) string, body string) *Request {
+	r := &Request{
+		Method:      getenv("REQUEST_METHOD"),
+		ScriptName:  getenv("SCRIPT_NAME"),
+		PathInfo:    getenv("PATH_INFO"),
+		QueryString: getenv("QUERY_STRING"),
+		ContentType: getenv("CONTENT_TYPE"),
+		ServerName:  getenv("SERVER_NAME"),
+		RemoteAddr:  getenv("REMOTE_ADDR"),
+		AuthUser:    getenv("REMOTE_USER"),
+		Body:        body,
+	}
+	if p := getenv("SERVER_PORT"); p != "" {
+		if n, err := strconv.Atoi(p); err == nil {
+			r.ServerPort = n
+		}
+	}
+	if r.Method == "" {
+		r.Method = "GET"
+	}
+	return r
+}

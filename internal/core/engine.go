@@ -1,0 +1,670 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"db2www/internal/cgi"
+)
+
+// Mode selects which half of a macro the engine processes — the {cmd}
+// component of the DB2WWW URL (Section 4).
+type Mode int
+
+// Processing modes.
+const (
+	ModeInput  Mode = iota // emit the %HTML_INPUT section
+	ModeReport             // emit the %HTML_REPORT section, executing SQL
+)
+
+// ParseMode maps the URL command string onto a Mode.
+func ParseMode(cmd string) (Mode, error) {
+	switch strings.ToLower(cmd) {
+	case "input":
+		return ModeInput, nil
+	case "report":
+		return ModeReport, nil
+	default:
+		return 0, fmt.Errorf("core: unknown command %q (want input or report)", cmd)
+	}
+}
+
+// String returns the URL command spelling of the mode.
+func (m Mode) String() string {
+	if m == ModeInput {
+		return "input"
+	}
+	return "report"
+}
+
+// TxnMode selects the transaction behaviour of report processing
+// (Section 5): one transaction per SQL statement, or the whole macro as a
+// single transaction rolled back if any statement fails.
+type TxnMode int
+
+// Transaction modes.
+const (
+	TxnAutoCommit TxnMode = iota
+	TxnSingle
+)
+
+// Field is one column value in a SQL result row. Null distinguishes SQL
+// NULL from the empty string for the engine's conditional variables
+// (both substitute as the null string, but results keep the fact).
+type Field struct {
+	S    string
+	Null bool
+}
+
+// SQLResult is the engine-facing shape of a statement result.
+type SQLResult struct {
+	Columns      []string
+	Rows         [][]Field
+	RowsAffected int64
+}
+
+// SQLStater is implemented by DBMS errors that carry a SQLSTATE code;
+// the %SQL_MESSAGE machinery matches on it.
+type SQLStater interface{ SQLState() string }
+
+// DBConn is one database connection used while processing a macro.
+type DBConn interface {
+	Execute(sql string) (*SQLResult, error)
+	Begin() error
+	Commit() error
+	Rollback() error
+	Close() error
+}
+
+// DBProvider opens connections. The engine dereferences the macro
+// variables DATABASE, LOGIN, and PASSWORD (Section 3.1.1's "variables
+// necessary for database access") and passes them here.
+type DBProvider interface {
+	Connect(database, login, password string) (DBConn, error)
+}
+
+// Engine processes parsed macros. The zero value is not usable; fill in
+// DB (and Commands if macros use %EXEC).
+type Engine struct {
+	// DB provides database connections for %EXEC_SQL processing.
+	DB DBProvider
+	// Commands executes %EXEC variables. Nil disables %EXEC.
+	Commands *CommandRegistry
+	// Txn selects auto-commit (default) or single-transaction processing.
+	Txn TxnMode
+	// MaxRows, when positive, caps the rows printed by any report unless
+	// the macro sets RPT_MAXROWS itself.
+	MaxRows int
+	// ShowSQLVar names the input variable that, when non-null, makes the
+	// engine echo each executed SQL statement into the report. Defaults
+	// to "SHOWSQL" (the paper's example forms use that name).
+	ShowSQLVar string
+}
+
+// errStopReport is a sentinel: a %SQL_MESSAGE entry with the exit
+// disposition stops report processing without failing the page.
+var errStopReport = fmt.Errorf("core: report processing stopped by message handler")
+
+// Run processes macro m in the given mode: it evaluates sections from top
+// to bottom, writes the generated page body to w, and executes SQL for
+// %EXEC_SQL directives in report mode. inputs carries the HTML input
+// variables from the CGI layer (may be nil).
+func (e *Engine) Run(m *Macro, mode Mode, inputs *cgi.Form, w io.Writer) error {
+	vt := NewVarTable(m.Name, inputs)
+	vt.engine = e
+	run := &macroRun{engine: e, macro: m, vt: vt, out: w}
+	defer run.cleanup()
+
+	for _, sec := range m.Sections {
+		switch s := sec.(type) {
+		case *DefineSection:
+			vt.ApplyDefine(s)
+		case *HTMLSection:
+			if s.Report != (mode == ModeReport) {
+				continue
+			}
+			if err := run.renderHTML(s, mode); err != nil {
+				if err == errStopReport {
+					return run.finish(true)
+				}
+				_ = run.abort()
+				return err
+			}
+		case *SQLSection, *CommentSection:
+			// SQL sections execute only via %EXEC_SQL; comments are
+			// documentation.
+		}
+	}
+	return run.finish(true)
+}
+
+// macroRun is the per-invocation state: the lazily opened connection and
+// transaction progress.
+type macroRun struct {
+	engine   *Engine
+	macro    *Macro
+	vt       *VarTable
+	out      io.Writer
+	conn     DBConn
+	txnOpen  bool
+	finished bool
+}
+
+func (r *macroRun) cleanup() {
+	if !r.finished && r.conn != nil {
+		if r.txnOpen {
+			_ = r.conn.Rollback()
+		}
+		_ = r.conn.Close()
+	}
+}
+
+// finish commits (single-transaction mode) and closes the connection.
+func (r *macroRun) finish(commit bool) error {
+	r.finished = true
+	if r.conn == nil {
+		return nil
+	}
+	defer r.conn.Close()
+	if r.txnOpen {
+		r.txnOpen = false
+		if commit {
+			return r.conn.Commit()
+		}
+		return r.conn.Rollback()
+	}
+	return nil
+}
+
+// abort rolls back and closes.
+func (r *macroRun) abort() error {
+	r.finished = true
+	if r.conn == nil {
+		return nil
+	}
+	defer r.conn.Close()
+	if r.txnOpen {
+		r.txnOpen = false
+		return r.conn.Rollback()
+	}
+	return nil
+}
+
+// connect opens the connection on first use, dereferencing the DATABASE,
+// LOGIN, and PASSWORD variables at that moment (they may be set by any
+// DEFINE section processed so far, or by hidden input fields).
+func (r *macroRun) connect() (DBConn, error) {
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	if r.engine.DB == nil {
+		return nil, errAt(r.macro.Name, 0, "macro executes SQL but the engine has no DBProvider")
+	}
+	dbName, err := r.vt.Lookup("DATABASE")
+	if err != nil {
+		return nil, err
+	}
+	login, err := r.vt.Lookup("LOGIN")
+	if err != nil {
+		return nil, err
+	}
+	password, err := r.vt.Lookup("PASSWORD")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := r.engine.DB.Connect(dbName, login, password)
+	if err != nil {
+		return nil, err
+	}
+	r.conn = conn
+	if r.engine.Txn == TxnSingle {
+		if err := conn.Begin(); err != nil {
+			return nil, err
+		}
+		r.txnOpen = true
+	}
+	return conn, nil
+}
+
+// renderHTML renders an HTML section: text chunks are expanded and
+// written in place; %EXEC_SQL directives execute SQL sections and splice
+// their output at the directive's position (Section 4.2); %IF blocks
+// render exactly one arm.
+func (r *macroRun) renderHTML(s *HTMLSection, mode Mode) error {
+	return r.renderItems(s.Items, mode)
+}
+
+func (r *macroRun) renderItems(items []HTMLItem, mode Mode) error {
+	for _, item := range items {
+		switch {
+		case item.Cond != nil:
+			if err := r.renderCond(item.Cond, mode); err != nil {
+				return err
+			}
+		case item.ExecSQL:
+			if mode != ModeReport {
+				continue
+			}
+			if err := r.execDirective(item); err != nil {
+				return err
+			}
+		default:
+			text, err := r.vt.Expand(item.Text)
+			if err != nil {
+				return err
+			}
+			if _, err := io.WriteString(r.out, text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderCond evaluates the arms of an %IF block in order and renders the
+// first true one (or the %ELSE body).
+func (r *macroRun) renderCond(cb *CondBlock, mode Mode) error {
+	for _, arm := range cb.Arms {
+		ok, err := r.evalCondition(arm)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return r.renderItems(arm.Items, mode)
+		}
+	}
+	if cb.Else != nil {
+		return r.renderItems(cb.Else, mode)
+	}
+	return nil
+}
+
+// evalCondition expands and compares one %IF arm. Without an operator
+// the condition is true when the expanded value is non-null; with one,
+// the sides compare numerically when both parse as numbers, else as
+// strings.
+func (r *macroRun) evalCondition(arm CondArm) (bool, error) {
+	left, err := r.vt.Expand(arm.Left)
+	if err != nil {
+		return false, err
+	}
+	if arm.Op == "" {
+		return left != "", nil
+	}
+	right, err := r.vt.Expand(arm.Right)
+	if err != nil {
+		return false, err
+	}
+	var cmp int
+	lf, lerr := strconv.ParseFloat(strings.TrimSpace(left), 64)
+	rf, rerr := strconv.ParseFloat(strings.TrimSpace(right), 64)
+	if lerr == nil && rerr == nil {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(left, right)
+	}
+	switch arm.Op {
+	case "==":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	}
+	return false, errAt(r.macro.Name, arm.Line, "unknown %%IF operator %q", arm.Op)
+}
+
+// execDirective resolves which SQL sections a %EXEC_SQL directive runs:
+// a named directive runs exactly the named section (the name may be a
+// variable reference, enabling user-selected commands); an unnamed
+// directive runs every unnamed SQL section in macro order.
+func (r *macroRun) execDirective(item HTMLItem) error {
+	if item.SQLName != "" {
+		name, err := r.vt.Expand(item.SQLName)
+		if err != nil {
+			return err
+		}
+		sec := r.macro.NamedSQL(name)
+		if sec == nil {
+			return errAt(r.macro.Name, item.Line, "%%EXEC_SQL(%s): no SQL section named %q", item.SQLName, name)
+		}
+		return r.execSQLSection(sec)
+	}
+	ran := false
+	for _, sec := range r.macro.SQLSections() {
+		if sec.SectName != "" {
+			continue
+		}
+		ran = true
+		if err := r.execSQLSection(sec); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return errAt(r.macro.Name, item.Line, "%%EXEC_SQL: macro has no unnamed SQL sections")
+	}
+	return nil
+}
+
+// execSQLSection performs Section 4.2's three steps for one SQL section:
+// build the SQL string by substitution, execute it, and render the result
+// through the custom or default report format — or the message handler on
+// error.
+func (r *macroRun) execSQLSection(sec *SQLSection) error {
+	sqlStr, err := r.vt.Expand(sec.Command)
+	if err != nil {
+		return err
+	}
+	if err := r.maybeShowSQL(sqlStr); err != nil {
+		return err
+	}
+	conn, err := r.connect()
+	if err != nil {
+		return err
+	}
+	res, execErr := conn.Execute(sqlStr)
+	if execErr != nil {
+		return r.handleSQLError(sec, sqlStr, execErr)
+	}
+	// The no-rows condition: DB2 reports SQLCODE +100; a message entry
+	// keyed "+100" customises it.
+	if len(res.Columns) > 0 && len(res.Rows) == 0 {
+		if entry := findMessage(sec.Message, "+100"); entry != nil {
+			return r.emitMessage(entry, "+100", "no rows satisfy the query")
+		}
+	}
+	return r.renderResult(sec, res)
+}
+
+// maybeShowSQL echoes the SQL statement when the show-SQL input variable
+// is set (the SHOWSQL radio button of Figures 2 and 7).
+func (r *macroRun) maybeShowSQL(sqlStr string) error {
+	name := r.engine.ShowSQLVar
+	if name == "" {
+		name = "SHOWSQL"
+	}
+	v, err := r.vt.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if v == "" {
+		return nil
+	}
+	_, err = fmt.Fprintf(r.out, "<P><B>SQL statement:</B><BR><TT>%s</TT></P>\n", escapeHTML(sqlStr))
+	return err
+}
+
+// handleSQLError prints the matching %SQL_MESSAGE entry, or the DBMS
+// message when none matches. In single-transaction mode any SQL error
+// aborts the macro's transaction (Section 5).
+func (r *macroRun) handleSQLError(sec *SQLSection, sqlStr string, execErr error) error {
+	state := ""
+	var st SQLStater
+	if errors.As(execErr, &st) {
+		state = st.SQLState()
+	}
+	entry := findMessage(sec.Message, state)
+	if entry == nil {
+		entry = findMessage(sec.Message, "default")
+	}
+	if r.engine.Txn == TxnSingle {
+		// Print the message (custom or default), then stop and roll back.
+		if entry != nil {
+			if err := r.emitMessage(entry, state, execErr.Error()); err != nil && err != errStopReport {
+				return err
+			}
+		} else if err := r.emitDefaultError(execErr); err != nil {
+			return err
+		}
+		if err := r.finish(false); err != nil {
+			return err
+		}
+		return errStopReport
+	}
+	if entry != nil {
+		return r.emitMessage(entry, state, execErr.Error())
+	}
+	return r.emitDefaultError(execErr)
+}
+
+func (r *macroRun) emitDefaultError(execErr error) error {
+	_, err := fmt.Fprintf(r.out, "<P><B>SQL error:</B> %s</P>\n", escapeHTML(execErr.Error()))
+	return err
+}
+
+// emitMessage expands and prints one message entry, with SQL_STATE and
+// SQL_MESSAGE bound in a system scope, and honours its disposition.
+func (r *macroRun) emitMessage(entry *MessageEntry, state, dbmsMsg string) error {
+	scope := r.vt.PushScope()
+	scope["SQL_STATE"] = state
+	scope["SQL_MESSAGE"] = dbmsMsg
+	text, err := r.vt.Expand(entry.Text)
+	r.vt.PopScope()
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(r.out, text); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(r.out, "\n"); err != nil {
+		return err
+	}
+	if entry.Exit {
+		return errStopReport
+	}
+	return nil
+}
+
+func findMessage(mb *MessageBlock, code string) *MessageEntry {
+	if mb == nil || code == "" {
+		return nil
+	}
+	for i := range mb.Entries {
+		if mb.Entries[i].Code == code {
+			return &mb.Entries[i]
+		}
+	}
+	return nil
+}
+
+// maxRows resolves the row cap for report printing: the macro's
+// RPT_MAXROWS variable wins; otherwise the engine default; 0 means
+// unlimited.
+func (r *macroRun) maxRows() (int, error) {
+	v, err := r.vt.Lookup("RPT_MAXROWS")
+	if err != nil {
+		return 0, err
+	}
+	if v != "" {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 0 {
+			return 0, errAt(r.macro.Name, 0, "RPT_MAXROWS is %q, want a non-negative integer", v)
+		}
+		return n, nil
+	}
+	return r.engine.MaxRows, nil
+}
+
+// startRow resolves the 1-based first row to print from the macro's
+// RPT_STARTROW variable — the scrollable-cursor mechanism Section 4.3.2
+// says the substitution scheme enables: a macro carries the position in
+// a hidden field and re-issues the query for the next page.
+func (r *macroRun) startRow() (int, error) {
+	v, err := r.vt.Lookup("RPT_STARTROW")
+	if err != nil {
+		return 1, err
+	}
+	if v == "" {
+		return 1, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || n < 1 {
+		return 1, errAt(r.macro.Name, 0, "RPT_STARTROW is %q, want a positive integer", v)
+	}
+	return n, nil
+}
+
+// renderResult renders a statement result through the custom
+// %SQL_REPORT block when present, else the default table format
+// (Section 3.4).
+func (r *macroRun) renderResult(sec *SQLSection, res *SQLResult) error {
+	if len(res.Columns) == 0 {
+		// Non-SELECT statement: the default report notes the row count;
+		// a custom report block (if any) is rendered with no rows.
+		if sec.Report == nil {
+			_, err := fmt.Fprintf(r.out, "<P>%d row(s) affected.</P>\n", res.RowsAffected)
+			return err
+		}
+	}
+	if sec.Report != nil {
+		return r.renderCustom(sec.Report, res)
+	}
+	return r.renderDefaultTable(res)
+}
+
+// renderCustom implements the %SQL_REPORT semantics of Section 3.2.1:
+// header once (with N-variables bound), the %ROW template per fetched row
+// (with V-variables and ROW_NUM bound), footer once (ROW_NUM = total).
+func (r *macroRun) renderCustom(rb *ReportBlock, res *SQLResult) error {
+	max, err := r.maxRows()
+	if err != nil {
+		return err
+	}
+	scope := r.vt.PushScope()
+	defer r.vt.PopScope()
+	bindColumns(scope, res.Columns)
+
+	header, err := r.vt.Expand(rb.Header)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(r.out, header); err != nil {
+		return err
+	}
+	start, err := r.startRow()
+	if err != nil {
+		return err
+	}
+	if rb.HasRow {
+		rowScope := r.vt.PushScope()
+		printed := 0
+		for i, row := range res.Rows {
+			if i+1 < start {
+				continue
+			}
+			if max > 0 && printed >= max {
+				break
+			}
+			printed++
+			bindRow(rowScope, res.Columns, row, i+1)
+			text, err := r.vt.Expand(rb.Row)
+			if err != nil {
+				r.vt.PopScope()
+				return err
+			}
+			if _, err := io.WriteString(r.out, text); err != nil {
+				r.vt.PopScope()
+				return err
+			}
+		}
+		r.vt.PopScope()
+	}
+	// After all rows are processed ROW_NUM holds the total row count,
+	// regardless of whether all rows were printed (Section 3.2.1).
+	scope["ROW_NUM"] = strconv.Itoa(len(res.Rows))
+	footer, err := r.vt.Expand(rb.Footer)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(r.out, footer)
+	return err
+}
+
+// bindColumns installs the per-result system variables: Ni,
+// N.column-name, and NLIST.
+func bindColumns(scope map[string]string, cols []string) {
+	var nlist []string
+	for i, c := range cols {
+		scope["N"+strconv.Itoa(i+1)] = c
+		scope["N."+strings.ToLower(c)] = c
+		nlist = append(nlist, c)
+	}
+	scope["NLIST"] = strings.Join(nlist, ", ")
+}
+
+// bindRow installs the per-row system variables: ROW_NUM, Vi,
+// V.column-name, and VLIST.
+func bindRow(scope map[string]string, cols []string, row []Field, rowNum int) {
+	clear(scope)
+	scope["ROW_NUM"] = strconv.Itoa(rowNum)
+	var vlist []string
+	for i, f := range row {
+		v := f.S
+		if f.Null {
+			v = ""
+		}
+		scope["V"+strconv.Itoa(i+1)] = v
+		if i < len(cols) {
+			scope["V."+strings.ToLower(cols[i])] = v
+		}
+		vlist = append(vlist, v)
+	}
+	scope["VLIST"] = strings.Join(vlist, ", ")
+}
+
+// renderDefaultTable prints the default report format: an HTML table with
+// a header row of column names.
+func (r *macroRun) renderDefaultTable(res *SQLResult) error {
+	max, err := r.maxRows()
+	if err != nil {
+		return err
+	}
+	start, err := r.startRow()
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("<TABLE BORDER=1>\n<TR>")
+	for _, c := range res.Columns {
+		sb.WriteString("<TH>")
+		sb.WriteString(escapeHTML(c))
+		sb.WriteString("</TH>")
+	}
+	sb.WriteString("</TR>\n")
+	printed := 0
+	for i, row := range res.Rows {
+		if i+1 < start {
+			continue
+		}
+		if max > 0 && printed >= max {
+			break
+		}
+		printed++
+		sb.WriteString("<TR>")
+		for _, f := range row {
+			sb.WriteString("<TD>")
+			if !f.Null {
+				sb.WriteString(escapeHTML(f.S))
+			}
+			sb.WriteString("</TD>")
+		}
+		sb.WriteString("</TR>\n")
+	}
+	sb.WriteString("</TABLE>\n")
+	_, err = io.WriteString(r.out, sb.String())
+	return err
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// Command is an in-process implementation of a %EXEC command. It receives
+// the substituted argument list (args[0] is the command name) and writes
+// any output to stdout. The return value is the command's exit code;
+// zero means success (the %EXEC variable then evaluates to null).
+type Command func(args []string, stdout *bytes.Buffer) int
+
+// CommandRegistry resolves and runs %EXEC command strings. By default
+// only registered in-process commands run — deterministic and safe for a
+// public gateway. AllowOS additionally permits running real operating
+// system programs, which is what the paper's REXX/Perl integrations did.
+type CommandRegistry struct {
+	mu      sync.RWMutex
+	cmds    map[string]Command
+	AllowOS bool
+}
+
+// NewCommandRegistry returns an empty registry.
+func NewCommandRegistry() *CommandRegistry {
+	return &CommandRegistry{cmds: map[string]Command{}}
+}
+
+// RegisterCommand makes an in-process command available to %EXEC.
+func (cr *CommandRegistry) RegisterCommand(name string, fn Command) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.cmds[name] = fn
+}
+
+// Run executes a substituted command line, returning its exit code and
+// captured standard output. Unknown commands return exit code 127,
+// like a shell.
+func (cr *CommandRegistry) Run(cmdline string) (int, string) {
+	args := splitFields(cmdline)
+	if len(args) == 0 {
+		return 127, ""
+	}
+	cr.mu.RLock()
+	fn, ok := cr.cmds[args[0]]
+	allowOS := cr.AllowOS
+	cr.mu.RUnlock()
+	if ok {
+		var buf bytes.Buffer
+		code := fn(args, &buf)
+		return code, buf.String()
+	}
+	if allowOS {
+		out, err := exec.Command(args[0], args[1:]...).Output()
+		if err != nil {
+			if ee, isExit := err.(*exec.ExitError); isExit {
+				return ee.ExitCode(), string(out)
+			}
+			return 127, ""
+		}
+		return 0, string(out)
+	}
+	return 127, ""
+}
+
+// splitFields splits a command line on spaces, honouring double-quoted
+// arguments.
+func splitFields(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && (c == ' ' || c == '\t' || c == '\n' || c == '\r'):
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMacroParse checks the macro parser never panics and that whatever
+// parses also renders (in both modes) without panicking.
+func FuzzMacroParse(f *testing.F) {
+	seeds := []string{
+		"%define a = \"1\"\n%HTML_INPUT{$(a)%}",
+		"%DEFINE{\n%list \", \" l\nl = ? \"$(x)\"\n%}\n%HTML_REPORT{%EXEC_SQL%}",
+		"%SQL(q){SELECT 1\n%SQL_REPORT{%ROW{$(V1)%}%}\n%SQL_MESSAGE{\n+100 : \"none\"\n%}\n%}",
+		"%HTML_INPUT{%IF($(a) == \"x\")y%ELIF($(b))z%ELSE w%ENDIF%}",
+		"%{ comment %}\n%define b = {multi\nline%}",
+		"%HTML_INPUT{$$(esc) $(open",
+		"%%%",
+		"%DEFINE x = %EXEC \"cmd $(a)\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse("fuzz.d2w", src)
+		if err != nil {
+			return
+		}
+		e := &Engine{}
+		var buf bytes.Buffer
+		_ = e.Run(m, ModeInput, nil, &buf)
+		// Report mode without a DB provider errors on %EXEC_SQL, which
+		// is fine — the property is "no panic".
+		_ = e.Run(m, ModeReport, nil, &buf)
+	})
+}
+
+// FuzzExpand checks template expansion never panics on arbitrary text.
+func FuzzExpand(f *testing.F) {
+	f.Add("$(a)$$(b)$((c))")
+	f.Add("$")
+	f.Add("$(unterminated")
+	f.Add("$(@html:x)$(@sq:y)$(@url:z)")
+	f.Fuzz(func(t *testing.T, tpl string) {
+		vt := NewVarTable("fuzz", nil)
+		vt.ApplyDefine(&DefineSection{Stmts: []DefineStmt{
+			{Kind: DefSimple, Name: "a", Value: "va"},
+			{Kind: DefCondSelf, Name: "b", Value: "$(a)"},
+		}})
+		_, _ = vt.Expand(tpl)
+	})
+}

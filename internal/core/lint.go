@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"db2www/internal/htmlutil"
+)
+
+// refsInTemplate extracts the variable names referenced by $(name)
+// patterns in a template, skipping $$(name) escapes. The second result
+// reports whether an unterminated "$(" was seen.
+func refsInTemplate(tpl string) ([]string, bool) {
+	var names []string
+	unterminated := false
+	i := 0
+	for i < len(tpl) {
+		if tpl[i] != '$' {
+			i++
+			continue
+		}
+		if strings.HasPrefix(tpl[i:], "$$(") {
+			end := strings.IndexByte(tpl[i+3:], ')')
+			if end < 0 {
+				unterminated = true
+				break
+			}
+			i += 3 + end + 1
+			continue
+		}
+		if strings.HasPrefix(tpl[i:], "$(") {
+			end := strings.IndexByte(tpl[i+2:], ')')
+			if end < 0 {
+				unterminated = true
+				break
+			}
+			name := tpl[i+2 : i+2+end]
+			for _, p := range []string{prefixHTML, prefixSQ, prefixURL} {
+				name = strings.TrimPrefix(name, p)
+			}
+			names = append(names, name)
+			i += 2 + end + 1
+			continue
+		}
+		i++
+	}
+	return names, unterminated
+}
+
+// Variables returns the sets of variable names a macro defines and
+// references (in any section). Used by macrocheck's -vars mode.
+func Variables(m *Macro) (defined, referenced map[string]bool) {
+	defined = map[string]bool{}
+	referenced = map[string]bool{}
+	note := func(tpl string) {
+		refs, _ := refsInTemplate(tpl)
+		for _, r := range refs {
+			referenced[r] = true
+		}
+	}
+	for _, sec := range m.Sections {
+		switch s := sec.(type) {
+		case *DefineSection:
+			for _, st := range s.Stmts {
+				defined[st.Name] = true
+				note(st.Value)
+				note(st.Value2)
+				note(st.Sep)
+			}
+		case *SQLSection:
+			note(s.Command)
+			if s.Report != nil {
+				note(s.Report.Header)
+				note(s.Report.Row)
+				note(s.Report.Footer)
+			}
+			if s.Message != nil {
+				for _, e := range s.Message.Entries {
+					note(e.Text)
+				}
+			}
+		case *HTMLSection:
+			walkHTMLItems(s.Items, func(it HTMLItem) {
+				switch {
+				case it.Cond != nil:
+					for _, arm := range it.Cond.Arms {
+						note(arm.Left)
+						note(arm.Right)
+					}
+				case it.ExecSQL:
+					note(it.SQLName)
+				default:
+					note(it.Text)
+				}
+			})
+		}
+	}
+	return defined, referenced
+}
+
+// walkHTMLItems visits every item, descending into %IF arms and %ELSE
+// bodies.
+func walkHTMLItems(items []HTMLItem, fn func(HTMLItem)) {
+	for _, it := range items {
+		fn(it)
+		if it.Cond != nil {
+			for _, arm := range it.Cond.Arms {
+				walkHTMLItems(arm.Items, fn)
+			}
+			walkHTMLItems(it.Cond.Else, fn)
+		}
+	}
+}
+
+// systemVariable reports whether name is one the engine binds at run
+// time (report variables, message variables, %EXEC outputs).
+func systemVariable(name string) bool {
+	switch name {
+	case "ROW_NUM", "NLIST", "VLIST", "RPT_MAXROWS", "RPT_STARTROW",
+		"SQL_STATE", "SQL_MESSAGE", "SHOWSQL":
+		return true
+	}
+	if strings.HasSuffix(name, "_OUTPUT") {
+		return true
+	}
+	if len(name) >= 2 && (name[0] == 'V' || name[0] == 'N') {
+		rest := name[1:]
+		if rest[0] == '.' {
+			return true
+		}
+		digits := true
+		for _, r := range rest {
+			if r < '0' || r > '9' {
+				digits = false
+				break
+			}
+		}
+		if digits {
+			return true
+		}
+	}
+	return false
+}
+
+// inputNames extracts the NAME attributes of form controls in the
+// macro's HTML input section — the variables the Web client will supply.
+func inputNames(m *Macro) map[string]bool {
+	out := map[string]bool{}
+	h := m.HTMLInput()
+	if h == nil {
+		return out
+	}
+	var raw strings.Builder
+	for _, it := range h.Items {
+		if !it.ExecSQL {
+			raw.WriteString(it.Text)
+		}
+	}
+	for _, tok := range htmlutil.Tokenize(raw.String()) {
+		if tok.Kind != htmlutil.TokStart {
+			continue
+		}
+		switch tok.Tag {
+		case "input", "select", "textarea":
+			if name, ok := tok.Attr("name"); ok && name != "" {
+				out[name] = true
+			}
+		}
+	}
+	return out
+}
+
+// Lint checks a parsed macro for the mistakes the DB2WWW developer guide
+// warned about. It returns human-readable warnings; a clean macro
+// returns none. Parse already rejects structural errors, so everything
+// here is advisory.
+func Lint(m *Macro) []string {
+	var warnings []string
+	defined, referenced := Variables(m)
+	inputs := inputNames(m)
+
+	// Unterminated $( anywhere.
+	checkTpl := func(where, tpl string) {
+		if _, bad := refsInTemplate(tpl); bad {
+			warnings = append(warnings, fmt.Sprintf("%s contains an unterminated $( reference", where))
+		}
+	}
+	for _, sec := range m.Sections {
+		switch s := sec.(type) {
+		case *DefineSection:
+			for _, st := range s.Stmts {
+				checkTpl(fmt.Sprintf("definition of %q (line %d)", st.Name, st.Line), st.Value)
+			}
+		case *SQLSection:
+			checkTpl(fmt.Sprintf("SQL section at line %d", s.Line), s.Command)
+		case *HTMLSection:
+			walkHTMLItems(s.Items, func(it HTMLItem) {
+				if !it.ExecSQL && it.Cond == nil {
+					checkTpl(fmt.Sprintf("HTML section at line %d", s.Line), it.Text)
+				}
+			})
+		}
+	}
+
+	// References that nothing can bind.
+	var unknown []string
+	for name := range referenced {
+		if !defined[name] && !inputs[name] && !systemVariable(name) {
+			unknown = append(unknown, name)
+		}
+	}
+	sort.Strings(unknown)
+	for _, name := range unknown {
+		warnings = append(warnings, fmt.Sprintf(
+			"variable %q is referenced but never defined in the macro and is not a form input; it will evaluate to the null string unless supplied in the URL", name))
+	}
+
+	// SQL sections and directives.
+	sqlSections := m.SQLSections()
+	report := m.HTMLReport()
+	var directives []HTMLItem
+	if report != nil {
+		walkHTMLItems(report.Items, func(it HTMLItem) {
+			if it.ExecSQL {
+				directives = append(directives, it)
+			}
+		})
+	}
+	if len(sqlSections) > 0 && report == nil {
+		warnings = append(warnings, "macro has SQL sections but no %HTML_REPORT section to execute them")
+	}
+	if len(directives) > 0 && len(sqlSections) == 0 {
+		warnings = append(warnings, "%EXEC_SQL used but the macro has no SQL sections")
+	}
+	// Named sections never executed (skip if any directive name is dynamic).
+	dynamic := false
+	usedNames := map[string]bool{}
+	usesUnnamed := false
+	for _, d := range directives {
+		if d.SQLName == "" {
+			usesUnnamed = true
+			continue
+		}
+		if strings.Contains(d.SQLName, "$(") {
+			dynamic = true
+			continue
+		}
+		usedNames[d.SQLName] = true
+	}
+	if !dynamic {
+		for _, q := range sqlSections {
+			if q.SectName != "" && !usedNames[q.SectName] {
+				warnings = append(warnings, fmt.Sprintf(
+					"SQL section %q (line %d) is never executed by an %%EXEC_SQL directive", q.SectName, q.Line))
+			}
+			if q.SectName == "" && !usesUnnamed {
+				warnings = append(warnings, fmt.Sprintf(
+					"unnamed SQL section at line %d is never executed (no unnamed %%EXEC_SQL)", q.Line))
+			}
+		}
+	}
+	// Database access without DATABASE.
+	if len(directives) > 0 && !defined["DATABASE"] && !inputs["DATABASE"] {
+		warnings = append(warnings, "macro executes SQL but never defines the DATABASE variable")
+	}
+	if m.HTMLInput() == nil && report == nil {
+		warnings = append(warnings, "macro has neither an %HTML_INPUT nor an %HTML_REPORT section")
+	}
+	return warnings
+}

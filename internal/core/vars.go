@@ -1,0 +1,405 @@
+package core
+
+import (
+	"strings"
+
+	"db2www/internal/cgi"
+)
+
+// varDef is the engine-internal state of one macro-defined variable.
+type varDef struct {
+	list    bool         // declared with %LIST
+	sep     string       // separator template (list variables)
+	assigns []DefineStmt // assignment history: all kept for list vars, last wins otherwise
+	exec    bool
+	execCmd string // command template for %EXEC variables
+}
+
+// VarTable implements the run-time variable substitution mechanism of
+// Sections 3.1 and 4.3: a single name space unifying HTML input variables
+// (which take priority), macro DEFINE variables (lazily evaluated), and
+// system report variables (innermost scope wins). Undefined names
+// evaluate to the null string. Circular references are an error.
+type VarTable struct {
+	inputs *cgi.Form
+	defs   map[string]*varDef
+	order  []string
+	scopes []map[string]string
+	// execOutputs holds <name>_OUTPUT bindings captured from %EXEC
+	// commands (an extension; see runExec).
+	execOutputs map[string]string
+	engine      *Engine // for %EXEC command execution; may be nil
+	macro       string  // macro name for error messages
+}
+
+// NewVarTable creates a table over the given HTML input variables.
+// inputs may be nil.
+func NewVarTable(macro string, inputs *cgi.Form) *VarTable {
+	if inputs == nil {
+		inputs = cgi.NewForm()
+	}
+	return &VarTable{inputs: inputs, defs: map[string]*varDef{}, macro: macro}
+}
+
+// ApplyDefine registers the statements of one %DEFINE section. Value
+// strings are stored unevaluated (lazy substitution, Section 4.3.1).
+func (vt *VarTable) ApplyDefine(sec *DefineSection) {
+	for _, st := range sec.Stmts {
+		vt.applyStmt(st)
+	}
+}
+
+func (vt *VarTable) applyStmt(st DefineStmt) {
+	def, ok := vt.defs[st.Name]
+	if !ok {
+		def = &varDef{}
+		vt.defs[st.Name] = def
+		vt.order = append(vt.order, st.Name)
+	}
+	switch st.Kind {
+	case DefList:
+		def.list = true
+		def.sep = st.Sep
+	case DefExec:
+		def.exec = true
+		def.execCmd = st.Value
+		def.assigns = nil
+	default:
+		def.exec = false
+		if def.list {
+			def.assigns = append(def.assigns, st)
+		} else {
+			def.assigns = []DefineStmt{st}
+		}
+	}
+}
+
+// PushScope adds an innermost scope of system variables (report column
+// names/values etc.). The returned map may be mutated while pushed.
+func (vt *VarTable) PushScope() map[string]string {
+	m := map[string]string{}
+	vt.scopes = append(vt.scopes, m)
+	return m
+}
+
+// PopScope removes the innermost scope.
+func (vt *VarTable) PopScope() {
+	if len(vt.scopes) > 0 {
+		vt.scopes = vt.scopes[:len(vt.scopes)-1]
+	}
+}
+
+// Defined reports whether name has a macro definition or input binding
+// (regardless of its value).
+func (vt *VarTable) Defined(name string) bool {
+	if _, ok := vt.defs[name]; ok {
+		return true
+	}
+	return vt.inputs.Has(name)
+}
+
+// Names returns all macro-defined variable names in definition order.
+func (vt *VarTable) Names() []string { return vt.order }
+
+// Lookup evaluates a variable by name, applying the full substitution
+// semantics. It returns the empty string for undefined names.
+func (vt *VarTable) Lookup(name string) (string, error) {
+	v, _, err := vt.deref(name, map[string]bool{})
+	return v, err
+}
+
+// Expand evaluates a value template: literal text with $(name) references
+// substituted and $$(name) escapes reduced to $(name).
+func (vt *VarTable) Expand(tpl string) (string, error) {
+	v, _, err := vt.expand(tpl, map[string]bool{})
+	return v, err
+}
+
+// expand evaluates tpl and additionally reports whether any referenced
+// variable evaluated to null — the information the conditional form
+// "var = ? value" needs (Section 3.1.2 cases b and d).
+func (vt *VarTable) expand(tpl string, visiting map[string]bool) (string, bool, error) {
+	var sb strings.Builder
+	sawNull := false
+	i := 0
+	for i < len(tpl) {
+		c := tpl[i]
+		if c != '$' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		// "$$(" escapes to a literal "$(name)" with no dereference.
+		if strings.HasPrefix(tpl[i:], "$$(") {
+			end := strings.IndexByte(tpl[i+3:], ')')
+			if end < 0 {
+				sb.WriteString(tpl[i:])
+				return sb.String(), sawNull, nil
+			}
+			sb.WriteString("$(")
+			sb.WriteString(tpl[i+3 : i+3+end])
+			sb.WriteByte(')')
+			i += 3 + end + 1
+			continue
+		}
+		if strings.HasPrefix(tpl[i:], "$(") {
+			end := strings.IndexByte(tpl[i+2:], ')')
+			if end < 0 {
+				// Unterminated reference: emit literally (lenient, as the
+				// era's tools were; macrocheck flags it).
+				sb.WriteString(tpl[i:])
+				return sb.String(), sawNull, nil
+			}
+			name := tpl[i+2 : i+2+end]
+			val, isNull, err := vt.derefRef(name, visiting)
+			if err != nil {
+				return "", false, err
+			}
+			if isNull {
+				sawNull = true
+			}
+			sb.WriteString(val)
+			i += 2 + end + 1
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String(), sawNull, nil
+}
+
+// transform prefixes supported inside $(prefix:name) references. These
+// are a documented extension over the paper (which substitutes raw text
+// everywhere): @html HTML-escapes the value, @sq doubles single quotes
+// for safe inclusion in SQL string literals, @url percent-encodes it.
+const (
+	prefixHTML = "@html:"
+	prefixSQ   = "@sq:"
+	prefixURL  = "@url:"
+)
+
+// derefRef resolves one $(...) reference, applying transform prefixes.
+func (vt *VarTable) derefRef(name string, visiting map[string]bool) (string, bool, error) {
+	switch {
+	case strings.HasPrefix(name, prefixHTML):
+		v, isNull, err := vt.deref(strings.TrimPrefix(name, prefixHTML), visiting)
+		return escapeHTML(v), isNull, err
+	case strings.HasPrefix(name, prefixSQ):
+		v, isNull, err := vt.deref(strings.TrimPrefix(name, prefixSQ), visiting)
+		return strings.ReplaceAll(v, "'", "''"), isNull, err
+	case strings.HasPrefix(name, prefixURL):
+		v, isNull, err := vt.deref(strings.TrimPrefix(name, prefixURL), visiting)
+		return cgi.EncodeComponent(v), isNull, err
+	default:
+		return vt.deref(name, visiting)
+	}
+}
+
+// deref resolves name to its value. The second result reports nullness
+// (empty value or undefined — indistinguishable per Section 2.2).
+// Priority order (Section 4.3): innermost report scope, then HTML input
+// variables, then macro definitions.
+func (vt *VarTable) deref(name string, visiting map[string]bool) (string, bool, error) {
+	// 1. System/report scopes, innermost first. Column-name variables
+	// (N.xxx / V.xxx) match the column part case-insensitively.
+	for i := len(vt.scopes) - 1; i >= 0; i-- {
+		if v, ok := vt.scopes[i][name]; ok {
+			return v, v == "", nil
+		}
+		if len(name) > 2 && (name[0] == 'N' || name[0] == 'V') && name[1] == '.' {
+			key := name[:2] + strings.ToLower(name[2:])
+			if v, ok := vt.scopes[i][key]; ok {
+				return v, v == "", nil
+			}
+		}
+	}
+	if v, ok := vt.execOutputs[name]; ok {
+		return v, v == "", nil
+	}
+	if visiting[name] {
+		return "", false, errAt(vt.macro, 0, "circular reference involving variable %q", name)
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+
+	def := vt.defs[name]
+
+	// 2. HTML input variables override macro definitions. Input values
+	// are themselves parsed for references (Section 4.3.2), which is what
+	// makes the $$(hidden) idiom of Appendix A work.
+	if vals := vt.inputs.GetAll(name); len(vals) > 0 {
+		if len(vals) == 1 {
+			v, _, err := vt.expand(vals[0], visiting)
+			return v, v == "", err
+		}
+		// Multiply-assigned input variable: a list variable with comma
+		// as the default separator (Section 2.2), overridable by %LIST.
+		sep := ","
+		if def != nil && def.list {
+			s, _, err := vt.expand(def.sep, visiting)
+			if err != nil {
+				return "", false, err
+			}
+			sep = s
+		}
+		var parts []string
+		for _, raw := range vals {
+			v, _, err := vt.expand(raw, visiting)
+			if err != nil {
+				return "", false, err
+			}
+			if v != "" {
+				parts = append(parts, v)
+			}
+		}
+		v := strings.Join(parts, sep)
+		return v, v == "", nil
+	}
+
+	// 3. Macro definitions.
+	if def == nil {
+		return "", true, nil
+	}
+	if def.exec {
+		v, err := vt.runExec(def, visiting)
+		return v, v == "", err
+	}
+	if def.list {
+		sep, _, err := vt.expand(def.sep, visiting)
+		if err != nil {
+			return "", false, err
+		}
+		var parts []string
+		for _, st := range def.assigns {
+			v, err := vt.evalAssign(st, visiting)
+			if err != nil {
+				return "", false, err
+			}
+			// "the list variable evaluation is intelligent enough to add
+			// delimiters only if the individual value strings are not
+			// null" (Section 3.1.3).
+			if v != "" {
+				parts = append(parts, v)
+			}
+		}
+		v := strings.Join(parts, sep)
+		return v, v == "", nil
+	}
+	if len(def.assigns) == 0 {
+		// Declared (%LIST removed or bare) but never assigned.
+		return "", true, nil
+	}
+	v, err := vt.evalAssign(def.assigns[len(def.assigns)-1], visiting)
+	return v, v == "", err
+}
+
+// evalAssign evaluates one assignment statement's right-hand side.
+func (vt *VarTable) evalAssign(st DefineStmt, visiting map[string]bool) (string, error) {
+	switch st.Kind {
+	case DefSimple:
+		v, _, err := vt.expand(st.Value, visiting)
+		return v, err
+	case DefCondTest:
+		tv, _, err := vt.deref(st.TestVar, visiting)
+		if err != nil {
+			return "", err
+		}
+		if tv != "" {
+			v, _, err := vt.expand(st.Value, visiting)
+			return v, err
+		}
+		if !st.HasElse {
+			return "", nil
+		}
+		v, _, err := vt.expand(st.Value2, visiting)
+		return v, err
+	case DefCondSelf:
+		v, sawNull, err := vt.expand(st.Value, visiting)
+		if err != nil {
+			return "", err
+		}
+		if sawNull {
+			return "", nil
+		}
+		return v, nil
+	default:
+		return "", errAt(vt.macro, st.Line, "internal: unexpected assignment kind %d", st.Kind)
+	}
+}
+
+// runExec executes a %EXEC variable's command. The variable's value is
+// the command's non-zero exit code, or null on success (Section 3.1.4).
+// Captured standard output is exposed as <name>_OUTPUT in a system scope
+// (a documented extension; the paper leaves command output unspecified).
+func (vt *VarTable) runExec(def *varDef, visiting map[string]bool) (string, error) {
+	cmdline, _, err := vt.expand(def.execCmd, visiting)
+	if err != nil {
+		return "", err
+	}
+	if vt.engine == nil || vt.engine.Commands == nil {
+		return "", errAt(vt.macro, 0, "%%EXEC variable used but no command registry is configured")
+	}
+	code, output := vt.engine.Commands.Run(cmdline)
+	// Bind the captured output under <name>_OUTPUT.
+	for name, d := range vt.defs {
+		if d == def {
+			if vt.execOutputs == nil {
+				vt.execOutputs = map[string]string{}
+			}
+			vt.execOutputs[name+"_OUTPUT"] = output
+			break
+		}
+	}
+	if code == 0 {
+		return "", nil
+	}
+	return itoa(code), nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// escapeHTML escapes the five HTML-special characters.
+func escapeHTML(s string) string {
+	if !strings.ContainsAny(s, `&<>"'`) {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\'':
+			sb.WriteString("&#39;")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"db2www/internal/cgi"
+	"db2www/internal/webclient"
+)
+
+// buildCache compiles each cmd binary at most once per test run.
+var buildCache sync.Map // cmd name -> string path or error
+
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	if v, ok := buildCache.Load(name); ok {
+		if err, isErr := v.(error); isErr {
+			t.Fatal(err)
+		}
+		return v.(string)
+	}
+	dir, err := os.MkdirTemp("", "db2www-cmd-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "db2www/cmd/"+name)
+	cmd.Dir = RepoRoot()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		err = fmt.Errorf("building %s: %v\n%s", name, err, out)
+		buildCache.Store(name, err)
+		t.Fatal(err)
+	}
+	buildCache.Store(name, bin)
+	return bin
+}
+
+func skipIfShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary test skipped in -short")
+	}
+}
+
+func TestCmdMacrocheck(t *testing.T) {
+	skipIfShort(t)
+	bin := buildCmd(t, "macrocheck")
+	macro := filepath.Join(RepoRoot(), "testdata", "macros", "urlquery.d2w")
+
+	out, err := exec.Command(bin, macro).CombinedOutput()
+	if err != nil {
+		t.Fatalf("lint clean macro: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "OK (6 sections, 0 warnings)") {
+		t.Fatalf("output = %s", out)
+	}
+
+	out, err = exec.Command(bin, "-extract", "sql", macro).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "SELECT url") {
+		t.Fatalf("sql extraction: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "-vars", macro).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "WHERELIST") {
+		t.Fatalf("vars listing: %v\n%s", err, out)
+	}
+
+	// A broken macro exits non-zero.
+	broken := filepath.Join(t.TempDir(), "broken.d2w")
+	if err := os.WriteFile(broken, []byte("%HTML_INPUT{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, broken).Run(); err == nil {
+		t.Fatal("broken macro must exit non-zero")
+	}
+}
+
+func TestCmdSqlsh(t *testing.T) {
+	skipIfShort(t)
+	bin := buildCmd(t, "sqlsh")
+	out, err := exec.Command(bin, "-dataset", "urldb:15:1",
+		"-e", "SELECT COUNT(*) AS n FROM urldb").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "15") || !strings.Contains(string(out), "(1 rows)") {
+		t.Fatalf("output = %s", out)
+	}
+
+	// Dump, then reload the dump.
+	dumpPath := filepath.Join(t.TempDir(), "snap.sql")
+	if out, err := exec.Command(bin, "-dataset", "urldb:15:1", "-dump", dumpPath,
+		"-e", "SELECT 1").CombinedOutput(); err != nil {
+		t.Fatalf("dump: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "-load", dumpPath,
+		"-e", "SELECT COUNT(*) FROM urldb").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "15") {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+
+	// A SQL error exits non-zero.
+	if err := exec.Command(bin, "-e", "SELECT * FROM nothing").Run(); err == nil {
+		t.Fatal("bad SQL must exit non-zero")
+	}
+}
+
+func TestCmdDB2WWWGetAndPost(t *testing.T) {
+	skipIfShort(t)
+	bin := buildCmd(t, "db2www")
+	macroDir := filepath.Join(RepoRoot(), "testdata", "macros")
+	env := []string{
+		"DB2WWW_MACRO_DIR=" + macroDir,
+		"DB2WWW_DATASET=urldb:30:1",
+	}
+	get := &cgi.Request{Method: "GET", PathInfo: "/urlquery.d2w/input"}
+	resp, err := cgi.InvokeProcess(bin, nil, get, env, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, "Query URL Information") {
+		t.Fatalf("GET input: %d %q", resp.Status, resp.Body)
+	}
+	post := &cgi.Request{
+		Method: "POST", PathInfo: "/urlquery.d2w/report",
+		ContentType: cgi.FormEncoded,
+		Body:        "SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title",
+	}
+	resp, err = cgi.InvokeProcess(bin, nil, post, env, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, "URL Query Result") {
+		t.Fatalf("POST report: %d %q", resp.Status, resp.Body)
+	}
+	// The paper's positional calling convention: argv carries macro+cmd.
+	argv := &cgi.Request{Method: "GET"}
+	resp, err = cgi.InvokeProcess(bin, []string{"urlquery.d2w", "input"}, argv, env, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, "Query URL Information") {
+		t.Fatalf("argv form: %d %q", resp.Status, resp.Body)
+	}
+	// Unknown macro yields a CGI error page with a Status header.
+	bad := &cgi.Request{Method: "GET", PathInfo: "/nosuch.d2w/input"}
+	resp, err = cgi.InvokeProcess(bin, nil, bad, env, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("missing macro status = %d", resp.Status)
+	}
+}
+
+// TestCmdGatewaydLifecycle boots the real server binary on a free port,
+// drives it over TCP, then SIGTERMs it and checks the -save snapshot is
+// written and reloadable via -load.
+func TestCmdGatewaydLifecycle(t *testing.T) {
+	skipIfShort(t)
+	bin := buildCmd(t, "gatewayd")
+	macroDir := filepath.Join(RepoRoot(), "testdata", "macros")
+	snap := filepath.Join(t.TempDir(), "snap.sql")
+	logFile := filepath.Join(t.TempDir(), "access.log")
+	addr := "127.0.0.1:39471"
+
+	cmd := exec.Command(bin, "-addr", addr, "-macros", macroDir,
+		"-dataset", "urldb:20:1", "-save", snap, "-accesslog", logFile)
+	cmd.Dir = RepoRoot()
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	// Wait for the listener.
+	c := &webclient.Client{}
+	url := "http://" + addr + "/cgi-bin/db2www/urlquery.d2w/input"
+	var page *webclient.Page
+	var err error
+	for i := 0; i < 100; i++ {
+		page, err = c.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	if page.Status != 200 || page.Title() != "DB2 WWW URL Query" {
+		t.Fatalf("page = %d %q", page.Status, page.Title())
+	}
+	// Drive the full flow over real TCP.
+	form, err := page.Form(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := page.Submit(form)
+	if err != nil || report.Status != 200 {
+		t.Fatalf("report: %v %d", err, report.Status)
+	}
+	// Server status page from the access-log middleware.
+	status, err := c.Get("http://" + addr + "/server-status")
+	if err != nil || !strings.Contains(status.Body, "Total accesses") {
+		t.Fatalf("server-status: %v %q", err, status.Body)
+	}
+
+	// Graceful shutdown with snapshot.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { _, _ = cmd.Process.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gatewayd did not exit after SIGINT")
+	}
+	dump, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if !strings.Contains(string(dump), "CREATE TABLE urldb") {
+		t.Fatalf("snapshot content: %.200s", dump)
+	}
+	logData, err := os.ReadFile(logFile)
+	if err != nil || !strings.Contains(string(logData), "GET /cgi-bin/db2www/urlquery.d2w/input") {
+		t.Fatalf("access log: %v %q", err, logData)
+	}
+}
+
+func TestCmdBenchrunnerSingleExperiment(t *testing.T) {
+	skipIfShort(t)
+	bin := buildCmd(t, "benchrunner")
+	cmd := exec.Command(bin, "-exp", "e8", "-rows", "20", "-requests", "3")
+	cmd.Dir = RepoRoot()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "MATCH: all four combinations") {
+		t.Fatalf("output = %s", out)
+	}
+}

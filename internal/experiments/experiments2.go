@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"db2www/internal/baseline/gsql"
+	"db2www/internal/baseline/rawcgi"
+	"db2www/internal/baseline/wdb"
+	"db2www/internal/cgi"
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+	"db2www/internal/workload"
+)
+
+// Figure7Report runs the Appendix A application end to end with the
+// Figure 7 selections (search "ib", URL+Title checked, Title field in
+// the report) and returns the input page and report page bodies.
+func Figure7Report(rows int, seed int64) (inputPage, reportPage string, err error) {
+	st, err := NewStack(StackConfig{Rows: rows, Seed: seed, CacheMacros: true})
+	if err != nil {
+		return "", "", err
+	}
+	defer st.Close()
+	c := st.Client()
+	page, err := c.Get("http://gateway/cgi-bin/db2www/urlquery.d2w/input")
+	if err != nil {
+		return "", "", err
+	}
+	form, err := page.Form(0)
+	if err != nil {
+		return "", "", err
+	}
+	report, err := page.Submit(form)
+	if err != nil {
+		return "", "", err
+	}
+	if report.Status != 200 {
+		return "", "", fmt.Errorf("report status %d", report.Status)
+	}
+	return page.Body, report.Body, nil
+}
+
+// E7 reproduces Figures 7 and 8: the Appendix A application's input form
+// and resulting report, pinned against golden files for the fixed
+// 25-row dataset.
+func E7(w io.Writer, cfg Config) error {
+	inputBody, reportBody, err := Figure7Report(60, 1)
+	if err != nil {
+		return err
+	}
+	section(w, "E7 / Figures 7+8 — the Appendix A URL query application")
+	checkGolden := func(name, body string) error {
+		path := filepath.Join(RepoRoot(), "testdata", "golden", name)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(w, "golden %s missing; generated %d bytes\n", name, len(body))
+			return nil
+		}
+		if string(want) != body {
+			return fmt.Errorf("E7: %s diverges from golden", name)
+		}
+		fmt.Fprintf(w, "MATCH: %s byte-identical to golden (%d bytes)\n", name, len(body))
+		return nil
+	}
+	if err := checkGolden("figure7_input.html", inputBody); err != nil {
+		return err
+	}
+	if err := checkGolden("figure8_report.html", reportBody); err != nil {
+		return err
+	}
+	rowsShown := strings.Count(reportBody, "<LI>")
+	fmt.Fprintf(w, "report rows (URLs matching \"ib\" in url or title): %d\n", rowsShown)
+	if rowsShown == 0 {
+		return fmt.Errorf("E7: report contains no rows")
+	}
+	if !strings.Contains(reportBody, "<br>") {
+		return fmt.Errorf("E7: conditional Title column (D2 variable) missing")
+	}
+	if !strings.Contains(inputBody, "$(hidden_a)") {
+		return fmt.Errorf("E7: $$(hidden_a) escape not visible in the form")
+	}
+	fmt.Fprintln(w, "hidden-variable idiom verified: form carries $(hidden_a), report resolved it to the title column")
+	return nil
+}
+
+// WhereClauseCases returns the Section 3.1.3 worked example: the four
+// input combinations and the exact strings the paper derives.
+func WhereClauseCases() []struct{ Cust, Prod, WhereList, WhereClause string } {
+	return []struct{ Cust, Prod, WhereList, WhereClause string }{
+		{"10100", "bikes",
+			"custid = 10100 AND product_name LIKE 'bikes%'",
+			"WHERE custid = 10100 AND product_name LIKE 'bikes%'"},
+		{"", "bikes",
+			"product_name LIKE 'bikes%'",
+			"WHERE product_name LIKE 'bikes%'"},
+		{"10100", "",
+			"custid = 10100",
+			"WHERE custid = 10100"},
+		{"", "", "", ""},
+	}
+}
+
+const whereMacro = `
+%define{
+%list " AND " where_list
+where_list = ? "custid = $(cust_inp)"
+where_list = ? "product_name LIKE '$(prod_inp)%'"
+where_clause = ? "WHERE $(where_list)"
+%}
+%HTML_INPUT{$(where_list)|$(where_clause)%}
+`
+
+// E8 reproduces the Section 3.1.3 worked example table.
+func E8(w io.Writer, cfg Config) error {
+	m, err := core.Parse("where.d2w", whereMacro)
+	if err != nil {
+		return err
+	}
+	section(w, "E8 / Section 3.1.3 — conditional + list construction of the WHERE clause")
+	fmt.Fprintf(w, "%-10s %-8s %s\n", "cust_inp", "prod_inp", "where_clause")
+	e := &core.Engine{}
+	for _, c := range WhereClauseCases() {
+		in := cgi.NewForm()
+		in.Add("cust_inp", c.Cust)
+		in.Add("prod_inp", c.Prod)
+		var buf bytes.Buffer
+		if err := e.Run(m, core.ModeInput, in, &buf); err != nil {
+			return err
+		}
+		parts := strings.SplitN(strings.TrimSpace(buf.String()), "|", 2)
+		gotList, gotClause := parts[0], parts[1]
+		if gotList != c.WhereList || gotClause != c.WhereClause {
+			return fmt.Errorf("E8: cust=%q prod=%q: got %q / %q, want %q / %q",
+				c.Cust, c.Prod, gotList, gotClause, c.WhereList, c.WhereClause)
+		}
+		display := gotClause
+		if display == "" {
+			display = "(no WHERE clause)"
+		}
+		fmt.Fprintf(w, "%-10q %-8q %s\n", c.Cust, c.Prod, display)
+	}
+	fmt.Fprintln(w, "MATCH: all four combinations equal the paper's derivation")
+	return nil
+}
+
+// txnMacro updates twice; the second statement violates the primary key.
+const txnMacro = `
+%define DATABASE = "TXNDB"
+%SQL{INSERT INTO t VALUES (100, 'first')%}
+%SQL{INSERT INTO t VALUES (1, 'duplicate pk')%}
+%SQL{INSERT INTO t VALUES (101, 'third')%}
+%HTML_REPORT{%EXEC_SQL done%}
+`
+
+// E9 reproduces the Section 5 transaction modes: the same failing macro
+// under auto-commit (every statement its own transaction) and single-
+// transaction (any failure rolls the whole macro back).
+func E9(w io.Writer, cfg Config) error {
+	section(w, "E9 / Section 5 — transaction modes under a mid-macro failure")
+	fmt.Fprintf(w, "%-14s %-22s %s\n", "mode", "rows visible after", "behaviour")
+	for _, mode := range []core.TxnMode{core.TxnAutoCommit, core.TxnSingle} {
+		db := sqldb.NewDatabase("TXNDB")
+		s := sqldb.NewSession(db)
+		if _, err := s.ExecScript(
+			"CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(20)); INSERT INTO t VALUES (1, 'seed')"); err != nil {
+			return err
+		}
+		sqldriver.Register("TXNDB", db)
+		m, err := core.Parse("txn.d2w", txnMacro)
+		if err != nil {
+			sqldriver.Unregister("TXNDB")
+			return err
+		}
+		eng := &core.Engine{DB: gateway.NewSQLProvider(), Txn: mode}
+		var buf bytes.Buffer
+		if err := eng.Run(m, core.ModeReport, nil, &buf); err != nil {
+			sqldriver.Unregister("TXNDB")
+			return err
+		}
+		res, err := s.Exec("SELECT COUNT(*) FROM t")
+		sqldriver.Unregister("TXNDB")
+		if err != nil {
+			return err
+		}
+		count := res.Rows[0][0].I
+		name, want, note := "auto-commit", int64(3), "statements 1 and 3 committed, 2 failed alone"
+		if mode == core.TxnSingle {
+			name, want, note = "single-txn", 1, "failure rolled back the whole macro"
+		}
+		if count != want {
+			return fmt.Errorf("E9: %s left %d rows, want %d", name, count, want)
+		}
+		fmt.Fprintf(w, "%-14s %-22d %s\n", name, count, note)
+	}
+	return nil
+}
+
+// gsqlProc is the URL query application in GSQL's proc-file language.
+const gsqlProc = `
+HEADING "URL Query (GSQL)"
+TEXT "Enter a search string."
+INPUT SEARCH text
+DATABASE BASEDB
+SQL SELECT url, title FROM urldb WHERE title LIKE '%$SEARCH%' ORDER BY title
+FIELDS url title
+`
+
+// E10 reproduces the Section 6 related-work comparison: the same URL
+// query application on DB2WWW, GSQL, WDB, and hand-coded CGI —
+// capability matrix, authored-artifact size, and per-request cost.
+func E10(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	db := sqldb.NewDatabase("BASEDB")
+	if err := workload.URLDB(db, cfg.Rows, cfg.Seed); err != nil {
+		return err
+	}
+	sqldriver.Register("BASEDB", db)
+	defer sqldriver.Unregister("BASEDB")
+
+	// DB2WWW: the Appendix A macro, retargeted at BASEDB.
+	macroSrc, err := os.ReadFile(filepath.Join(RepoRoot(), "testdata", "macros", "urlquery.d2w"))
+	if err != nil {
+		return err
+	}
+	macroText := strings.Replace(string(macroSrc), `DATABASE = "CELDIAL"`, `DATABASE = "BASEDB"`, 1)
+	macroDir, err := os.MkdirTemp("", "e10-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(macroDir)
+	if err := os.WriteFile(filepath.Join(macroDir, "urlquery.d2w"), []byte(macroText), 0o644); err != nil {
+		return err
+	}
+	db2wwwApp := &gateway.App{
+		MacroDir:    macroDir,
+		Engine:      &core.Engine{DB: gateway.NewSQLProvider()},
+		CacheMacros: true,
+	}
+
+	proc, err := gsql.ParseProc(gsqlProc)
+	if err != nil {
+		return err
+	}
+	fdf, err := wdb.GenerateFDF("BASEDB", "urldb")
+	if err != nil {
+		return err
+	}
+
+	systems := []struct {
+		name     string
+		handler  cgi.Handler
+		artifact string // the authored application artifact
+		authored bool   // false when machine-generated
+	}{
+		{"DB2WWW", db2wwwApp, macroText, true},
+		{"GSQL", &gsql.App{Proc: proc}, gsqlProc, true},
+		{"WDB", &wdb.App{FDF: fdf}, fdf.Marshal(), false},
+		{"raw CGI", &rawcgi.App{Database: "BASEDB"}, rawCGISource(), true},
+	}
+
+	section(w, "E10 / Section 6 — the same application on four systems")
+	fmt.Fprintf(w, "%-10s %14s %12s %12s\n", "system", "artifact lines", "authored?", "per-request")
+	for _, sys := range systems {
+		req := &cgi.Request{Method: "GET", PathInfo: "/urlquery.d2w/report",
+			QueryString: "SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title"}
+		// Sanity: one request must succeed and contain data.
+		resp, err := sys.handler.ServeCGI(req)
+		if err != nil || resp.Status != 200 {
+			return fmt.Errorf("E10: %s failed: %v (status %d)", sys.name, err, resp.Status)
+		}
+		start := time.Now()
+		for i := 0; i < cfg.Requests; i++ {
+			if _, err := sys.handler.ServeCGI(req); err != nil {
+				return fmt.Errorf("E10: %s: %v", sys.name, err)
+			}
+		}
+		per := time.Since(start) / time.Duration(cfg.Requests)
+		authored := "yes"
+		if !sys.authored {
+			authored = "generated"
+		}
+		fmt.Fprintf(w, "%-10s %14d %12s %12s\n",
+			sys.name, strings.Count(sys.artifact, "\n")+1, authored, per.Round(time.Microsecond))
+	}
+	fmt.Fprintln(w, "\ncapability matrix (the Section 6 comparison axes):")
+	fmt.Fprintf(w, "%-26s %-8s %-6s %-5s %-8s\n", "capability", "DB2WWW", "GSQL", "WDB", "raw CGI")
+	matrix := []struct {
+		cap                      string
+		db2www, gsqlC, wdbC, raw string
+	}{
+		{"custom form layout", "yes", "no", "no", "code"},
+		{"custom report layout", "yes", "no", "no", "code"},
+		{"conditional SQL clauses", "yes", "no", "fixed", "code"},
+		{"full SQL available", "yes", "partial", "no", "yes"},
+		{"no programming needed", "yes", "yes", "yes", "no"},
+		{"visual HTML/SQL tools", "yes", "no", "no", "no"},
+		{"new HTML w/o code change", "yes", "no", "no", "no"},
+	}
+	for _, r := range matrix {
+		fmt.Fprintf(w, "%-26s %-8s %-6s %-5s %-8s\n", r.cap, r.db2www, r.gsqlC, r.wdbC, r.raw)
+	}
+	return nil
+}
+
+// rawCGISource reads the raw-CGI baseline's Go source, the artifact a
+// developer maintains in that approach.
+func rawCGISource() string {
+	b, err := os.ReadFile(filepath.Join(RepoRoot(), "internal", "baseline", "rawcgi", "rawcgi.go"))
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Restyles returns three %SQL_REPORT blocks over the identical SQL
+// command: the E11 report-restyling experiment (paper Section 7's "full
+// power of HTML" claim).
+func Restyles() map[string]string {
+	reportBase := `
+%%define DATABASE = "RESTYLE"
+%%SQL{
+SELECT url, title FROM urldb ORDER BY title
+%s%%}
+%%HTML_REPORT{<TITLE>Restyle</TITLE>
+%%EXEC_SQL
+%%}
+`
+	styles := map[string]string{
+		// Default: no %SQL_REPORT block at all.
+		"default-table": fmt.Sprintf(reportBase, ""),
+		"bullet-list": fmt.Sprintf(reportBase, `%SQL_REPORT{
+<UL>
+%ROW{<LI><A HREF="$(V1)">$(V2)</A>
+%}
+</UL>
+%}
+`),
+		// An HTML 3.0 table with attributes a 1996 visual editor would
+		// emit — adopting the new HTML version without touching SQL.
+		"html3-table": fmt.Sprintf(reportBase, `%SQL_REPORT{
+<TABLE BORDER=2 CELLPADDING=4 WIDTH="100:">
+<CAPTION>URL catalogue ($(NLIST))</CAPTION>
+<TR><TH>#</TH><TH>$(N1)</TH><TH>$(N2)</TH></TR>
+%ROW{<TR><TD>$(ROW_NUM)</TD><TD><A HREF="$(V1)">$(V1)</A></TD><TD>$(V2)</TD></TR>
+%}
+</TABLE>
+<P>$(ROW_NUM) rows.</P>
+%}
+`),
+	}
+	return styles
+}
+
+// E11 reproduces the restyling claim: swapping the report block changes
+// the page but not the SQL, and the edit surface is the report block
+// alone.
+func E11(w io.Writer, cfg Config) error {
+	db := sqldb.NewDatabase("RESTYLE")
+	if err := workload.URLDB(db, 10, 5); err != nil {
+		return err
+	}
+	sqldriver.Register("RESTYLE", db)
+	defer sqldriver.Unregister("RESTYLE")
+
+	section(w, "E11 / Section 7 — report restyling without touching SQL or logic")
+	styles := Restyles()
+	fmt.Fprintf(w, "%-14s %12s %12s %s\n", "style", "macro bytes", "page bytes", "SQL command")
+	var sqlCmd string
+	for _, name := range []string{"default-table", "bullet-list", "html3-table"} {
+		src := styles[name]
+		m, err := core.Parse(name+".d2w", src)
+		if err != nil {
+			return fmt.Errorf("E11 %s: %w", name, err)
+		}
+		cmd := strings.Join(strings.Fields(m.SQLSections()[0].Command), " ")
+		if sqlCmd == "" {
+			sqlCmd = cmd
+		} else if cmd != sqlCmd {
+			return fmt.Errorf("E11: SQL diverged between styles: %q vs %q", cmd, sqlCmd)
+		}
+		eng := &core.Engine{DB: gateway.NewSQLProvider()}
+		var buf bytes.Buffer
+		if err := eng.Run(m, core.ModeReport, nil, &buf); err != nil {
+			return err
+		}
+		body := buf.String()
+		switch name {
+		case "default-table":
+			if !strings.Contains(body, "<TABLE BORDER=1>") {
+				return fmt.Errorf("E11: default table missing")
+			}
+		case "bullet-list":
+			if !strings.Contains(body, "<UL>") || !strings.Contains(body, "<LI><A HREF=") {
+				return fmt.Errorf("E11: bullet list missing")
+			}
+		case "html3-table":
+			if !strings.Contains(body, "CELLPADDING=4") || !strings.Contains(body, "<CAPTION>") {
+				return fmt.Errorf("E11: HTML3 markup missing")
+			}
+			if !strings.Contains(body, "10 rows.") {
+				return fmt.Errorf("E11: footer ROW_NUM wrong:\n%s", body)
+			}
+		}
+		fmt.Fprintf(w, "%-14s %12d %12d %s\n", name, len(src), len(body), "unchanged")
+	}
+	fmt.Fprintf(w, "shared SQL: %s\n", sqlCmd)
+	return nil
+}
+
+// E12 measures list-variable scaling: K repeated input values joined
+// into one clause (Sections 2.2 and 3.1.3).
+func E12(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	m, err := core.Parse("list.d2w", `
+%define{
+%list " OR " conds
+%}
+%HTML_INPUT{WHERE $(conds)%}
+`)
+	if err != nil {
+		return err
+	}
+	section(w, "E12 — list-variable scaling with input fan-out")
+	fmt.Fprintf(w, "%10s %14s %14s\n", "selections", "output bytes", "per expansion")
+	e := &core.Engine{}
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		in := cgi.NewForm()
+		for i := 0; i < k; i++ {
+			in.Add("conds", fmt.Sprintf("col%d = 'v%d'", i, i))
+		}
+		var buf bytes.Buffer
+		if err := e.Run(m, core.ModeInput, in, &buf); err != nil {
+			return err
+		}
+		outLen := buf.Len()
+		n := cfg.Requests
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			var b bytes.Buffer
+			if err := e.Run(m, core.ModeInput, in, &b); err != nil {
+				return err
+			}
+		}
+		per := time.Since(start) / time.Duration(n)
+		fmt.Fprintf(w, "%10d %14d %14s\n", k, outLen, per.Round(time.Nanosecond))
+	}
+	return nil
+}

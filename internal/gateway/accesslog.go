@@ -1,0 +1,173 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AccessLog is NCSA Common Log Format middleware plus an Apache-style
+// /server-status page — the observability a 1996 webmaster had. Wrap any
+// handler (typically the Handler of this package):
+//
+//	logged := gateway.NewAccessLog(h, logFile)
+//	http.ListenAndServe(addr, logged)
+type AccessLog struct {
+	next http.Handler
+	mu   sync.Mutex
+	out  io.Writer
+
+	// StatusPath serves the statistics page when non-empty.
+	// Defaults to "/server-status".
+	StatusPath string
+	// Now is the clock used for log timestamps (overridable for tests).
+	Now func() time.Time
+
+	started  time.Time
+	requests int64
+	bytes    int64
+	statuses map[int]int64
+	paths    map[string]int64
+}
+
+// NewAccessLog wraps next, writing one Common Log Format line per request
+// to out (nil discards the lines but still collects statistics).
+func NewAccessLog(next http.Handler, out io.Writer) *AccessLog {
+	return &AccessLog{
+		next:       next,
+		out:        out,
+		StatusPath: "/server-status",
+		Now:        time.Now,
+		started:    time.Now(),
+		statuses:   map[int]int64{},
+		paths:      map[string]int64{},
+	}
+}
+
+// countingWriter captures the status code and body size of a response.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	cw.status = code
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	n, err := cw.ResponseWriter.Write(p)
+	cw.bytes += int64(n)
+	return n, err
+}
+
+// ServeHTTP implements http.Handler.
+func (l *AccessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	statusPath := l.StatusPath
+	if statusPath == "" {
+		statusPath = "/server-status"
+	}
+	if r.URL.Path == statusPath {
+		l.serveStatus(w)
+		return
+	}
+	cw := &countingWriter{ResponseWriter: w}
+	l.next.ServeHTTP(cw, r)
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+
+	host := r.RemoteAddr
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	if host == "" {
+		host = "-"
+	}
+	user := "-"
+	if u, _, ok := r.BasicAuth(); ok && u != "" {
+		user = u
+	}
+	// NCSA Common Log Format:
+	// host ident authuser [date] "request" status bytes
+	line := fmt.Sprintf("%s - %s [%s] \"%s %s %s\" %d %d\n",
+		host, user, l.Now().Format("02/Jan/2006:15:04:05 -0700"),
+		r.Method, r.URL.RequestURI(), r.Proto, cw.status, cw.bytes)
+
+	l.mu.Lock()
+	l.requests++
+	l.bytes += cw.bytes
+	l.statuses[cw.status]++
+	l.paths[r.URL.Path]++
+	out := l.out
+	l.mu.Unlock()
+	if out != nil {
+		l.mu.Lock()
+		_, _ = io.WriteString(out, line)
+		l.mu.Unlock()
+	}
+}
+
+// Stats returns the counters collected so far.
+func (l *AccessLog) Stats() (requests, bytes int64, statuses map[int]int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	statuses = make(map[int]int64, len(l.statuses))
+	for k, v := range l.statuses {
+		statuses[k] = v
+	}
+	return l.requests, l.bytes, statuses
+}
+
+// serveStatus renders the statistics page.
+func (l *AccessLog) serveStatus(w http.ResponseWriter) {
+	l.mu.Lock()
+	uptime := time.Since(l.started).Round(time.Second)
+	requests, bytes := l.requests, l.bytes
+	type kv struct {
+		k string
+		v int64
+	}
+	var statuses []kv
+	for code, n := range l.statuses {
+		statuses = append(statuses, kv{fmt.Sprintf("%d", code), n})
+	}
+	var paths []kv
+	for p, n := range l.paths {
+		paths = append(paths, kv{p, n})
+	}
+	l.mu.Unlock()
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i].k < statuses[j].k })
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].v != paths[j].v {
+			return paths[i].v > paths[j].v
+		}
+		return paths[i].k < paths[j].k
+	})
+	if len(paths) > 20 {
+		paths = paths[:20]
+	}
+
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w, "<HTML><HEAD><TITLE>Server Status</TITLE></HEAD><BODY>\n")
+	fmt.Fprintf(w, "<H1>gatewayd status</H1>\n")
+	fmt.Fprintf(w, "<P>Uptime: %s<BR>Total accesses: %d<BR>Total traffic: %d bytes</P>\n",
+		uptime, requests, bytes)
+	fmt.Fprintf(w, "<H2>Responses by status</H2>\n<UL>\n")
+	for _, s := range statuses {
+		fmt.Fprintf(w, "<LI>%s: %d\n", s.k, s.v)
+	}
+	fmt.Fprintf(w, "</UL>\n<H2>Busiest URLs</H2>\n<OL>\n")
+	for _, p := range paths {
+		fmt.Fprintf(w, "<LI>%s (%d)\n", p.k, p.v)
+	}
+	fmt.Fprintf(w, "</OL>\n</BODY></HTML>\n")
+}

@@ -1,0 +1,137 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"db2www/internal/webclient"
+)
+
+func fixedClock() time.Time {
+	return time.Date(1996, time.June, 4, 10, 30, 0, 0, time.UTC)
+}
+
+func okHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/page", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, "<P>twelve bytes</P>") // 19 bytes
+	})
+	mux.HandleFunc("/missing", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	return mux
+}
+
+func TestAccessLogCommonLogFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(okHandler(), &buf)
+	l.Now = fixedClock
+	c := &webclient.Client{Handler: l}
+	if _, err := c.Get("http://u:pw@host/page?q=1"); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	// host ident authuser [date] "request" status bytes
+	want := `- - u [04/Jun/1996:10:30:00 +0000] "GET /page?q=1 HTTP/1.1" 200 19`
+	if line != want {
+		t.Fatalf("log line:\n got %q\nwant %q", line, want)
+	}
+}
+
+func TestAccessLogCountsStatuses(t *testing.T) {
+	l := NewAccessLog(okHandler(), nil)
+	l.Now = fixedClock
+	c := &webclient.Client{Handler: l}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get("http://host/page"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get("http://host/missing"); err != nil {
+		t.Fatal(err)
+	}
+	requests, bytesOut, statuses := l.Stats()
+	if requests != 4 {
+		t.Fatalf("requests = %d", requests)
+	}
+	if statuses[200] != 3 || statuses[404] != 1 {
+		t.Fatalf("statuses = %v", statuses)
+	}
+	if bytesOut < 3*19 {
+		t.Fatalf("bytes = %d", bytesOut)
+	}
+}
+
+func TestServerStatusPage(t *testing.T) {
+	l := NewAccessLog(okHandler(), nil)
+	c := &webclient.Client{Handler: l}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get("http://host/page"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, err := c.Get("http://host/server-status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Title() != "Server Status" {
+		t.Fatalf("title = %q", page.Title())
+	}
+	for _, want := range []string{"Total accesses: 5", "200: 5", "/page (5)"} {
+		if !strings.Contains(page.Body, want) {
+			t.Errorf("status page missing %q:\n%s", want, page.Body)
+		}
+	}
+	// The status page itself is not logged as an access.
+	requests, _, _ := l.Stats()
+	if requests != 5 {
+		t.Fatalf("status page counted as access: %d", requests)
+	}
+}
+
+func TestAccessLogConcurrentSafe(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(okHandler(), &buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &webclient.Client{Handler: l}
+			for j := 0; j < 25; j++ {
+				if _, err := c.Get("http://host/page"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	requests, _, _ := l.Stats()
+	if requests != 200 {
+		t.Fatalf("requests = %d, want 200", requests)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 200 {
+		t.Fatalf("log lines = %d, want 200", n)
+	}
+}
+
+func TestAccessLogWithGateway(t *testing.T) {
+	h, _ := newTestStack(t)
+	var buf bytes.Buffer
+	l := NewAccessLog(h, &buf)
+	c := &webclient.Client{Handler: l}
+	page, err := c.Get("http://host/cgi-bin/db2www/urlquery.d2w/input")
+	if err != nil || page.Status != 200 {
+		t.Fatalf("status %d err %v", page.Status, err)
+	}
+	if !strings.Contains(buf.String(), `"GET /cgi-bin/db2www/urlquery.d2w/input HTTP/1.1" 200`) {
+		t.Fatalf("log = %q", buf.String())
+	}
+}

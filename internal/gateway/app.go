@@ -1,0 +1,151 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"db2www/internal/cgi"
+	"db2www/internal/core"
+)
+
+// App is the DB2WWW CGI application: given a CGI request whose PATH_INFO
+// names a macro file and a command (input or report), it loads the macro
+// and runs the engine, producing the CGI response. The same App backs the
+// in-process gateway, the cmd/db2www executable, and the benchmarks.
+type App struct {
+	// MacroDir is the root directory containing macro files. PATH_INFO
+	// macro names resolve strictly inside it.
+	MacroDir string
+	// Engine processes macros. Required.
+	Engine *core.Engine
+	// CacheMacros enables the parsed-macro cache (keyed by path and
+	// mtime). Off, every request re-reads and re-parses the file — the
+	// faithful CGI process model; the A2 ablation measures the delta.
+	CacheMacros bool
+
+	mu    sync.Mutex
+	cache map[string]cachedMacro
+}
+
+type cachedMacro struct {
+	mtime int64
+	size  int64
+	macro *core.Macro
+}
+
+// ServeCGI implements cgi.Handler.
+func (a *App) ServeCGI(req *cgi.Request) (*cgi.Response, error) {
+	macroName, cmdName, err := cgi.SplitPathInfo(req.PathInfo)
+	if err != nil {
+		return errorPage(400, "Bad request", err.Error()), nil
+	}
+	mode, err := core.ParseMode(cmdName)
+	if err != nil {
+		return errorPage(400, "Bad request", err.Error()), nil
+	}
+	m, status, err := a.loadMacro(macroName)
+	if err != nil {
+		if status == 404 {
+			return errorPage(404, "Macro not found", err.Error()), nil
+		}
+		return errorPage(500, "Macro error", err.Error()), nil
+	}
+	inputs, err := req.Inputs()
+	if err != nil {
+		return errorPage(400, "Bad request", err.Error()), nil
+	}
+	var buf bytes.Buffer
+	if err := a.Engine.Run(m, mode, inputs, &buf); err != nil {
+		return errorPage(500, "Macro processing failed", err.Error()), nil
+	}
+	return &cgi.Response{
+		Status:      200,
+		ContentType: "text/html",
+		Headers:     map[string]string{"content-type": "text/html"},
+		Body:        buf.String(),
+	}, nil
+}
+
+// loadMacro resolves, reads, and parses a macro file, refusing any path
+// that escapes MacroDir (Section 5's security posture: the gateway must
+// not become a file oracle).
+func (a *App) loadMacro(name string) (*core.Macro, int, error) {
+	clean := path.Clean("/" + name)
+	if clean == "/" {
+		return nil, 404, fmt.Errorf("empty macro name")
+	}
+	rel := clean[1:]
+	if strings.Contains(rel, "..") {
+		return nil, 404, fmt.Errorf("macro name %q escapes the macro directory", name)
+	}
+	full := filepath.Join(a.MacroDir, filepath.FromSlash(rel))
+	st, err := os.Stat(full)
+	if err != nil || st.IsDir() {
+		return nil, 404, fmt.Errorf("no such macro %q", name)
+	}
+	if a.CacheMacros {
+		a.mu.Lock()
+		if c, ok := a.cache[full]; ok && c.mtime == st.ModTime().UnixNano() && c.size == st.Size() {
+			a.mu.Unlock()
+			return c.macro, 200, nil
+		}
+		a.mu.Unlock()
+	}
+	src, err := os.ReadFile(full)
+	if err != nil {
+		return nil, 404, fmt.Errorf("cannot read macro %q: %v", name, err)
+	}
+	m, err := core.ParseWithIncludes(rel, string(src), a.includeResolver())
+	if err != nil {
+		return nil, 500, err
+	}
+	if a.CacheMacros {
+		a.mu.Lock()
+		if a.cache == nil {
+			a.cache = map[string]cachedMacro{}
+		}
+		a.cache[full] = cachedMacro{mtime: st.ModTime().UnixNano(), size: st.Size(), macro: m}
+		a.mu.Unlock()
+	}
+	return m, 200, nil
+}
+
+// includeResolver loads %INCLUDE targets from inside MacroDir, with the
+// same traversal protection as top-level macro names.
+func (a *App) includeResolver() core.IncludeResolver {
+	return func(name string) (string, error) {
+		clean := path.Clean("/" + name)
+		rel := clean[1:]
+		if rel == "" || strings.Contains(rel, "..") {
+			return "", fmt.Errorf("include %q escapes the macro directory", name)
+		}
+		src, err := os.ReadFile(filepath.Join(a.MacroDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return "", err
+		}
+		return string(src), nil
+	}
+}
+
+// errorPage builds a minimal 1996-style error document.
+func errorPage(status int, title, detail string) *cgi.Response {
+	body := fmt.Sprintf(
+		"<HTML><HEAD><TITLE>%s</TITLE></HEAD>\n<BODY><H1>%s</H1>\n<P>%s</P>\n</BODY></HTML>\n",
+		title, title, htmlEscape(detail))
+	return &cgi.Response{
+		Status:      status,
+		ContentType: "text/html",
+		Headers:     map[string]string{"content-type": "text/html"},
+		Body:        body,
+	}
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

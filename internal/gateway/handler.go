@@ -1,0 +1,149 @@
+package gateway
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"db2www/internal/cgi"
+)
+
+// Handler is the Web-server half of Figure 4: it serves static documents
+// and routes /cgi-bin/{program}/{macro}/{cmd} URLs to a CGI application —
+// in-process through App, or as a real subprocess when CGIProgram is set.
+type Handler struct {
+	// App handles CGI requests in-process. Required unless CGIProgram is
+	// set.
+	App cgi.Handler
+	// ScriptName is the URL prefix that triggers CGI dispatch.
+	// Defaults to "/cgi-bin/db2www".
+	ScriptName string
+	// DocRoot, when non-empty, serves static files for non-CGI paths
+	// (an organisation's ordinary home pages).
+	DocRoot string
+	// Authenticate, when non-nil, guards CGI paths with HTTP basic
+	// authentication (Section 5: DB2WWW delegates security to the web
+	// server and DBMS).
+	Authenticate func(user, password string) bool
+	// Realm is the basic-auth realm. Defaults to "DB2WWW".
+	Realm string
+
+	// CGIProgram, when non-empty, is the path of a CGI executable to
+	// fork/exec per request instead of calling App — the true CGI
+	// process model. CGIEnv is appended to its environment and
+	// CGITimeout bounds each invocation (default 30s).
+	CGIProgram string
+	CGIArgs    []string
+	CGIEnv     []string
+	CGITimeout time.Duration
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	script := h.ScriptName
+	if script == "" {
+		script = "/cgi-bin/db2www"
+	}
+	if r.URL.Path == script || strings.HasPrefix(r.URL.Path, script+"/") ||
+		strings.HasPrefix(r.URL.Path, script+".exe/") {
+		h.serveCGI(w, r, script)
+		return
+	}
+	if h.DocRoot != "" {
+		http.FileServer(http.Dir(h.DocRoot)).ServeHTTP(w, r)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+func (h *Handler) serveCGI(w http.ResponseWriter, r *http.Request, script string) {
+	if h.Authenticate != nil {
+		user, pass, ok := r.BasicAuth()
+		if !ok || !h.Authenticate(user, pass) {
+			realm := h.Realm
+			if realm == "" {
+				realm = "DB2WWW"
+			}
+			w.Header().Set("WWW-Authenticate", fmt.Sprintf("Basic realm=%q", realm))
+			http.Error(w, "authorization required", http.StatusUnauthorized)
+			return
+		}
+	}
+	pathInfo := strings.TrimPrefix(r.URL.Path, script+".exe")
+	if pathInfo == r.URL.Path {
+		pathInfo = strings.TrimPrefix(r.URL.Path, script)
+	}
+	req, err := h.buildRequest(r, script, pathInfo)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var resp *cgi.Response
+	if h.CGIProgram != "" {
+		timeout := h.CGITimeout
+		if timeout == 0 {
+			timeout = 30 * time.Second
+		}
+		resp, err = cgi.InvokeProcess(h.CGIProgram, h.CGIArgs, req, h.CGIEnv, timeout)
+	} else if h.App != nil {
+		resp, err = h.App.ServeCGI(req)
+	} else {
+		err = fmt.Errorf("gateway: no CGI application configured")
+	}
+	if err != nil {
+		http.Error(w, "CGI failure: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", resp.ContentType)
+	w.WriteHeader(resp.Status)
+	_, _ = io.WriteString(w, resp.Body)
+}
+
+// buildRequest translates an HTTP request into the CGI request contract.
+func (h *Handler) buildRequest(r *http.Request, script, pathInfo string) (*cgi.Request, error) {
+	req := &cgi.Request{
+		Method:      r.Method,
+		ScriptName:  script,
+		PathInfo:    pathInfo,
+		QueryString: r.URL.RawQuery,
+		ContentType: r.Header.Get("Content-Type"),
+	}
+	if host, port, err := net.SplitHostPort(r.Host); err == nil {
+		req.ServerName = host
+		if n, err := strconv.Atoi(port); err == nil {
+			req.ServerPort = n
+		}
+	} else {
+		req.ServerName = r.Host
+		req.ServerPort = 80
+	}
+	req.RemoteAddr = r.RemoteAddr
+	if user, _, ok := r.BasicAuth(); ok {
+		req.AuthUser = user
+	}
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return nil, fmt.Errorf("reading request body: %w", err)
+		}
+		req.Body = string(body)
+	}
+	return req, nil
+}
+
+// BasicAuthUsers builds an Authenticate callback from a fixed user table.
+// Comparison is constant-time.
+func BasicAuthUsers(users map[string]string) func(user, password string) bool {
+	return func(user, password string) bool {
+		want, ok := users[user]
+		if !ok {
+			return false
+		}
+		return subtle.ConstantTimeCompare([]byte(want), []byte(password)) == 1
+	}
+}

@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"db2www/internal/cgi"
+)
+
+func TestAppResolvesIncludes(t *testing.T) {
+	_, app := newTestStack(t)
+	if err := os.WriteFile(filepath.Join(app.MacroDir, "site.d2i"),
+		[]byte(`%define SITE = "Celdial Web"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(app.MacroDir, "with_include.d2w"),
+		[]byte("%INCLUDE \"site.d2i\"\n%HTML_INPUT{<H1>$(SITE)</H1>%}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := app.ServeCGI(&cgi.Request{Method: "GET", PathInfo: "/with_include.d2w/input"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(resp.Body, "<H1>Celdial Web</H1>") {
+		t.Fatalf("resp = %d %q", resp.Status, resp.Body)
+	}
+}
+
+func TestAppIncludeSubdirectory(t *testing.T) {
+	_, app := newTestStack(t)
+	if err := os.MkdirAll(filepath.Join(app.MacroDir, "shared"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(app.MacroDir, "shared", "footer.d2i"),
+		[]byte(`%define FOOTER = "(c) 1996"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(app.MacroDir, "page.d2w"),
+		[]byte("%INCLUDE \"shared/footer.d2i\"\n%HTML_INPUT{$(FOOTER)%}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := app.ServeCGI(&cgi.Request{Method: "GET", PathInfo: "/page.d2w/input"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Body, "(c) 1996") {
+		t.Fatalf("resp = %q", resp.Body)
+	}
+}
+
+func TestAppIncludeTraversalBlocked(t *testing.T) {
+	_, app := newTestStack(t)
+	outside := filepath.Join(filepath.Dir(app.MacroDir), "leak.d2i")
+	if err := os.WriteFile(outside, []byte(`%define SECRET = "leaked"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(outside)
+	if err := os.WriteFile(filepath.Join(app.MacroDir, "evil.d2w"),
+		[]byte("%INCLUDE \"../leak.d2i\"\n%HTML_INPUT{$(SECRET)%}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := app.ServeCGI(&cgi.Request{Method: "GET", PathInfo: "/evil.d2w/input"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status == 200 && strings.Contains(resp.Body, "leaked") {
+		t.Fatalf("include traversal leaked content:\n%s", resp.Body)
+	}
+}
+
+func TestAppIncludeMissingIs500(t *testing.T) {
+	_, app := newTestStack(t)
+	if err := os.WriteFile(filepath.Join(app.MacroDir, "broken.d2w"),
+		[]byte("%INCLUDE \"gone.d2i\"\n%HTML_INPUT{x%}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := app.ServeCGI(&cgi.Request{Method: "GET", PathInfo: "/broken.d2w/input"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 500 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}

@@ -1,0 +1,352 @@
+package htmlutil
+
+import (
+	"fmt"
+	"strings"
+
+	"db2www/internal/cgi"
+)
+
+// Form models one parsed <FORM> element: where it submits, how, and its
+// controls. It is the client-side object a browser builds from Figure 2's
+// markup and the user manipulates to produce Figure 3's submission.
+type Form struct {
+	Method   string // "GET" or "POST" (upper-cased; default GET)
+	Action   string
+	Controls []*Control
+}
+
+// ControlKind is the kind of form control.
+type ControlKind int
+
+// Control kinds.
+const (
+	CtlText ControlKind = iota
+	CtlHidden
+	CtlPassword
+	CtlCheckbox
+	CtlRadio
+	CtlSelect
+	CtlTextarea
+	CtlSubmit
+	CtlReset
+)
+
+// Control is one INPUT/SELECT/TEXTAREA element.
+type Control struct {
+	Kind     ControlKind
+	Name     string
+	Value    string   // current value (text/hidden/checkbox/radio value)
+	Checked  bool     // checkbox/radio state
+	Multiple bool     // SELECT MULTIPLE
+	Options  []Option // for SELECT
+}
+
+// Option is one OPTION inside a SELECT.
+type Option struct {
+	Value    string
+	Label    string
+	Selected bool
+}
+
+// ParseForms extracts every form from an HTML page.
+func ParseForms(src string) []*Form {
+	toks := Tokenize(src)
+	var forms []*Form
+	var cur *Form
+	var sel *Control // open SELECT
+	var opt *Option  // open OPTION (label accumulates)
+	var ta *Control  // open TEXTAREA
+	var taText strings.Builder
+
+	closeOption := func() {
+		if sel != nil && opt != nil {
+			if opt.Value == "" {
+				opt.Value = strings.TrimSpace(opt.Label)
+			}
+			sel.Options = append(sel.Options, *opt)
+			opt = nil
+		}
+	}
+	for _, t := range toks {
+		switch t.Kind {
+		case TokText:
+			if opt != nil {
+				opt.Label += t.Text
+			}
+			if ta != nil {
+				taText.WriteString(t.Text)
+			}
+		case TokStart:
+			switch t.Tag {
+			case "form":
+				cur = &Form{Method: "GET"}
+				if m, ok := t.Attr("method"); ok && m != "" {
+					cur.Method = strings.ToUpper(m)
+				}
+				cur.Action, _ = t.Attr("action")
+				forms = append(forms, cur)
+			case "input":
+				if cur == nil {
+					continue
+				}
+				ctl := &Control{}
+				typ, _ := t.Attr("type")
+				switch strings.ToLower(typ) {
+				case "", "text":
+					ctl.Kind = CtlText
+				case "hidden":
+					ctl.Kind = CtlHidden
+				case "password":
+					ctl.Kind = CtlPassword
+				case "checkbox":
+					ctl.Kind = CtlCheckbox
+				case "radio":
+					ctl.Kind = CtlRadio
+				case "submit":
+					ctl.Kind = CtlSubmit
+				case "reset":
+					ctl.Kind = CtlReset
+				default:
+					ctl.Kind = CtlText
+				}
+				ctl.Name, _ = t.Attr("name")
+				ctl.Value, _ = t.Attr("value")
+				if ctl.Kind == CtlCheckbox || ctl.Kind == CtlRadio {
+					ctl.Checked = t.HasAttr("checked")
+					if _, hasVal := t.Attr("value"); !hasVal {
+						ctl.Value = "on"
+					}
+				}
+				cur.Controls = append(cur.Controls, ctl)
+			case "select":
+				if cur == nil {
+					continue
+				}
+				closeOption()
+				sel = &Control{Kind: CtlSelect}
+				sel.Name, _ = t.Attr("name")
+				sel.Multiple = t.HasAttr("multiple")
+				cur.Controls = append(cur.Controls, sel)
+			case "option":
+				if sel == nil {
+					continue
+				}
+				closeOption()
+				o := Option{Selected: t.HasAttr("selected")}
+				o.Value, _ = t.Attr("value")
+				opt = &o
+			case "textarea":
+				if cur == nil {
+					continue
+				}
+				ta = &Control{Kind: CtlTextarea}
+				ta.Name, _ = t.Attr("name")
+				taText.Reset()
+			}
+		case TokEnd:
+			switch t.Tag {
+			case "form":
+				closeOption()
+				finishSelect(sel)
+				sel, cur = nil, nil
+			case "select":
+				closeOption()
+				finishSelect(sel)
+				sel = nil
+			case "option":
+				closeOption()
+			case "textarea":
+				if ta != nil {
+					ta.Value = taText.String()
+					if cur != nil {
+						cur.Controls = append(cur.Controls, ta)
+					}
+					ta = nil
+				}
+			}
+		}
+	}
+	closeOption()
+	finishSelect(sel)
+	return forms
+}
+
+// finishSelect applies the period browsers' defaulting rule: a
+// single-choice SELECT with no SELECTED option submits its first option
+// (Netscape/Mosaic behaviour; MULTIPLE selects submit nothing).
+func finishSelect(sel *Control) {
+	if sel == nil || sel.Multiple || len(sel.Options) == 0 {
+		return
+	}
+	for _, o := range sel.Options {
+		if o.Selected {
+			return
+		}
+	}
+	sel.Options[0].Selected = true
+}
+
+// Control returns the first control with the given name, or nil.
+func (f *Form) Control(name string) *Control {
+	for _, c := range f.Controls {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ControlsNamed returns every control with the given name (radio groups
+// and checkbox groups share a name).
+func (f *Form) ControlsNamed(name string) []*Control {
+	var out []*Control
+	for _, c := range f.Controls {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SetText sets the value of a text, hidden, password, or textarea control.
+func (f *Form) SetText(name, value string) error {
+	for _, c := range f.ControlsNamed(name) {
+		switch c.Kind {
+		case CtlText, CtlHidden, CtlPassword, CtlTextarea:
+			c.Value = value
+			return nil
+		}
+	}
+	return fmt.Errorf("htmlutil: form has no text control named %q", name)
+}
+
+// SetCheckbox checks or unchecks a checkbox by name (the first one when a
+// group shares the name).
+func (f *Form) SetCheckbox(name string, checked bool) error {
+	for _, c := range f.ControlsNamed(name) {
+		if c.Kind == CtlCheckbox {
+			c.Checked = checked
+			return nil
+		}
+	}
+	return fmt.Errorf("htmlutil: form has no checkbox named %q", name)
+}
+
+// ChooseRadio selects the radio button with the given name and value,
+// unchecking its group mates.
+func (f *Form) ChooseRadio(name, value string) error {
+	group := f.ControlsNamed(name)
+	found := false
+	for _, c := range group {
+		if c.Kind != CtlRadio {
+			continue
+		}
+		if c.Value == value {
+			c.Checked = true
+			found = true
+		} else {
+			c.Checked = false
+		}
+	}
+	if !found {
+		return fmt.Errorf("htmlutil: no radio %q with value %q", name, value)
+	}
+	return nil
+}
+
+// SelectOptions sets the selection of a SELECT control to exactly the
+// given option values.
+func (f *Form) SelectOptions(name string, values ...string) error {
+	for _, c := range f.ControlsNamed(name) {
+		if c.Kind != CtlSelect {
+			continue
+		}
+		want := map[string]bool{}
+		for _, v := range values {
+			want[v] = true
+		}
+		matched := 0
+		for i := range c.Options {
+			sel := want[c.Options[i].Value]
+			c.Options[i].Selected = sel
+			if sel {
+				matched++
+			}
+		}
+		if matched != len(want) {
+			return fmt.Errorf("htmlutil: select %q lacks some of the options %v", name, values)
+		}
+		if !c.Multiple && matched > 1 {
+			return fmt.Errorf("htmlutil: select %q is single-choice", name)
+		}
+		return nil
+	}
+	return fmt.Errorf("htmlutil: form has no select named %q", name)
+}
+
+// Submission computes the name=value pairs the browser sends when the
+// form is submitted (HTML 2.0 rules): text-like controls always
+// contribute; checkboxes and radios only when checked; selects contribute
+// each selected option; submit/reset buttons do not contribute.
+// Successful controls appear in document order — multiple selections of a
+// SELECT MULTIPLE become repeated pairs, the paper's list-valued
+// variables.
+func (f *Form) Submission() *cgi.Form {
+	out := cgi.NewForm()
+	for _, c := range f.Controls {
+		if c.Name == "" {
+			continue
+		}
+		switch c.Kind {
+		case CtlText, CtlHidden, CtlPassword, CtlTextarea:
+			out.Add(c.Name, c.Value)
+		case CtlCheckbox, CtlRadio:
+			if c.Checked {
+				out.Add(c.Name, c.Value)
+			}
+		case CtlSelect:
+			for _, o := range c.Options {
+				if o.Selected {
+					out.Add(c.Name, o.Value)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Links extracts the HREF targets of every <A> tag in the page, in
+// document order — the hyperlinks a user can click to continue the
+// application (paper step 4).
+func Links(src string) []string {
+	var out []string
+	for _, t := range Tokenize(src) {
+		if t.Kind == TokStart && t.Tag == "a" {
+			if href, ok := t.Attr("href"); ok && href != "" {
+				out = append(out, href)
+			}
+		}
+	}
+	return out
+}
+
+// Title returns the contents of the page's <TITLE> element.
+func Title(src string) string {
+	toks := Tokenize(src)
+	for i, t := range toks {
+		if t.Kind == TokStart && t.Tag == "title" {
+			var sb strings.Builder
+			for _, u := range toks[i+1:] {
+				if u.Kind == TokEnd && u.Tag == "title" {
+					break
+				}
+				if u.Kind == TokText {
+					sb.WriteString(u.Text)
+				}
+			}
+			return strings.TrimSpace(sb.String())
+		}
+	}
+	return ""
+}

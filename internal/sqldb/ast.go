@@ -1,0 +1,344 @@
+package sqldb
+
+// This file defines the abstract syntax tree produced by the parser and
+// consumed by the executor. Statements and expressions are deliberately
+// plain structs: the engine compiles nothing, it interprets the tree, which
+// matches the fully dynamic SQL model of the CGI era (every request builds
+// a fresh statement string by variable substitution).
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// Expr is any parsed SQL expression.
+type Expr interface{ expr() }
+
+// --- Statements ---
+
+// SelectStmt is a SELECT query, possibly the head of a UNION chain.
+// When Unions is non-empty, OrderBy/Limit/Offset belong to the whole
+// chain and order by output column name or ordinal.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem // empty means bare `SELECT *`
+	Star     bool         // true when the item list is exactly *
+	From     []TableRef   // comma-joined table references
+	Where    Expr         // nil when absent
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr // nil when absent
+	Unions   []UnionPart
+}
+
+// UnionPart is one UNION [ALL] arm after the head SELECT.
+type UnionPart struct {
+	All bool
+	Sel *SelectStmt
+}
+
+// SelectItem is one projected expression with an optional alias, or a
+// qualified star (alias.*).
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	TableStar string // "t" for t.*; Expr is nil in that case
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// JoinKind distinguishes the supported join types.
+type JoinKind int
+
+// Supported join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// TableRef is a base table or derived table (parenthesised SELECT, which
+// requires an alias) with a chain of explicit joins hanging off it.
+type TableRef struct {
+	Table string
+	Sub   *SelectStmt // derived table; Table is then empty
+	Alias string
+	Joins []JoinClause
+}
+
+// JoinClause is one explicit JOIN ... ON attached to a TableRef.
+type JoinClause struct {
+	Kind  JoinKind
+	Table string
+	Sub   *SelectStmt // derived table join target
+	Alias string
+	On    Expr // nil for CROSS JOIN
+}
+
+// InsertStmt is an INSERT statement with one or more VALUES rows.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means full column list in table order
+	Rows    [][]Expr
+}
+
+// UpdateStmt is an UPDATE statement.
+type UpdateStmt struct {
+	Table string
+	Alias string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is a DELETE statement.
+type DeleteStmt struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+// CreateTableStmt creates a table.
+type CreateTableStmt struct {
+	Table       string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       Type
+	NotNull    bool
+	PrimaryKey bool
+	Default    Expr // nil when absent
+}
+
+// AlterTableStmt alters a table: exactly one of AddColumn, DropColumn,
+// or RenameTo is set.
+type AlterTableStmt struct {
+	Table      string
+	AddColumn  *ColumnDef
+	DropColumn string
+	RenameTo   string
+}
+
+// DropTableStmt drops a table.
+type DropTableStmt struct {
+	Table    string
+	IfExists bool
+}
+
+// CreateIndexStmt creates a secondary index on one column.
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+// DropIndexStmt drops an index.
+type DropIndexStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// BeginStmt starts an explicit transaction.
+type BeginStmt struct{}
+
+// CommitStmt commits the current transaction.
+type CommitStmt struct{}
+
+// RollbackStmt rolls back the current transaction.
+type RollbackStmt struct{}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*AlterTableStmt) stmt()  {}
+func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropIndexStmt) stmt()   {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+
+// --- Expressions ---
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+	// resolved slot index into the executor's row layout; set by bind.
+	slot int
+}
+
+// Param is a positional ? parameter (1-based Index).
+type Param struct{ Index int }
+
+// Unary is a prefix operator: - (negate) or NOT.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operator: arithmetic, comparison, AND/OR, ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// LikeExpr is [NOT] LIKE with an optional ESCAPE character.
+type LikeExpr struct {
+	Not     bool
+	X       Expr
+	Pattern Expr
+	Escape  Expr // nil means no escape character
+}
+
+// BetweenExpr is [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Not    bool
+	X      Expr
+	Lo, Hi Expr
+}
+
+// InExpr is [NOT] IN (value list) or [NOT] IN (subquery).
+type InExpr struct {
+	Not  bool
+	X    Expr
+	List []Expr
+	Sub  *Subquery // non-nil for the subquery form; List is then empty
+}
+
+// Subquery is a parenthesised SELECT used as an expression: scalar
+// (single column, at most one row), as the right side of IN, or under
+// EXISTS. Subqueries are uncorrelated: they cannot reference columns of
+// the enclosing query; they are evaluated once per statement execution
+// (the result is cached in the evaluation environment).
+type Subquery struct {
+	Sel *SelectStmt
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Not bool
+	Sub *Subquery
+}
+
+// IsNullExpr is IS [NOT] NULL.
+type IsNullExpr struct {
+	Not bool
+	X   Expr
+}
+
+// FuncCall is a scalar or aggregate function call. Star is true for
+// COUNT(*). Distinct is true for COUNT(DISTINCT x) style calls.
+type FuncCall struct {
+	Name     string // upper-cased
+	Star     bool
+	Distinct bool
+	Args     []Expr
+	// aggregate slot assigned during grouping; -1 for scalar calls.
+	aggSlot int
+}
+
+// CaseExpr is a searched or simple CASE expression.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr // nil when absent
+}
+
+// CaseWhen is one WHEN ... THEN ... arm.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	X  Expr
+	To Type
+}
+
+func (*Literal) expr()     {}
+func (*ColumnRef) expr()   {}
+func (*Param) expr()       {}
+func (*Unary) expr()       {}
+func (*Binary) expr()      {}
+func (*LikeExpr) expr()    {}
+func (*BetweenExpr) expr() {}
+func (*InExpr) expr()      {}
+func (*IsNullExpr) expr()  {}
+func (*FuncCall) expr()    {}
+func (*CaseExpr) expr()    {}
+func (*CastExpr) expr()    {}
+func (*Subquery) expr()    {}
+func (*ExistsExpr) expr()  {}
+
+// walkExpr visits e and every sub-expression depth-first. The visitor
+// returns false to prune the subtree.
+func walkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Unary:
+		walkExpr(x.X, fn)
+	case *Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *LikeExpr:
+		walkExpr(x.X, fn)
+		walkExpr(x.Pattern, fn)
+		walkExpr(x.Escape, fn)
+	case *BetweenExpr:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *InExpr:
+		walkExpr(x.X, fn)
+		for _, it := range x.List {
+			walkExpr(it, fn)
+		}
+		if x.Sub != nil {
+			walkExpr(x.Sub, fn)
+		}
+	case *IsNullExpr:
+		walkExpr(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *CaseExpr:
+		walkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Then, fn)
+		}
+		walkExpr(x.Else, fn)
+	case *CastExpr:
+		walkExpr(x.X, fn)
+	case *Subquery:
+		// Subqueries are closed scopes: the walk visits the node itself
+		// (fn already ran) but not the inner statement, whose
+		// expressions bind against the subquery's own FROM.
+	case *ExistsExpr:
+		walkExpr(x.Sub, fn)
+	}
+}

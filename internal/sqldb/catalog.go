@@ -1,0 +1,235 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name       string
+	Type       Type
+	NotNull    bool
+	PrimaryKey bool
+	Default    Value // Null when no default
+	HasDefault bool
+}
+
+// storedRow is one physical row. Row IDs are unique per table for the
+// table's lifetime and never reused, which keeps index posting lists and
+// the undo log unambiguous.
+type storedRow struct {
+	id   int64
+	vals []Value
+}
+
+// Table is an in-memory heap of rows plus its secondary indexes.
+type Table struct {
+	Name    string
+	Columns []Column
+	rows    []*storedRow
+	byID    map[int64]*storedRow
+	nextID  int64
+	indexes []*Index
+}
+
+// Index is a single-column secondary index backed by a B-tree. NULL keys
+// are kept out of the tree (and out of uniqueness checking, per SQL).
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+	colPos int
+	tree   *btree
+	nulls  map[int64]struct{}
+}
+
+// colIndex returns the position of name in the table's columns, or -1.
+// Column name matching is case-insensitive, as in SQL.
+func (t *Table) colIndex(name string) int {
+	for i := range t.Columns {
+		if strings.EqualFold(t.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the declared column names in order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i := range t.Columns {
+		names[i] = t.Columns[i].Name
+	}
+	return names
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// insertRow appends a fully-coerced row, maintaining indexes. It returns
+// the new row ID.
+func (t *Table) insertRow(vals []Value) (int64, error) {
+	// Uniqueness checks first so a violation leaves no trace.
+	for _, idx := range t.indexes {
+		if !idx.Unique {
+			continue
+		}
+		key := vals[idx.colPos]
+		if key.IsNull() {
+			continue
+		}
+		if post := idx.tree.lookup(key); len(post) > 0 {
+			return 0, &Error{Code: CodeUniqueViolation,
+				Message: fmt.Sprintf("duplicate key value %q violates unique index %q",
+					key.String(), idx.Name)}
+		}
+	}
+	t.nextID++
+	row := &storedRow{id: t.nextID, vals: vals}
+	t.rows = append(t.rows, row)
+	t.byID[row.id] = row
+	for _, idx := range t.indexes {
+		idx.add(row)
+	}
+	return row.id, nil
+}
+
+// reinsertRow restores a previously deleted row with its original ID
+// (transaction rollback path).
+func (t *Table) reinsertRow(id int64, vals []Value) {
+	row := &storedRow{id: id, vals: vals}
+	t.rows = append(t.rows, row)
+	t.byID[id] = row
+	if id > t.nextID {
+		t.nextID = id
+	}
+	for _, idx := range t.indexes {
+		idx.add(row)
+	}
+	// Keep heap order stable by row ID so rollback restores scan order.
+	sort.Slice(t.rows, func(i, j int) bool { return t.rows[i].id < t.rows[j].id })
+}
+
+// deleteRowByID removes a row, maintaining indexes. It returns the removed
+// values for undo logging.
+func (t *Table) deleteRowByID(id int64) ([]Value, bool) {
+	row, ok := t.byID[id]
+	if !ok {
+		return nil, false
+	}
+	delete(t.byID, id)
+	for i, r := range t.rows {
+		if r.id == id {
+			t.rows = append(t.rows[:i:i], t.rows[i+1:]...)
+			break
+		}
+	}
+	for _, idx := range t.indexes {
+		idx.remove(row)
+	}
+	return row.vals, true
+}
+
+// updateRowByID replaces a row's values, maintaining indexes. It returns
+// the old values for undo logging.
+func (t *Table) updateRowByID(id int64, vals []Value) ([]Value, error) {
+	row, ok := t.byID[id]
+	if !ok {
+		return nil, errInternal(fmt.Sprintf("update of missing row %d", id))
+	}
+	for _, idx := range t.indexes {
+		if !idx.Unique {
+			continue
+		}
+		newKey := vals[idx.colPos]
+		if newKey.IsNull() || IdentityEqual(newKey, row.vals[idx.colPos]) {
+			continue
+		}
+		if post := idx.tree.lookup(newKey); len(post) > 0 {
+			return nil, &Error{Code: CodeUniqueViolation,
+				Message: fmt.Sprintf("duplicate key value %q violates unique index %q",
+					newKey.String(), idx.Name)}
+		}
+	}
+	old := row.vals
+	for _, idx := range t.indexes {
+		idx.remove(row)
+	}
+	row.vals = vals
+	for _, idx := range t.indexes {
+		idx.add(row)
+	}
+	return old, nil
+}
+
+func (ix *Index) add(row *storedRow) {
+	key := row.vals[ix.colPos]
+	if key.IsNull() {
+		ix.nulls[row.id] = struct{}{}
+		return
+	}
+	ix.tree.insert(key, row.id)
+}
+
+func (ix *Index) remove(row *storedRow) {
+	key := row.vals[ix.colPos]
+	if key.IsNull() {
+		delete(ix.nulls, row.id)
+		return
+	}
+	ix.tree.delete(key, row.id)
+}
+
+// buildIndex creates an Index over an existing table's rows.
+func buildIndex(t *Table, name, column string, unique bool) (*Index, error) {
+	pos := t.colIndex(column)
+	if pos < 0 {
+		return nil, errUndefinedColumn(column)
+	}
+	ix := &Index{
+		Name:   name,
+		Table:  t.Name,
+		Column: t.Columns[pos].Name,
+		Unique: unique,
+		colPos: pos,
+		tree:   newBTree(),
+		nulls:  map[int64]struct{}{},
+	}
+	for _, row := range t.rows {
+		key := row.vals[pos]
+		if key.IsNull() {
+			ix.nulls[row.id] = struct{}{}
+			continue
+		}
+		if unique {
+			if post := ix.tree.lookup(key); len(post) > 0 {
+				return nil, &Error{Code: CodeUniqueViolation,
+					Message: fmt.Sprintf("cannot create unique index %q: duplicate key %q",
+						name, key.String())}
+			}
+		}
+		ix.tree.insert(key, row.id)
+	}
+	return ix, nil
+}
+
+// indexOn returns the first index whose key column is at position pos,
+// preferring unique indexes.
+func (t *Table) indexOn(pos int) *Index {
+	var found *Index
+	for _, ix := range t.indexes {
+		if ix.colPos != pos {
+			continue
+		}
+		if ix.Unique {
+			return ix
+		}
+		if found == nil {
+			found = ix
+		}
+	}
+	return found
+}

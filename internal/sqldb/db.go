@@ -1,0 +1,394 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Database is one named in-memory database: a catalog of tables and
+// indexes guarded by a readers-writer lock. SELECT statements take the
+// read lock; DML, DDL, and explicit transactions take the write lock.
+// This matches the CGI deployment model of the paper, where every request
+// is a short-lived process whose statements serialise at the DBMS.
+type Database struct {
+	Name string
+
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	indexes map[string]*Index
+
+	// noIndexScan disables index access paths; used by the A5 ablation to
+	// measure full-scan cost on the same data.
+	noIndexScan bool
+
+	// nowFn supplies the clock for NOW()/CURDATE()/CURTIME(). Defaults
+	// to time.Now; tests inject a fixed clock for determinism.
+	nowFn func() time.Time
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{
+		Name:    name,
+		tables:  map[string]*Table{},
+		indexes: map[string]*Index{},
+	}
+}
+
+// SetClock overrides the clock behind NOW(), CURDATE(), and CURTIME().
+// Pass nil to restore the real clock.
+func (db *Database) SetClock(now func() time.Time) {
+	db.mu.Lock()
+	db.nowFn = now
+	db.mu.Unlock()
+}
+
+// now returns the database clock's current time in UTC.
+func (db *Database) now() time.Time {
+	if db.nowFn != nil {
+		return db.nowFn().UTC()
+	}
+	return time.Now().UTC()
+}
+
+// SetIndexScansEnabled toggles index access paths (default enabled).
+func (db *Database) SetIndexScansEnabled(on bool) {
+	db.mu.Lock()
+	db.noIndexScan = !on
+	db.mu.Unlock()
+}
+
+// table looks up a table by name, case-insensitively.
+func (db *Database) table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, errUndefinedTable(name)
+	}
+	return t, nil
+}
+
+// Table returns the named table's metadata, or an error if absent. The
+// returned Table must be treated as read-only by callers.
+func (db *Database) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.table(name)
+}
+
+// TableNames lists the catalog's table names in sorted order.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sortStrings(names)
+	return names
+}
+
+// IndexNames lists the catalog's index names in sorted order.
+func (db *Database) IndexNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.indexes))
+	for _, ix := range db.indexes {
+		names = append(names, ix.Name)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// --- undo log ---
+
+type undoKind int
+
+const (
+	undoInsert undoKind = iota
+	undoUpdate
+	undoDelete
+	undoCreateTable
+	undoDropTable
+	undoCreateIndex
+	undoDropIndex
+	undoAlterTable
+)
+
+type undoRec struct {
+	kind           undoKind
+	table          string
+	rowID          int64
+	oldVals        []Value
+	index          string
+	droppedTable   *Table
+	droppedIndex   *Index
+	droppedIndexes []*Index
+	alterOldName   string // pre-ALTER table name (RENAME undo)
+}
+
+// Session is one client connection to a Database. Sessions are not safe
+// for concurrent use; each gateway request (each CGI process in the
+// paper's model) owns one session. In auto-commit mode every statement is
+// its own transaction. BeginTxn switches the session to explicit mode:
+// the session holds the database write lock until Commit or Rollback, so
+// a macro executed in "single transaction" mode is fully isolated.
+type Session struct {
+	db     *Database
+	inTxn  bool
+	undo   []undoRec
+	closed bool
+}
+
+// NewSession opens a session on db.
+func NewSession(db *Database) *Session {
+	return &Session{db: db}
+}
+
+// Close releases the session, rolling back any open transaction.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.inTxn {
+		return s.Rollback()
+	}
+	return nil
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.inTxn }
+
+func (s *Session) logUndo(r undoRec) {
+	if s.inTxn {
+		s.undo = append(s.undo, r)
+	}
+}
+
+// BeginTxn starts an explicit transaction, taking the database write lock.
+func (s *Session) BeginTxn() error {
+	if s.closed {
+		return &Error{Code: CodeInvalidTxnState, Message: "session is closed"}
+	}
+	if s.inTxn {
+		return &Error{Code: CodeInvalidTxnState, Message: "transaction already in progress"}
+	}
+	s.db.mu.Lock()
+	s.inTxn = true
+	s.undo = s.undo[:0]
+	return nil
+}
+
+// Commit commits the explicit transaction and releases the write lock.
+func (s *Session) Commit() error {
+	if !s.inTxn {
+		return &Error{Code: CodeInvalidTxnState, Message: "no transaction in progress"}
+	}
+	s.undo = s.undo[:0]
+	s.inTxn = false
+	s.db.mu.Unlock()
+	return nil
+}
+
+// Rollback undoes every statement executed since BeginTxn, in reverse
+// order, then releases the write lock.
+func (s *Session) Rollback() error {
+	if !s.inTxn {
+		return &Error{Code: CodeInvalidTxnState, Message: "no transaction in progress"}
+	}
+	db := s.db
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		r := s.undo[i]
+		switch r.kind {
+		case undoInsert:
+			if t, err := db.table(r.table); err == nil {
+				t.deleteRowByID(r.rowID)
+			}
+		case undoUpdate:
+			if t, err := db.table(r.table); err == nil {
+				if row, ok := t.byID[r.rowID]; ok {
+					for _, ix := range t.indexes {
+						ix.remove(row)
+					}
+					row.vals = r.oldVals
+					for _, ix := range t.indexes {
+						ix.add(row)
+					}
+				}
+			}
+		case undoDelete:
+			if t, err := db.table(r.table); err == nil {
+				t.reinsertRow(r.rowID, r.oldVals)
+			}
+		case undoCreateTable:
+			delete(db.tables, strings.ToLower(r.table))
+		case undoDropTable:
+			db.tables[strings.ToLower(r.table)] = r.droppedTable
+			for _, ix := range r.droppedIndexes {
+				db.indexes[strings.ToLower(ix.Name)] = ix
+			}
+		case undoCreateIndex:
+			if ix, ok := db.indexes[strings.ToLower(r.index)]; ok {
+				delete(db.indexes, strings.ToLower(r.index))
+				if t, err := db.table(ix.Table); err == nil {
+					for j, tix := range t.indexes {
+						if tix == ix {
+							t.indexes = append(t.indexes[:j:j], t.indexes[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+		case undoDropIndex:
+			ix := r.droppedIndex
+			db.indexes[strings.ToLower(ix.Name)] = ix
+			if t, err := db.table(ix.Table); err == nil {
+				t.indexes = append(t.indexes, ix)
+			}
+		case undoAlterTable:
+			// Replace the altered table with its pre-image snapshot,
+			// undoing any rename and re-pointing the index catalog at the
+			// snapshot's rebuilt indexes.
+			delete(db.tables, strings.ToLower(r.table))
+			snap := r.droppedTable
+			db.tables[strings.ToLower(r.alterOldName)] = snap
+			for _, ix := range snap.indexes {
+				db.indexes[strings.ToLower(ix.Name)] = ix
+			}
+		}
+	}
+	s.undo = s.undo[:0]
+	s.inTxn = false
+	s.db.mu.Unlock()
+	return nil
+}
+
+// Exec parses and executes one SQL statement, returning its result.
+// Params bind to ? placeholders in order.
+func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
+	if s.closed {
+		return nil, &Error{Code: CodeInvalidTxnState, Message: "session is closed"}
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st, params...)
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
+	switch x := st.(type) {
+	case *BeginStmt:
+		if err := s.BeginTxn(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CommitStmt:
+		if err := s.Commit(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *RollbackStmt:
+		if err := s.Rollback(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *SelectStmt:
+		if !s.inTxn {
+			s.db.mu.RLock()
+			defer s.db.mu.RUnlock()
+		}
+		return s.db.execSelect(x, params)
+	case *InsertStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execInsert(x, params) })
+	case *UpdateStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execUpdate(x, params) })
+	case *DeleteStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execDelete(x, params) })
+	case *CreateTableStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execCreateTable(x) })
+	case *AlterTableStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execAlterTable(x) })
+	case *DropTableStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execDropTable(x) })
+	case *CreateIndexStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execCreateIndex(x) })
+	case *DropIndexStmt:
+		return s.withWriteLock(func() (*Result, error) { return s.execDropIndex(x) })
+	default:
+		return nil, &Error{Code: CodeFeature,
+			Message: fmt.Sprintf("unsupported statement type %T", st)}
+	}
+}
+
+func (s *Session) withWriteLock(fn func() (*Result, error)) (*Result, error) {
+	if !s.inTxn {
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+	}
+	return fn()
+}
+
+// Query executes a SELECT (or any statement) and returns a row cursor.
+func (s *Session) Query(sql string, params ...Value) (*Rows, error) {
+	res, err := s.Exec(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{res: res, pos: -1}, nil
+}
+
+// ExecScript parses and executes a semicolon-separated script, stopping at
+// the first error. It returns the number of statements executed.
+func (s *Session) ExecScript(script string) (int, error) {
+	stmts, err := ParseAll(script)
+	if err != nil {
+		return 0, err
+	}
+	for i, st := range stmts {
+		if _, err := s.ExecStmt(st); err != nil {
+			return i, err
+		}
+	}
+	return len(stmts), nil
+}
+
+// Rows is a forward-only cursor over a materialised result set — the
+// row-at-a-time fetch interface the macro engine's %ROW block consumes.
+type Rows struct {
+	res *Result
+	pos int
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.res.Columns }
+
+// Next advances to the next row, returning false at the end.
+func (r *Rows) Next() bool {
+	if r.pos+1 >= len(r.res.Rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current row. Next must have returned true.
+func (r *Rows) Row() []Value { return r.res.Rows[r.pos] }
+
+// RowCount returns the total number of rows in the result.
+func (r *Rows) RowCount() int { return len(r.res.Rows) }
+
+// Close releases the cursor (a no-op for materialised results; present so
+// callers follow the usual acquire/release discipline).
+func (r *Rows) Close() error { return nil }

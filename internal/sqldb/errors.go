@@ -1,0 +1,67 @@
+package sqldb
+
+import "fmt"
+
+// SQLSTATE-style error codes returned by the engine. The macro engine's
+// %SQL_MESSAGE handling keys off these, and the default DBMS message is
+// rendered from Error.Error().
+const (
+	CodeSyntax           = "42601" // syntax error
+	CodeUndefinedTable   = "42P01" // table does not exist
+	CodeDuplicateTable   = "42P07" // table already exists
+	CodeUndefinedColumn  = "42703" // column does not exist
+	CodeUndefinedIndex   = "42704" // index does not exist
+	CodeDuplicateIndex   = "42710" // index already exists
+	CodeAmbiguousColumn  = "42702" // column reference is ambiguous
+	CodeDatatypeMismatch = "42804" // incompatible types
+	CodeUniqueViolation  = "23505" // unique constraint violated
+	CodeNotNullViolation = "23502" // NOT NULL constraint violated
+	CodeDivisionByZero   = "22012" // division by zero
+	CodeInvalidText      = "22P02" // invalid text representation
+	CodeWrongArity       = "42883" // wrong number of function arguments
+	CodeInvalidTxnState  = "25000" // invalid transaction state
+	CodeInternal         = "XX000" // internal error
+	CodeCardinality      = "21000" // cardinality violation
+	CodeFeature          = "0A000" // feature not supported
+)
+
+// Error is the typed error returned by all engine operations.
+type Error struct {
+	Code    string // SQLSTATE-style code
+	Message string // human-readable message
+}
+
+// Error implements the error interface. The rendering mimics the classic
+// "SQLSTATE=nnnnn" suffix of DB2 diagnostics, which the macro engine
+// prints as the default DBMS error message (Section 4.2, step 3).
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s SQLSTATE=%s", e.Message, e.Code)
+}
+
+// SQLState returns the SQLSTATE code; the macro engine's %SQL_MESSAGE
+// handlers match on it.
+func (e *Error) SQLState() string { return e.Code }
+
+// Is allows errors.Is matching on the code alone.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+func errSyntax(format string, args ...any) *Error {
+	return &Error{Code: CodeSyntax, Message: fmt.Sprintf(format, args...)}
+}
+
+func errInternal(msg string) *Error {
+	return &Error{Code: CodeInternal, Message: msg}
+}
+
+func errUndefinedTable(name string) *Error {
+	return &Error{Code: CodeUndefinedTable,
+		Message: fmt.Sprintf("table %q does not exist", name)}
+}
+
+func errUndefinedColumn(name string) *Error {
+	return &Error{Code: CodeUndefinedColumn,
+		Message: fmt.Sprintf("column %q does not exist", name)}
+}

@@ -1,0 +1,1080 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of executing one statement. SELECT fills Columns
+// and Rows; DML fills RowsAffected (and LastInsertID for single-row
+// INSERT). Results are fully materialised: the engine evaluates the query
+// under the database lock and hands the caller an immutable snapshot,
+// which the Rows cursor then walks row-at-a-time (the fetch model the
+// macro engine's %ROW block expects).
+type Result struct {
+	Columns      []string
+	Rows         [][]Value
+	RowsAffected int64
+	LastInsertID int64
+}
+
+// --- row source assembly ---
+
+// rowSet is an intermediate table of rows with a named layout.
+type rowSet struct {
+	cols []envCol
+	rows [][]Value
+}
+
+// scanTable produces the rowSet for one base table, optionally routed
+// through an index when the WHERE clause has a usable predicate. `where`
+// may be nil. The full WHERE clause is always re-applied by the caller;
+// index routing is purely a row-set reduction.
+func (db *Database) scanTable(name, alias string, where Expr, params []Value) (*rowSet, error) {
+	t, err := db.table(name)
+	if err != nil {
+		return nil, err
+	}
+	qual := strings.ToLower(alias)
+	if qual == "" {
+		qual = strings.ToLower(t.Name)
+	}
+	rs := &rowSet{}
+	for _, c := range t.Columns {
+		rs.cols = append(rs.cols, envCol{tbl: qual, name: strings.ToLower(c.Name)})
+	}
+	rows := db.chooseAccessPath(t, qual, where, params)
+	rs.rows = make([][]Value, len(rows))
+	for i, r := range rows {
+		rs.rows[i] = r.vals
+	}
+	return rs, nil
+}
+
+// chooseAccessPath picks between a full heap scan and an index scan based
+// on top-level AND conjuncts of the WHERE clause. Returned rows are in
+// row-ID order so results stay deterministic.
+func (db *Database) chooseAccessPath(t *Table, qual string, where Expr, params []Value) []*storedRow {
+	if where == nil || db.noIndexScan {
+		return t.rows
+	}
+	for _, conj := range andConjuncts(where) {
+		if rows, ok := tryIndexScan(t, qual, conj, params); ok {
+			return rows
+		}
+	}
+	return t.rows
+}
+
+// andConjuncts flattens a chain of top-level ANDs.
+func andConjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(andConjuncts(b.L), andConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// constValue evaluates e if it references no columns or aggregates.
+func constValue(e Expr, params []Value) (Value, bool) {
+	ok := true
+	walkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ColumnRef:
+			ok = false
+			return false
+		case *FuncCall:
+			if isAggregate(x.(*FuncCall).Name) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return Null, false
+	}
+	env := &evalEnv{params: params}
+	v, err := eval(e, env)
+	if err != nil {
+		return Null, false
+	}
+	return v, true
+}
+
+// columnForQual returns the table column position when c refers to table t
+// (by the scan qualifier), or -1.
+func columnForQual(t *Table, qual string, c *ColumnRef) int {
+	if c.Table != "" && strings.ToLower(c.Table) != qual {
+		return -1
+	}
+	return t.colIndex(c.Column)
+}
+
+// tryIndexScan attempts to satisfy one conjunct with an index. Supported
+// shapes: col = const, const = col, col LIKE 'prefix%', and col
+// range comparisons against constants.
+func tryIndexScan(t *Table, qual string, conj Expr, params []Value) ([]*storedRow, bool) {
+	collect := func(ids []int64) []*storedRow {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		rows := make([]*storedRow, 0, len(ids))
+		for _, id := range ids {
+			if r, ok := t.byID[id]; ok {
+				rows = append(rows, r)
+			}
+		}
+		return rows
+	}
+	switch x := conj.(type) {
+	case *Binary:
+		if x.Op == "=" {
+			if c, ok := x.L.(*ColumnRef); ok {
+				if pos := columnForQual(t, qual, c); pos >= 0 {
+					if v, ok := constValue(x.R, params); ok && !v.IsNull() {
+						if ix := t.indexOn(pos); ix != nil {
+							key, err := coerceToColumn(v, t.Columns[pos].Type)
+							if err != nil {
+								return nil, false
+							}
+							return collect(append([]int64(nil), ix.tree.lookup(key)...)), true
+						}
+					}
+				}
+			}
+			if c, ok := x.R.(*ColumnRef); ok {
+				if pos := columnForQual(t, qual, c); pos >= 0 {
+					if v, ok := constValue(x.L, params); ok && !v.IsNull() {
+						if ix := t.indexOn(pos); ix != nil {
+							key, err := coerceToColumn(v, t.Columns[pos].Type)
+							if err != nil {
+								return nil, false
+							}
+							return collect(append([]int64(nil), ix.tree.lookup(key)...)), true
+						}
+					}
+				}
+			}
+		}
+		if x.Op == "<" || x.Op == "<=" || x.Op == ">" || x.Op == ">=" {
+			c, ok := x.L.(*ColumnRef)
+			op := x.Op
+			rhs := x.R
+			if !ok {
+				// const OP col → flip
+				if c2, ok2 := x.R.(*ColumnRef); ok2 {
+					c = c2
+					rhs = x.L
+					switch x.Op {
+					case "<":
+						op = ">"
+					case "<=":
+						op = ">="
+					case ">":
+						op = "<"
+					case ">=":
+						op = "<="
+					}
+				} else {
+					return nil, false
+				}
+			}
+			pos := columnForQual(t, qual, c)
+			if pos < 0 {
+				return nil, false
+			}
+			v, ok := constValue(rhs, params)
+			if !ok || v.IsNull() {
+				return nil, false
+			}
+			ix := t.indexOn(pos)
+			if ix == nil {
+				return nil, false
+			}
+			key, err := coerceToColumn(v, t.Columns[pos].Type)
+			if err != nil {
+				return nil, false
+			}
+			var ids []int64
+			switch op {
+			case "<":
+				ix.tree.ascendRange(nil, &key, false, false, func(_ Value, post []int64) bool {
+					ids = append(ids, post...)
+					return true
+				})
+			case "<=":
+				ix.tree.ascendRange(nil, &key, false, true, func(_ Value, post []int64) bool {
+					ids = append(ids, post...)
+					return true
+				})
+			case ">":
+				ix.tree.ascendRange(&key, nil, false, false, func(_ Value, post []int64) bool {
+					ids = append(ids, post...)
+					return true
+				})
+			case ">=":
+				ix.tree.ascendRange(&key, nil, true, false, func(_ Value, post []int64) bool {
+					ids = append(ids, post...)
+					return true
+				})
+			}
+			return collect(ids), true
+		}
+	case *LikeExpr:
+		if x.Not || x.Escape != nil {
+			return nil, false
+		}
+		c, ok := x.X.(*ColumnRef)
+		if !ok {
+			return nil, false
+		}
+		pos := columnForQual(t, qual, c)
+		if pos < 0 || t.Columns[pos].Type != TString {
+			return nil, false
+		}
+		pv, ok := constValue(x.Pattern, params)
+		if !ok || pv.IsNull() {
+			return nil, false
+		}
+		prefix, ok := likePrefix(pv.String())
+		if !ok || prefix == "" {
+			return nil, false
+		}
+		ix := t.indexOn(pos)
+		if ix == nil {
+			return nil, false
+		}
+		var ids []int64
+		ix.tree.scanPrefix(prefix, func(_ Value, post []int64) bool {
+			ids = append(ids, post...)
+			return true
+		})
+		return collect(ids), true
+	}
+	return nil, false
+}
+
+// crossJoin combines two row sets with a filter-less nested loop.
+func crossJoin(a, b *rowSet) *rowSet {
+	out := &rowSet{cols: append(append([]envCol{}, a.cols...), b.cols...)}
+	out.rows = make([][]Value, 0, len(a.rows)*len(b.rows))
+	for _, ra := range a.rows {
+		for _, rb := range b.rows {
+			row := make([]Value, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// joinOn performs an INNER or LEFT join of a with b on cond. LEFT join
+// emits a NULL-padded row for unmatched left rows.
+func (db *Database) joinOn(a, b *rowSet, cond Expr, kind JoinKind, params []Value) (*rowSet, error) {
+	out := &rowSet{cols: append(append([]envCol{}, a.cols...), b.cols...)}
+	env := &evalEnv{cols: out.cols, params: params, db: db, subCache: map[*Subquery][][]Value{}}
+	if cond != nil {
+		if err := bindExpr(cond, env); err != nil {
+			return nil, err
+		}
+	}
+	nullPad := make([]Value, len(b.cols))
+	for _, ra := range a.rows {
+		matched := false
+		for _, rb := range b.rows {
+			row := make([]Value, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			if cond != nil {
+				env.row = row
+				v, err := eval(cond, env)
+				if err != nil {
+					return nil, err
+				}
+				truth, known := v.Truth()
+				if !known || !truth {
+					continue
+				}
+			}
+			matched = true
+			out.rows = append(out.rows, row)
+		}
+		if kind == JoinLeft && !matched {
+			row := make([]Value, 0, len(ra)+len(nullPad))
+			row = append(row, ra...)
+			row = append(row, nullPad...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// derivedRowSet materialises a derived table (FROM subquery) under its
+// alias.
+func (db *Database) derivedRowSet(sub *SelectStmt, alias string, params []Value) (*rowSet, error) {
+	res, err := db.execSelect(sub, params)
+	if err != nil {
+		return nil, err
+	}
+	rs := &rowSet{rows: res.Rows}
+	qual := strings.ToLower(alias)
+	for _, c := range res.Columns {
+		rs.cols = append(rs.cols, envCol{tbl: qual, name: strings.ToLower(c)})
+	}
+	return rs, nil
+}
+
+// buildFrom assembles the full FROM row set (joins + comma cross joins).
+// `where` enables index routing only for the single-base-table case.
+func (db *Database) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
+	if len(sel.From) == 0 {
+		// SELECT without FROM evaluates expressions over a single empty row.
+		return &rowSet{rows: [][]Value{{}}}, nil
+	}
+	singleTable := len(sel.From) == 1 && len(sel.From[0].Joins) == 0 &&
+		sel.From[0].Sub == nil
+	var acc *rowSet
+	for i, tr := range sel.From {
+		var where Expr
+		if singleTable && i == 0 {
+			where = sel.Where
+		}
+		var rs *rowSet
+		var err error
+		if tr.Sub != nil {
+			rs, err = db.derivedRowSet(tr.Sub, tr.Alias, params)
+		} else {
+			rs, err = db.scanTable(tr.Table, tr.Alias, where, params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, jc := range tr.Joins {
+			var right *rowSet
+			if jc.Sub != nil {
+				right, err = db.derivedRowSet(jc.Sub, jc.Alias, params)
+			} else {
+				right, err = db.scanTable(jc.Table, jc.Alias, nil, params)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if jc.Kind == JoinCross {
+				rs = crossJoin(rs, right)
+			} else {
+				rs, err = db.joinOn(rs, right, jc.On, jc.Kind, params)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if acc == nil {
+			acc = rs
+		} else {
+			acc = crossJoin(acc, rs)
+		}
+	}
+	return acc, nil
+}
+
+// --- SELECT execution ---
+
+// projection describes the output columns of a SELECT.
+type projection struct {
+	names []string
+	exprs []Expr
+}
+
+// expandProjection resolves *, t.*, and expression items into a concrete
+// column list against the FROM layout.
+func (db *Database) expandProjection(sel *SelectStmt, from *rowSet) (*projection, error) {
+	pr := &projection{}
+	addStarFor := func(qual string) error {
+		matched := false
+		for i, ec := range from.cols {
+			if qual != "" && ec.tbl != qual {
+				continue
+			}
+			matched = true
+			pr.names = append(pr.names, db.displayColumnName(ec))
+			pr.exprs = append(pr.exprs, &ColumnRef{Table: ec.tbl, Column: ec.name, slot: i})
+		}
+		if qual != "" && !matched {
+			return errUndefinedTable(qual)
+		}
+		return nil
+	}
+	if sel.Star {
+		if err := addStarFor(""); err != nil {
+			return nil, err
+		}
+		return pr, nil
+	}
+	for i, item := range sel.Items {
+		if item.TableStar != "" {
+			if err := addStarFor(strings.ToLower(item.TableStar)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if c, ok := item.Expr.(*ColumnRef); ok {
+				name = c.Column
+			} else {
+				name = fmt.Sprintf("COL%d", i+1)
+			}
+		}
+		pr.names = append(pr.names, name)
+		pr.exprs = append(pr.exprs, item.Expr)
+	}
+	return pr, nil
+}
+
+// displayColumnName recovers the catalog-cased column name for a layout
+// slot, falling back to the lower-cased layout name.
+func (db *Database) displayColumnName(ec envCol) string {
+	if t, err := db.table(ec.tbl); err == nil {
+		if i := t.colIndex(ec.name); i >= 0 {
+			return t.Columns[i].Name
+		}
+	}
+	// The qualifier may be an alias; search all tables for a unique match.
+	for _, t := range db.tables {
+		if i := t.colIndex(ec.name); i >= 0 {
+			return t.Columns[i].Name
+		}
+	}
+	return ec.name
+}
+
+// collectAggregates walks the projection, HAVING, and ORDER BY expressions
+// assigning aggregate slots. It returns the aggregate calls in slot order.
+func collectAggregates(pr *projection, sel *SelectStmt) []*FuncCall {
+	var aggs []*FuncCall
+	assign := func(e Expr) {
+		walkExpr(e, func(x Expr) bool {
+			if fc, ok := x.(*FuncCall); ok && isAggregate(fc.Name) {
+				fc.aggSlot = len(aggs)
+				aggs = append(aggs, fc)
+				return false // no nested aggregates
+			}
+			return true
+		})
+	}
+	for _, e := range pr.exprs {
+		assign(e)
+	}
+	assign(sel.Having)
+	for _, o := range sel.OrderBy {
+		assign(o.Expr)
+	}
+	return aggs
+}
+
+// execSelect dispatches between a single SELECT and a UNION chain.
+func (db *Database) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
+	if len(sel.Unions) == 0 {
+		return db.execSelectSingle(sel, params)
+	}
+	return db.execUnion(sel, params)
+}
+
+func (db *Database) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error) {
+	from, err := db.buildFrom(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	subCache := map[*Subquery][][]Value{}
+	env := &evalEnv{cols: from.cols, params: params, db: db, subCache: subCache}
+
+	// WHERE filter.
+	rows := from.rows
+	if sel.Where != nil {
+		if err := bindExpr(sel.Where, env); err != nil {
+			return nil, err
+		}
+		kept := rows[:0:0]
+		for _, r := range rows {
+			env.row = r
+			v, err := eval(sel.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			t, known := v.Truth()
+			if known && t {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	pr, err := db.expandProjection(sel, from)
+	if err != nil {
+		return nil, err
+	}
+	aggs := collectAggregates(pr, sel)
+	grouped := len(sel.GroupBy) > 0 || len(aggs) > 0 || sel.Having != nil
+
+	// Resolve ORDER BY items that reference select aliases or ordinals.
+	orderExprs := make([]Expr, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		orderExprs[i] = o.Expr
+		if c, ok := o.Expr.(*ColumnRef); ok && c.Table == "" {
+			for j, name := range pr.names {
+				if strings.EqualFold(name, c.Column) {
+					orderExprs[i] = pr.exprs[j]
+					break
+				}
+			}
+		}
+		if l, ok := o.Expr.(*Literal); ok && l.Val.T == TInt {
+			n := int(l.Val.I)
+			if n >= 1 && n <= len(pr.exprs) {
+				orderExprs[i] = pr.exprs[n-1]
+			}
+		}
+	}
+
+	// Bind everything that evaluates against the FROM layout.
+	for _, e := range pr.exprs {
+		if err := bindExpr(e, env); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range sel.GroupBy {
+		if err := bindExpr(e, env); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := bindExpr(sel.Having, env); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range orderExprs {
+		if err := bindExpr(e, env); err != nil {
+			return nil, err
+		}
+	}
+	for _, fc := range aggs {
+		for _, a := range fc.Args {
+			if err := bindExpr(a, env); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	type outRow struct {
+		env  *evalEnv // row environment for final evaluation
+		keys []Value  // order-by keys
+	}
+	var outs []outRow
+
+	if grouped {
+		type group struct {
+			rep    []Value
+			states []*aggState
+		}
+		var order []string
+		groups := map[string]*group{}
+		for _, r := range rows {
+			env.row = r
+			keyVals := make([]Value, len(sel.GroupBy))
+			for i, g := range sel.GroupBy {
+				v, err := eval(g, env)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+			}
+			k := identityKey(keyVals)
+			grp, ok := groups[k]
+			if !ok {
+				grp = &group{rep: r}
+				for _, fc := range aggs {
+					grp.states = append(grp.states, newAggState(fc))
+				}
+				groups[k] = grp
+				order = append(order, k)
+			}
+			for i, fc := range aggs {
+				if fc.Star {
+					if err := grp.states[i].add(Null, true); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				av, err := eval(fc.Args[0], env)
+				if err != nil {
+					return nil, err
+				}
+				if err := grp.states[i].add(av, false); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// A grouped query with no GROUP BY and no input rows still yields
+		// one row of aggregates over the empty set.
+		if len(sel.GroupBy) == 0 && len(order) == 0 {
+			grp := &group{rep: make([]Value, len(from.cols))}
+			for _, fc := range aggs {
+				grp.states = append(grp.states, newAggState(fc))
+			}
+			groups[""] = grp
+			order = append(order, "")
+		}
+		for _, k := range order {
+			grp := groups[k]
+			genv := &evalEnv{cols: from.cols, params: params, row: grp.rep, db: db, subCache: subCache}
+			genv.aggs = make([]Value, len(aggs))
+			for i, st := range grp.states {
+				genv.aggs[i] = st.result()
+			}
+			if sel.Having != nil {
+				v, err := eval(sel.Having, genv)
+				if err != nil {
+					return nil, err
+				}
+				t, known := v.Truth()
+				if !known || !t {
+					continue
+				}
+			}
+			outs = append(outs, outRow{env: genv})
+		}
+	} else {
+		for _, r := range rows {
+			outs = append(outs, outRow{env: &evalEnv{cols: from.cols, params: params, row: r, db: db, subCache: subCache}})
+		}
+	}
+
+	// ORDER BY (stable sort, NULLs first ascending / last descending).
+	if len(orderExprs) > 0 {
+		for i := range outs {
+			outs[i].keys = make([]Value, len(orderExprs))
+			for j, e := range orderExprs {
+				v, err := eval(e, outs[i].env)
+				if err != nil {
+					return nil, err
+				}
+				outs[i].keys[j] = v
+			}
+		}
+		var sortErr error
+		sort.SliceStable(outs, func(a, b int) bool {
+			for j := range orderExprs {
+				ka, kb := outs[a].keys[j], outs[b].keys[j]
+				var c int
+				switch {
+				case ka.IsNull() && kb.IsNull():
+					c = 0
+				case ka.IsNull():
+					c = -1
+				case kb.IsNull():
+					c = 1
+				default:
+					var err error
+					c, err = Compare(ka, kb)
+					if err != nil && sortErr == nil {
+						sortErr = err
+					}
+				}
+				if c == 0 {
+					continue
+				}
+				if sel.OrderBy[j].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	// Projection.
+	res := &Result{Columns: pr.names}
+	for _, o := range outs {
+		row := make([]Value, len(pr.exprs))
+		for i, e := range pr.exprs {
+			v, err := eval(e, o.env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// DISTINCT.
+	if sel.Distinct {
+		seen := map[string]struct{}{}
+		kept := res.Rows[:0:0]
+		for _, r := range res.Rows {
+			k := identityKey(r)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			kept = append(kept, r)
+		}
+		res.Rows = kept
+	}
+
+	// LIMIT / OFFSET.
+	if sel.Offset != nil {
+		v, ok := constValue(sel.Offset, params)
+		if !ok {
+			return nil, errSyntax("OFFSET must be a constant expression")
+		}
+		n, ok := v.AsInt()
+		if !ok || n < 0 {
+			return nil, errSyntax("OFFSET must be a non-negative integer")
+		}
+		if int(n) >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[n:]
+		}
+	}
+	if sel.Limit != nil {
+		v, ok := constValue(sel.Limit, params)
+		if !ok {
+			return nil, errSyntax("LIMIT must be a constant expression")
+		}
+		n, ok := v.AsInt()
+		if !ok || n < 0 {
+			return nil, errSyntax("LIMIT must be a non-negative integer")
+		}
+		if int(n) < len(res.Rows) {
+			res.Rows = res.Rows[:n]
+		}
+	}
+	res.RowsAffected = int64(len(res.Rows))
+	return res, nil
+}
+
+// --- DML execution (session-aware, for undo logging) ---
+
+func (s *Session) execInsert(ins *InsertStmt, params []Value) (*Result, error) {
+	t, err := s.db.table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := ins.Columns
+	colPos := make([]int, 0, len(t.Columns))
+	if len(cols) == 0 {
+		for i := range t.Columns {
+			colPos = append(colPos, i)
+		}
+	} else {
+		seen := map[int]bool{}
+		for _, c := range cols {
+			p := t.colIndex(c)
+			if p < 0 {
+				return nil, errUndefinedColumn(c)
+			}
+			if seen[p] {
+				return nil, errSyntax("column %q specified twice", c)
+			}
+			seen[p] = true
+			colPos = append(colPos, p)
+		}
+	}
+	env := &evalEnv{params: params, db: s.db, subCache: map[*Subquery][][]Value{}}
+	res := &Result{}
+	for _, rowExprs := range ins.Rows {
+		if len(rowExprs) != len(colPos) {
+			return nil, &Error{Code: CodeCardinality,
+				Message: fmt.Sprintf("INSERT has %d values for %d columns",
+					len(rowExprs), len(colPos))}
+		}
+		vals := make([]Value, len(t.Columns))
+		provided := make([]bool, len(t.Columns))
+		for i, e := range rowExprs {
+			if err := bindExpr(e, env); err != nil {
+				return nil, err
+			}
+			v, err := eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceToColumn(v, t.Columns[colPos[i]].Type)
+			if err != nil {
+				return nil, err
+			}
+			vals[colPos[i]] = cv
+			provided[colPos[i]] = true
+		}
+		for i := range t.Columns {
+			if !provided[i] {
+				if t.Columns[i].HasDefault {
+					vals[i] = t.Columns[i].Default
+				} else {
+					vals[i] = Null
+				}
+			}
+			if t.Columns[i].NotNull && vals[i].IsNull() {
+				return nil, &Error{Code: CodeNotNullViolation,
+					Message: fmt.Sprintf("null value in column %q violates NOT NULL",
+						t.Columns[i].Name)}
+			}
+		}
+		id, err := t.insertRow(vals)
+		if err != nil {
+			return nil, err
+		}
+		s.logUndo(undoRec{kind: undoInsert, table: t.Name, rowID: id})
+		res.RowsAffected++
+		res.LastInsertID = id
+	}
+	return res, nil
+}
+
+func (s *Session) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
+	t, err := s.db.table(up.Table)
+	if err != nil {
+		return nil, err
+	}
+	qual := strings.ToLower(up.Alias)
+	if qual == "" {
+		qual = strings.ToLower(t.Name)
+	}
+	env := &evalEnv{params: params, db: s.db, subCache: map[*Subquery][][]Value{}}
+	for _, c := range t.Columns {
+		env.cols = append(env.cols, envCol{tbl: qual, name: strings.ToLower(c.Name)})
+	}
+	if up.Where != nil {
+		if err := bindExpr(up.Where, env); err != nil {
+			return nil, err
+		}
+	}
+	setPos := make([]int, len(up.Set))
+	for i, sc := range up.Set {
+		p := t.colIndex(sc.Column)
+		if p < 0 {
+			return nil, errUndefinedColumn(sc.Column)
+		}
+		setPos[i] = p
+		if err := bindExpr(sc.Value, env); err != nil {
+			return nil, err
+		}
+	}
+	// Snapshot matching row IDs first, then mutate. The access path
+	// chooser routes indexed predicates (UPDATE ... WHERE pk = ?) through
+	// the index instead of scanning the heap.
+	type pending struct {
+		id   int64
+		vals []Value
+	}
+	var plan []pending
+	for _, row := range append([]*storedRow(nil), s.db.chooseAccessPath(t, qual, up.Where, params)...) {
+		env.row = row.vals
+		if up.Where != nil {
+			v, err := eval(up.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			truth, known := v.Truth()
+			if !known || !truth {
+				continue
+			}
+		}
+		newVals := append([]Value(nil), row.vals...)
+		for i, sc := range up.Set {
+			v, err := eval(sc.Value, env)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceToColumn(v, t.Columns[setPos[i]].Type)
+			if err != nil {
+				return nil, err
+			}
+			if t.Columns[setPos[i]].NotNull && cv.IsNull() {
+				return nil, &Error{Code: CodeNotNullViolation,
+					Message: fmt.Sprintf("null value in column %q violates NOT NULL",
+						t.Columns[setPos[i]].Name)}
+			}
+			newVals[setPos[i]] = cv
+		}
+		plan = append(plan, pending{id: row.id, vals: newVals})
+	}
+	res := &Result{}
+	for _, p := range plan {
+		old, err := t.updateRowByID(p.id, p.vals)
+		if err != nil {
+			return nil, err
+		}
+		s.logUndo(undoRec{kind: undoUpdate, table: t.Name, rowID: p.id, oldVals: old})
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (s *Session) execDelete(del *DeleteStmt, params []Value) (*Result, error) {
+	t, err := s.db.table(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	qual := strings.ToLower(del.Alias)
+	if qual == "" {
+		qual = strings.ToLower(t.Name)
+	}
+	env := &evalEnv{params: params, db: s.db, subCache: map[*Subquery][][]Value{}}
+	for _, c := range t.Columns {
+		env.cols = append(env.cols, envCol{tbl: qual, name: strings.ToLower(c.Name)})
+	}
+	if del.Where != nil {
+		if err := bindExpr(del.Where, env); err != nil {
+			return nil, err
+		}
+	}
+	var ids []int64
+	for _, row := range s.db.chooseAccessPath(t, qual, del.Where, params) {
+		if del.Where != nil {
+			env.row = row.vals
+			v, err := eval(del.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			truth, known := v.Truth()
+			if !known || !truth {
+				continue
+			}
+		}
+		ids = append(ids, row.id)
+	}
+	res := &Result{}
+	for _, id := range ids {
+		old, ok := t.deleteRowByID(id)
+		if !ok {
+			continue
+		}
+		s.logUndo(undoRec{kind: undoDelete, table: t.Name, rowID: id, oldVals: old})
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+// --- DDL execution ---
+
+func (s *Session) execCreateTable(ct *CreateTableStmt) (*Result, error) {
+	key := strings.ToLower(ct.Table)
+	if _, exists := s.db.tables[key]; exists {
+		if ct.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, &Error{Code: CodeDuplicateTable,
+			Message: fmt.Sprintf("table %q already exists", ct.Table)}
+	}
+	t := &Table{Name: ct.Table, byID: map[int64]*storedRow{}}
+	seen := map[string]bool{}
+	var pkCol string
+	for _, cd := range ct.Columns {
+		lc := strings.ToLower(cd.Name)
+		if seen[lc] {
+			return nil, errSyntax("duplicate column name %q", cd.Name)
+		}
+		seen[lc] = true
+		col := Column{Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull, PrimaryKey: cd.PrimaryKey}
+		if cd.Default != nil {
+			v, err := eval(cd.Default, &evalEnv{})
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceToColumn(v, cd.Type)
+			if err != nil {
+				return nil, err
+			}
+			col.Default = cv
+			col.HasDefault = true
+		}
+		if cd.PrimaryKey {
+			if pkCol != "" {
+				return nil, errSyntax("multiple PRIMARY KEY columns are not supported")
+			}
+			pkCol = cd.Name
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	s.db.tables[key] = t
+	s.logUndo(undoRec{kind: undoCreateTable, table: t.Name})
+	if pkCol != "" {
+		ixName := strings.ToLower(ct.Table) + "_pkey"
+		ix, err := buildIndex(t, ixName, pkCol, true)
+		if err != nil {
+			return nil, err
+		}
+		t.indexes = append(t.indexes, ix)
+		s.db.indexes[strings.ToLower(ixName)] = ix
+		s.logUndo(undoRec{kind: undoCreateIndex, index: ixName})
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) execDropTable(dt *DropTableStmt) (*Result, error) {
+	key := strings.ToLower(dt.Table)
+	t, exists := s.db.tables[key]
+	if !exists {
+		if dt.IfExists {
+			return &Result{}, nil
+		}
+		return nil, errUndefinedTable(dt.Table)
+	}
+	var dropped []*Index
+	for name, ix := range s.db.indexes {
+		if strings.EqualFold(ix.Table, t.Name) {
+			dropped = append(dropped, ix)
+			delete(s.db.indexes, name)
+		}
+	}
+	delete(s.db.tables, key)
+	s.logUndo(undoRec{kind: undoDropTable, table: t.Name, droppedTable: t, droppedIndexes: dropped})
+	return &Result{}, nil
+}
+
+func (s *Session) execCreateIndex(ci *CreateIndexStmt) (*Result, error) {
+	key := strings.ToLower(ci.Name)
+	if _, exists := s.db.indexes[key]; exists {
+		return nil, &Error{Code: CodeDuplicateIndex,
+			Message: fmt.Sprintf("index %q already exists", ci.Name)}
+	}
+	t, err := s.db.table(ci.Table)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := buildIndex(t, ci.Name, ci.Column, ci.Unique)
+	if err != nil {
+		return nil, err
+	}
+	t.indexes = append(t.indexes, ix)
+	s.db.indexes[key] = ix
+	s.logUndo(undoRec{kind: undoCreateIndex, index: ci.Name})
+	return &Result{}, nil
+}
+
+func (s *Session) execDropIndex(di *DropIndexStmt) (*Result, error) {
+	key := strings.ToLower(di.Name)
+	ix, exists := s.db.indexes[key]
+	if !exists {
+		if di.IfExists {
+			return &Result{}, nil
+		}
+		return nil, &Error{Code: CodeUndefinedIndex,
+			Message: fmt.Sprintf("index %q does not exist", di.Name)}
+	}
+	delete(s.db.indexes, key)
+	if t, err := s.db.table(ix.Table); err == nil {
+		for i, tix := range t.indexes {
+			if tix == ix {
+				t.indexes = append(t.indexes[:i:i], t.indexes[i+1:]...)
+				break
+			}
+		}
+	}
+	s.logUndo(undoRec{kind: undoDropIndex, index: ix.Name, droppedIndex: ix})
+	return &Result{}, nil
+}

@@ -1,0 +1,256 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execUnion evaluates a UNION chain: each arm runs as an independent
+// SELECT; the combined rows are de-duplicated unless every combining
+// operator is UNION ALL; ORDER BY (by output column name or ordinal) and
+// LIMIT/OFFSET then apply to the whole result. Column names come from
+// the first arm, as in SQL.
+func (db *Database) execUnion(sel *SelectStmt, params []Value) (*Result, error) {
+	head := *sel
+	head.Unions = nil
+	head.OrderBy, head.Limit, head.Offset = nil, nil, nil
+	res, err := db.execSelectSingle(&head, params)
+	if err != nil {
+		return nil, err
+	}
+	allAll := true
+	for _, part := range sel.Unions {
+		if !part.All {
+			allAll = false
+		}
+		arm, err := db.execSelectSingle(part.Sel, params)
+		if err != nil {
+			return nil, err
+		}
+		if len(arm.Columns) != len(res.Columns) {
+			return nil, &Error{Code: CodeCardinality,
+				Message: fmt.Sprintf("UNION arms have %d and %d columns",
+					len(res.Columns), len(arm.Columns))}
+		}
+		res.Rows = append(res.Rows, arm.Rows...)
+	}
+	if !allAll {
+		seen := map[string]struct{}{}
+		kept := res.Rows[:0:0]
+		for _, r := range res.Rows {
+			k := identityKey(r)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			kept = append(kept, r)
+		}
+		res.Rows = kept
+	}
+	if len(sel.OrderBy) > 0 {
+		keys := make([]int, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			pos, err := unionOrderColumn(o.Expr, res.Columns)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = pos
+		}
+		var sortErr error
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for j, pos := range keys {
+				ka, kb := res.Rows[a][pos], res.Rows[b][pos]
+				var c int
+				switch {
+				case ka.IsNull() && kb.IsNull():
+					c = 0
+				case ka.IsNull():
+					c = -1
+				case kb.IsNull():
+					c = 1
+				default:
+					var err error
+					c, err = Compare(ka, kb)
+					if err != nil && sortErr == nil {
+						sortErr = err
+					}
+				}
+				if c == 0 {
+					continue
+				}
+				if sel.OrderBy[j].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+	if sel.Offset != nil {
+		v, ok := constValue(sel.Offset, params)
+		if !ok {
+			return nil, errSyntax("OFFSET must be a constant expression")
+		}
+		n, nok := v.AsInt()
+		if !nok || n < 0 {
+			return nil, errSyntax("OFFSET must be a non-negative integer")
+		}
+		if int(n) >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[n:]
+		}
+	}
+	if sel.Limit != nil {
+		v, ok := constValue(sel.Limit, params)
+		if !ok {
+			return nil, errSyntax("LIMIT must be a constant expression")
+		}
+		n, nok := v.AsInt()
+		if !nok || n < 0 {
+			return nil, errSyntax("LIMIT must be a non-negative integer")
+		}
+		if int(n) < len(res.Rows) {
+			res.Rows = res.Rows[:n]
+		}
+	}
+	res.RowsAffected = int64(len(res.Rows))
+	return res, nil
+}
+
+// unionOrderColumn resolves a UNION ORDER BY key: an output column name
+// or a 1-based ordinal.
+func unionOrderColumn(e Expr, cols []string) (int, error) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table == "" {
+			for i, c := range cols {
+				if strings.EqualFold(c, x.Column) {
+					return i, nil
+				}
+			}
+		}
+		return 0, errUndefinedColumn(x.Column)
+	case *Literal:
+		if x.Val.T == TInt {
+			n := int(x.Val.I)
+			if n >= 1 && n <= len(cols) {
+				return n - 1, nil
+			}
+		}
+		return 0, errSyntax("ORDER BY ordinal %s out of range", x.Val.String())
+	default:
+		return 0, &Error{Code: CodeFeature,
+			Message: "UNION ORDER BY supports output column names and ordinals only"}
+	}
+}
+
+// cloneForUndo deep-copies a table (rows and indexes) so ALTER TABLE can
+// be rolled back wholesale.
+func (t *Table) cloneForUndo() *Table {
+	c := &Table{
+		Name:    t.Name,
+		Columns: append([]Column(nil), t.Columns...),
+		byID:    make(map[int64]*storedRow, len(t.byID)),
+		nextID:  t.nextID,
+	}
+	c.rows = make([]*storedRow, len(t.rows))
+	for i, r := range t.rows {
+		nr := &storedRow{id: r.id, vals: append([]Value(nil), r.vals...)}
+		c.rows[i] = nr
+		c.byID[nr.id] = nr
+	}
+	for _, ix := range t.indexes {
+		nix, err := buildIndex(c, ix.Name, ix.Column, ix.Unique)
+		if err != nil {
+			// The source index was consistent; rebuilding cannot fail.
+			panic("sqldb: cloneForUndo index rebuild: " + err.Error())
+		}
+		c.indexes = append(c.indexes, nix)
+	}
+	return c
+}
+
+// execAlterTable applies ADD COLUMN, DROP COLUMN, or RENAME TO. Rollback
+// restores a pre-image snapshot of the whole table.
+func (s *Session) execAlterTable(at *AlterTableStmt) (*Result, error) {
+	t, err := s.db.table(at.Table)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := t.cloneForUndo()
+	oldKey := strings.ToLower(t.Name)
+
+	switch {
+	case at.AddColumn != nil:
+		cd := at.AddColumn
+		if t.colIndex(cd.Name) >= 0 {
+			return nil, errSyntax("column %q already exists", cd.Name)
+		}
+		col := Column{Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull}
+		fill := Null
+		if cd.Default != nil {
+			v, err := eval(cd.Default, &evalEnv{})
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceToColumn(v, cd.Type)
+			if err != nil {
+				return nil, err
+			}
+			col.Default = cv
+			col.HasDefault = true
+			fill = cv
+		}
+		if col.NotNull && fill.IsNull() && len(t.rows) > 0 {
+			return nil, &Error{Code: CodeNotNullViolation,
+				Message: fmt.Sprintf("cannot add NOT NULL column %q without a default to a non-empty table", cd.Name)}
+		}
+		t.Columns = append(t.Columns, col)
+		for _, r := range t.rows {
+			r.vals = append(r.vals, fill)
+		}
+	case at.DropColumn != "":
+		pos := t.colIndex(at.DropColumn)
+		if pos < 0 {
+			return nil, errUndefinedColumn(at.DropColumn)
+		}
+		for _, ix := range t.indexes {
+			if ix.colPos == pos {
+				return nil, &Error{Code: CodeFeature,
+					Message: fmt.Sprintf("cannot drop column %q: index %q depends on it (drop the index first)",
+						at.DropColumn, ix.Name)}
+			}
+		}
+		t.Columns = append(t.Columns[:pos:pos], t.Columns[pos+1:]...)
+		for _, r := range t.rows {
+			r.vals = append(r.vals[:pos:pos], r.vals[pos+1:]...)
+		}
+		for _, ix := range t.indexes {
+			if ix.colPos > pos {
+				ix.colPos--
+			}
+		}
+	case at.RenameTo != "":
+		newKey := strings.ToLower(at.RenameTo)
+		if _, exists := s.db.tables[newKey]; exists && newKey != oldKey {
+			return nil, &Error{Code: CodeDuplicateTable,
+				Message: fmt.Sprintf("table %q already exists", at.RenameTo)}
+		}
+		delete(s.db.tables, oldKey)
+		t.Name = at.RenameTo
+		s.db.tables[newKey] = t
+		for _, ix := range t.indexes {
+			ix.Table = at.RenameTo
+		}
+	default:
+		return nil, errSyntax("ALTER TABLE requires ADD, DROP, or RENAME")
+	}
+	s.logUndo(undoRec{kind: undoAlterTable, table: t.Name,
+		alterOldName: snapshot.Name, droppedTable: snapshot})
+	return &Result{}, nil
+}

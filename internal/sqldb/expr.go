@@ -1,0 +1,527 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// envCol names one slot of the executor's row layout: the (lower-cased)
+// table qualifier and column name.
+type envCol struct {
+	tbl  string
+	name string
+}
+
+// evalEnv is the evaluation environment for one row (or one group).
+type evalEnv struct {
+	cols   []envCol
+	row    []Value
+	params []Value
+	aggs   []Value // aggregate results for the current group
+	// db enables subquery evaluation; nil where subqueries are not
+	// permitted (e.g. constant folding for LIMIT).
+	db *Database
+	// subCache memoises uncorrelated subquery results for one statement
+	// execution. Shared across row environments of the same statement.
+	subCache map[*Subquery][][]Value
+}
+
+// resolveColumn finds the slot for a column reference. Matching is
+// case-insensitive; an unqualified name matching columns in more than one
+// table is ambiguous.
+func (env *evalEnv) resolveColumn(c *ColumnRef) (int, error) {
+	want := strings.ToLower(c.Column)
+	qual := strings.ToLower(c.Table)
+	found := -1
+	for i, ec := range env.cols {
+		if ec.name != want {
+			continue
+		}
+		if qual != "" && ec.tbl != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, &Error{Code: CodeAmbiguousColumn,
+				Message: fmt.Sprintf("column reference %q is ambiguous", c.Column)}
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, errUndefinedColumn(qual + "." + c.Column)
+		}
+		return 0, errUndefinedColumn(c.Column)
+	}
+	return found, nil
+}
+
+// bindExpr resolves all column references in e against env's layout,
+// caching slot indexes so per-row evaluation is slot lookup only.
+func bindExpr(e Expr, env *evalEnv) error {
+	var bindErr error
+	walkExpr(e, func(x Expr) bool {
+		if bindErr != nil {
+			return false
+		}
+		if c, ok := x.(*ColumnRef); ok {
+			slot, err := env.resolveColumn(c)
+			if err != nil {
+				bindErr = err
+				return false
+			}
+			c.slot = slot
+		}
+		return true
+	})
+	return bindErr
+}
+
+// eval evaluates a bound expression against one row environment.
+func eval(e Expr, env *evalEnv) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		if x.slot < 0 || x.slot >= len(env.row) {
+			return Null, errInternal(fmt.Sprintf("unbound column %q", x.Column))
+		}
+		return env.row[x.slot], nil
+	case *Param:
+		if x.Index < 1 || x.Index > len(env.params) {
+			return Null, &Error{Code: CodeWrongArity,
+				Message: fmt.Sprintf("missing value for parameter %d", x.Index)}
+		}
+		return env.params[x.Index-1], nil
+	case *Unary:
+		return evalUnary(x, env)
+	case *Binary:
+		return evalBinary(x, env)
+	case *LikeExpr:
+		return evalLike(x, env)
+	case *BetweenExpr:
+		return evalBetween(x, env)
+	case *InExpr:
+		return evalIn(x, env)
+	case *IsNullExpr:
+		v, err := eval(x.X, env)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(v.IsNull() != x.Not), nil
+	case *FuncCall:
+		if x.aggSlot >= 0 {
+			if x.aggSlot >= len(env.aggs) {
+				return Null, errInternal("aggregate evaluated outside grouping")
+			}
+			return env.aggs[x.aggSlot], nil
+		}
+		return evalFunc(x, env)
+	case *CaseExpr:
+		return evalCase(x, env)
+	case *CastExpr:
+		v, err := eval(x.X, env)
+		if err != nil {
+			return Null, err
+		}
+		return coerceToColumn(v, x.To)
+	case *Subquery:
+		rows, err := evalSubquery(x, env)
+		if err != nil {
+			return Null, err
+		}
+		if len(rows) == 0 {
+			return Null, nil
+		}
+		if len(rows) > 1 {
+			return Null, &Error{Code: CodeCardinality,
+				Message: "scalar subquery returned more than one row"}
+		}
+		if len(rows[0]) != 1 {
+			return Null, &Error{Code: CodeCardinality,
+				Message: "scalar subquery must return exactly one column"}
+		}
+		return rows[0][0], nil
+	case *ExistsExpr:
+		rows, err := evalSubquery(x.Sub, env)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool((len(rows) > 0) != x.Not), nil
+	default:
+		return Null, errInternal(fmt.Sprintf("unknown expression node %T", e))
+	}
+}
+
+func evalUnary(x *Unary, env *evalEnv) (Value, error) {
+	v, err := eval(x.X, env)
+	if err != nil {
+		return Null, err
+	}
+	switch x.Op {
+	case "-":
+		if v.IsNull() {
+			return Null, nil
+		}
+		switch v.T {
+		case TInt:
+			return NewInt(-v.I), nil
+		case TFloat:
+			return NewFloat(-v.F), nil
+		}
+		return Null, &Error{Code: CodeDatatypeMismatch,
+			Message: fmt.Sprintf("cannot negate %s", v.T)}
+	case "NOT":
+		t, known := v.Truth()
+		if !known {
+			return Null, nil
+		}
+		return NewBool(!t), nil
+	}
+	return Null, errInternal("unknown unary operator " + x.Op)
+}
+
+func evalBinary(x *Binary, env *evalEnv) (Value, error) {
+	// AND/OR implement SQL three-valued logic with short-circuiting.
+	switch x.Op {
+	case "AND":
+		l, err := eval(x.L, env)
+		if err != nil {
+			return Null, err
+		}
+		lt, lknown := l.Truth()
+		if lknown && !lt {
+			return NewBool(false), nil
+		}
+		r, err := eval(x.R, env)
+		if err != nil {
+			return Null, err
+		}
+		rt, rknown := r.Truth()
+		if rknown && !rt {
+			return NewBool(false), nil
+		}
+		if !lknown || !rknown {
+			return Null, nil
+		}
+		return NewBool(true), nil
+	case "OR":
+		l, err := eval(x.L, env)
+		if err != nil {
+			return Null, err
+		}
+		lt, lknown := l.Truth()
+		if lknown && lt {
+			return NewBool(true), nil
+		}
+		r, err := eval(x.R, env)
+		if err != nil {
+			return Null, err
+		}
+		rt, rknown := r.Truth()
+		if rknown && rt {
+			return NewBool(true), nil
+		}
+		if !lknown || !rknown {
+			return Null, nil
+		}
+		return NewBool(false), nil
+	}
+	l, err := eval(x.L, env)
+	if err != nil {
+		return Null, err
+	}
+	r, err := eval(x.R, env)
+	if err != nil {
+		return Null, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c, err := Compare(l, r)
+		if err != nil {
+			return Null, err
+		}
+		var b bool
+		switch x.Op {
+		case "=":
+			b = c == 0
+		case "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return NewBool(b), nil
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewString(l.String() + r.String()), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(x.Op, l, r)
+	}
+	return Null, errInternal("unknown binary operator " + x.Op)
+}
+
+func evalArith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
+	}
+	// Strings in arithmetic contexts are parsed numerically — the engine
+	// receives every literal as a string when statements are assembled by
+	// textual variable substitution, so this mirrors dynamic-SQL behaviour.
+	l2, err := numify(l)
+	if err != nil {
+		return Null, err
+	}
+	r2, err := numify(r)
+	if err != nil {
+		return Null, err
+	}
+	if l2.T == TInt && r2.T == TInt {
+		a, b := l2.I, r2.I
+		switch op {
+		case "+":
+			return NewInt(a + b), nil
+		case "-":
+			return NewInt(a - b), nil
+		case "*":
+			return NewInt(a * b), nil
+		case "/":
+			if b == 0 {
+				return Null, &Error{Code: CodeDivisionByZero, Message: "division by zero"}
+			}
+			return NewInt(a / b), nil
+		case "%":
+			if b == 0 {
+				return Null, &Error{Code: CodeDivisionByZero, Message: "division by zero"}
+			}
+			return NewInt(a % b), nil
+		}
+	}
+	af, _ := l2.AsFloat()
+	bf, _ := r2.AsFloat()
+	switch op {
+	case "+":
+		return NewFloat(af + bf), nil
+	case "-":
+		return NewFloat(af - bf), nil
+	case "*":
+		return NewFloat(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Null, &Error{Code: CodeDivisionByZero, Message: "division by zero"}
+		}
+		return NewFloat(af / bf), nil
+	case "%":
+		if bf == 0 {
+			return Null, &Error{Code: CodeDivisionByZero, Message: "division by zero"}
+		}
+		return NewFloat(float64(int64(af) % int64(bf))), nil
+	}
+	return Null, errInternal("unknown arithmetic operator " + op)
+}
+
+// numify coerces a value to TInt or TFloat for arithmetic.
+func numify(v Value) (Value, error) {
+	switch v.T {
+	case TInt, TFloat:
+		return v, nil
+	case TString:
+		return coerceToColumn(v, TFloat)
+	case TBool:
+		if v.B {
+			return NewInt(1), nil
+		}
+		return NewInt(0), nil
+	}
+	return Null, &Error{Code: CodeDatatypeMismatch,
+		Message: fmt.Sprintf("%s is not numeric", v.T)}
+}
+
+func evalLike(x *LikeExpr, env *evalEnv) (Value, error) {
+	v, err := eval(x.X, env)
+	if err != nil {
+		return Null, err
+	}
+	p, err := eval(x.Pattern, env)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() || p.IsNull() {
+		return Null, nil
+	}
+	var escape rune
+	hasEscape := false
+	if x.Escape != nil {
+		e, err := eval(x.Escape, env)
+		if err != nil {
+			return Null, err
+		}
+		if e.IsNull() {
+			return Null, nil
+		}
+		rs := []rune(e.String())
+		if len(rs) != 1 {
+			return Null, &Error{Code: CodeInvalidText,
+				Message: "ESCAPE must be a single character"}
+		}
+		escape = rs[0]
+		hasEscape = true
+	}
+	ok, err := likeMatch(v.String(), p.String(), escape, hasEscape)
+	if err != nil {
+		return Null, err
+	}
+	return NewBool(ok != x.Not), nil
+}
+
+func evalBetween(x *BetweenExpr, env *evalEnv) (Value, error) {
+	v, err := eval(x.X, env)
+	if err != nil {
+		return Null, err
+	}
+	lo, err := eval(x.Lo, env)
+	if err != nil {
+		return Null, err
+	}
+	hi, err := eval(x.Hi, env)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return Null, nil
+	}
+	c1, err := Compare(v, lo)
+	if err != nil {
+		return Null, err
+	}
+	c2, err := Compare(v, hi)
+	if err != nil {
+		return Null, err
+	}
+	in := c1 >= 0 && c2 <= 0
+	return NewBool(in != x.Not), nil
+}
+
+// evalSubquery evaluates (and memoises) an uncorrelated subquery.
+func evalSubquery(sub *Subquery, env *evalEnv) ([][]Value, error) {
+	if env.db == nil {
+		return nil, &Error{Code: CodeFeature,
+			Message: "subqueries are not allowed in this context"}
+	}
+	if env.subCache != nil {
+		if rows, ok := env.subCache[sub]; ok {
+			return rows, nil
+		}
+	}
+	res, err := env.db.execSelect(sub.Sel, env.params)
+	if err != nil {
+		return nil, err
+	}
+	if env.subCache != nil {
+		env.subCache[sub] = res.Rows
+	}
+	return res.Rows, nil
+}
+
+func evalIn(x *InExpr, env *evalEnv) (Value, error) {
+	v, err := eval(x.X, env)
+	if err != nil {
+		return Null, err
+	}
+	if x.Sub != nil {
+		rows, err := evalSubquery(x.Sub, env)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		sawNull := false
+		for _, row := range rows {
+			if len(row) != 1 {
+				return Null, &Error{Code: CodeCardinality,
+					Message: "IN subquery must return exactly one column"}
+			}
+			if row[0].IsNull() {
+				sawNull = true
+				continue
+			}
+			c, err := Compare(v, row[0])
+			if err != nil {
+				return Null, err
+			}
+			if c == 0 {
+				return NewBool(!x.Not), nil
+			}
+		}
+		if sawNull {
+			return Null, nil
+		}
+		return NewBool(x.Not), nil
+	}
+	if v.IsNull() {
+		return Null, nil
+	}
+	sawNull := false
+	for _, item := range x.List {
+		iv, err := eval(item, env)
+		if err != nil {
+			return Null, err
+		}
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		c, err := Compare(v, iv)
+		if err != nil {
+			return Null, err
+		}
+		if c == 0 {
+			return NewBool(!x.Not), nil
+		}
+	}
+	if sawNull {
+		return Null, nil // unknown, per three-valued IN semantics
+	}
+	return NewBool(x.Not), nil
+}
+
+func evalCase(x *CaseExpr, env *evalEnv) (Value, error) {
+	var operand Value
+	var err error
+	if x.Operand != nil {
+		operand, err = eval(x.Operand, env)
+		if err != nil {
+			return Null, err
+		}
+	}
+	for _, w := range x.Whens {
+		cv, err := eval(w.Cond, env)
+		if err != nil {
+			return Null, err
+		}
+		matched := false
+		if x.Operand != nil {
+			matched = Equal(operand, cv)
+		} else {
+			t, known := cv.Truth()
+			matched = known && t
+		}
+		if matched {
+			return eval(w.Then, env)
+		}
+	}
+	if x.Else != nil {
+		return eval(x.Else, env)
+	}
+	return Null, nil
+}

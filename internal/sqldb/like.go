@@ -1,0 +1,107 @@
+package sqldb
+
+import "strings"
+
+// patRune is one compiled pattern element: a rune plus whether it is a
+// literal (escaped) occurrence. Non-literal '_' is the single-character
+// wildcard; '%' never appears here (it splits parts).
+type patRune struct {
+	r       rune
+	literal bool
+}
+
+// likeMatch implements the SQL LIKE predicate: '%' matches any sequence
+// of characters (including empty), '_' matches exactly one character, and
+// the optional escape character makes the following character literal.
+// Matching is case-sensitive, per SQL-92; callers wanting case-folding
+// apply UPPER/LOWER.
+func likeMatch(s, pattern string, escape rune, hasEscape bool) (bool, error) {
+	// Split the pattern on unescaped '%' into parts.
+	pr := []rune(pattern)
+	var parts [][]patRune
+	var part []patRune
+	for i := 0; i < len(pr); i++ {
+		r := pr[i]
+		if hasEscape && r == escape {
+			if i+1 >= len(pr) {
+				return false, &Error{Code: CodeInvalidText,
+					Message: "LIKE pattern ends with escape character"}
+			}
+			i++
+			part = append(part, patRune{r: pr[i], literal: true})
+			continue
+		}
+		if r == '%' {
+			parts = append(parts, part)
+			part = nil
+			continue
+		}
+		part = append(part, patRune{r: r})
+	}
+	parts = append(parts, part)
+
+	sr := []rune(s)
+	// matchPartAt matches one compiled part against sr starting exactly
+	// at pos; it returns the position after the match, or -1.
+	matchPartAt := func(part []patRune, pos int) int {
+		for _, p := range part {
+			if pos >= len(sr) {
+				return -1
+			}
+			if !p.literal && p.r == '_' {
+				pos++
+				continue
+			}
+			if sr[pos] != p.r {
+				return -1
+			}
+			pos++
+		}
+		return pos
+	}
+
+	// parts[0] is anchored at the start.
+	pos := matchPartAt(parts[0], 0)
+	if pos < 0 {
+		return false, nil
+	}
+	if len(parts) == 1 {
+		return pos == len(sr), nil
+	}
+	// Middle parts float: find the earliest match at or after pos.
+	for k := 1; k < len(parts)-1; k++ {
+		found := -1
+		for start := pos; start <= len(sr); start++ {
+			if p := matchPartAt(parts[k], start); p >= 0 {
+				found = p
+				break
+			}
+		}
+		if found < 0 {
+			return false, nil
+		}
+		pos = found
+	}
+	// The last part is anchored at the end.
+	last := parts[len(parts)-1]
+	start := len(sr) - len(last)
+	if start < pos {
+		return false, nil
+	}
+	return matchPartAt(last, start) == len(sr), nil
+}
+
+// likePrefix reports whether a LIKE pattern is a simple prefix pattern
+// ("abc%", no other wildcards or escapes) and returns the prefix. The
+// executor uses this to route prefix LIKE predicates through an ordered
+// index (ablation A5).
+func likePrefix(pattern string) (string, bool) {
+	if !strings.HasSuffix(pattern, "%") {
+		return "", false
+	}
+	body := pattern[:len(pattern)-1]
+	if strings.ContainsAny(body, "%_") {
+		return "", false
+	}
+	return body, true
+}

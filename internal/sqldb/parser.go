@@ -1,0 +1,1179 @@
+package sqldb
+
+import "strings"
+
+// parser is a recursive-descent parser over the token stream. Grammar is a
+// practical SQL-92 subset; see package doc for the supported surface.
+type parser struct {
+	toks []token
+	pos  int
+	nprm int // number of ? parameters seen so far
+}
+
+// Parse parses a single SQL statement. A trailing semicolon is permitted.
+func Parse(src string) (Stmt, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if !p.atEOF() {
+		return nil, errSyntax("unexpected %s after statement", p.peek().describe())
+	}
+	return st, nil
+}
+
+// ParseAll parses a semicolon-separated script into statements.
+func ParseAll(src string) ([]Stmt, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Stmt
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.atEOF() {
+			return out, nil
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.acceptOp(";") && !p.atEOF() {
+			return nil, errSyntax("expected ';' between statements, got %s", p.peek().describe())
+		}
+	}
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tkEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.kind == tkKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errSyntax("expected %s, got %s", kw, p.peek().describe())
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == tkOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return errSyntax("expected %q, got %s", op, p.peek().describe())
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier. Type keywords and a few non-reserved
+// words are permitted as identifiers for 1996-schema friendliness
+// (columns named "desc" appear in the paper's examples — those must be
+// double-quoted; but "url", "title" are ordinary identifiers).
+func (p *parser) expectIdent(what string) (string, error) {
+	t := p.peek()
+	if t.kind == tkIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", errSyntax("expected %s, got %s", what, t.describe())
+}
+
+func (p *parser) parseStatement() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tkKeyword {
+		return nil, errSyntax("expected a SQL statement, got %s", t.describe())
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "ALTER":
+		return p.parseAlter()
+	case "DROP":
+		return p.parseDrop()
+	case "BEGIN":
+		p.advance()
+		p.acceptKw("WORK")
+		p.acceptKw("TRANSACTION")
+		return &BeginStmt{}, nil
+	case "COMMIT":
+		p.advance()
+		p.acceptKw("WORK")
+		return &CommitStmt{}, nil
+	case "ROLLBACK":
+		p.advance()
+		p.acceptKw("WORK")
+		return &RollbackStmt{}, nil
+	default:
+		return nil, errSyntax("unsupported statement starting with %s", t.describe())
+	}
+}
+
+// --- SELECT ---
+
+// parseSelectCore parses one SELECT through its HAVING clause — the unit
+// a UNION chain combines. ORDER BY and LIMIT belong to the whole chain
+// and are parsed by parseSelect.
+func (p *parser) parseSelectCore() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptKw("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKw("ALL")
+	}
+	if err := p.parseSelectList(sel); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, tr)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	sel, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("UNION") {
+		part := UnionPart{All: p.acceptKw("ALL")}
+		arm, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		part.Sel = arm
+		sel.Unions = append(sel.Unions, part)
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+		if p.acceptKw("OFFSET") {
+			o, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Offset = o
+		}
+	} else if p.acceptKw("FETCH") {
+		// DB2 syntax: FETCH FIRST n ROWS ONLY
+		if err := p.expectKw("FIRST"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+		if err := p.expectKw("ROWS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ONLY"); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectList(sel *SelectStmt) error {
+	if p.acceptOp("*") {
+		sel.Star = true
+		return nil
+	}
+	for {
+		// alias.* form
+		if p.peek().kind == tkIdent && p.pos+2 < len(p.toks) &&
+			p.toks[p.pos+1].kind == tkOp && p.toks[p.pos+1].text == "." &&
+			p.toks[p.pos+2].kind == tkOp && p.toks[p.pos+2].text == "*" {
+			tbl := p.advance().text
+			p.advance() // .
+			p.advance() // *
+			sel.Items = append(sel.Items, SelectItem{TableStar: tbl})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKw("AS") {
+				a, err := p.expectIdent("column alias")
+				if err != nil {
+					return err
+				}
+				item.Alias = a
+			} else if p.peek().kind == tkIdent {
+				item.Alias = p.advance().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.acceptOp(",") {
+			return nil
+		}
+	}
+}
+
+// parseDerivedTable parses "( SELECT ... )" after the caller saw "(".
+func (p *parser) parseDerivedTable() (*SelectStmt, error) {
+	p.advance() // consume "("
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// parseTableAlias consumes an optional [AS] alias.
+func (p *parser) parseTableAlias() (string, error) {
+	if p.acceptKw("AS") {
+		return p.expectIdent("table alias")
+	}
+	if p.peek().kind == tkIdent {
+		return p.advance().text, nil
+	}
+	return "", nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var tr TableRef
+	if t := p.peek(); t.kind == tkOp && t.text == "(" {
+		sub, err := p.parseDerivedTable()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Sub = sub
+	} else {
+		name, err := p.expectIdent("table name")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Table = name
+	}
+	alias, err := p.parseTableAlias()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr.Alias = alias
+	if tr.Sub != nil && tr.Alias == "" {
+		return TableRef{}, errSyntax("a derived table requires an alias")
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.acceptKw("JOIN"):
+			kind = JoinInner
+		case p.acceptKw("INNER"):
+			if err := p.expectKw("JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			kind = JoinInner
+		case p.acceptKw("LEFT"):
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			kind = JoinLeft
+		case p.acceptKw("CROSS"):
+			if err := p.expectKw("JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			kind = JoinCross
+		default:
+			return tr, nil
+		}
+		jc := JoinClause{Kind: kind}
+		if t := p.peek(); t.kind == tkOp && t.text == "(" {
+			sub, err := p.parseDerivedTable()
+			if err != nil {
+				return TableRef{}, err
+			}
+			jc.Sub = sub
+		} else {
+			jt, err := p.expectIdent("joined table name")
+			if err != nil {
+				return TableRef{}, err
+			}
+			jc.Table = jt
+		}
+		alias, err := p.parseTableAlias()
+		if err != nil {
+			return TableRef{}, err
+		}
+		jc.Alias = alias
+		if jc.Sub != nil && jc.Alias == "" {
+			return TableRef{}, errSyntax("a derived table requires an alias")
+		}
+		if kind != JoinCross {
+			if err := p.expectKw("ON"); err != nil {
+				return TableRef{}, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return TableRef{}, err
+			}
+			jc.On = on
+		}
+		tr.Joins = append(tr.Joins, jc)
+	}
+}
+
+// --- INSERT / UPDATE / DELETE ---
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	p.advance() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	if p.acceptOp("(") {
+		for {
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	p.advance() // UPDATE
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	up := &UpdateStmt{Table: name}
+	if p.acceptKw("AS") {
+		a, err := p.expectIdent("table alias")
+		if err != nil {
+			return nil, err
+		}
+		up.Alias = a
+	} else if p.peek().kind == tkIdent {
+		up.Alias = p.advance().text
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, SetClause{Column: col, Value: val})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = e
+	}
+	return up, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	p.advance() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	del := &DeleteStmt{Table: name}
+	if p.acceptKw("AS") {
+		a, err := p.expectIdent("table alias")
+		if err != nil {
+			return nil, err
+		}
+		del.Alias = a
+	} else if p.peek().kind == tkIdent {
+		del.Alias = p.advance().text
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+// --- CREATE / DROP ---
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.advance() // CREATE
+	unique := p.acceptKw("UNIQUE")
+	switch {
+	case !unique && p.acceptKw("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKw("INDEX"):
+		return p.parseCreateIndex(unique)
+	default:
+		return nil, errSyntax("expected TABLE or INDEX after CREATE, got %s", p.peek().describe())
+	}
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	ct := &CreateTableStmt{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		ct.IfNotExists = true
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	ct.Table = name
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		ct.Columns = append(ct.Columns, col)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.expectIdent("column name")
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	cd := ColumnDef{Name: name, Type: typ}
+	for {
+		switch {
+		case p.acceptKw("NOT"):
+			if err := p.expectKw("NULL"); err != nil {
+				return ColumnDef{}, err
+			}
+			cd.NotNull = true
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return ColumnDef{}, err
+			}
+			cd.PrimaryKey = true
+			cd.NotNull = true
+		case p.acceptKw("DEFAULT"):
+			e, err := p.parsePrimary()
+			if err != nil {
+				return ColumnDef{}, err
+			}
+			cd.Default = e
+		case p.acceptKw("NULL"):
+			// explicit NULL-able, the default
+		default:
+			return cd, nil
+		}
+	}
+}
+
+// parseTypeName consumes a SQL type name and maps it onto a runtime Type.
+func (p *parser) parseTypeName() (Type, error) {
+	t := p.peek()
+	if t.kind != tkKeyword {
+		return TNull, errSyntax("expected a type name, got %s", t.describe())
+	}
+	p.advance()
+	var typ Type
+	switch t.text {
+	case "INT", "INTEGER", "SMALLINT", "BIGINT":
+		typ = TInt
+	case "VARCHAR", "CHAR", "CHARACTER", "TEXT":
+		typ = TString
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		typ = TFloat
+		p.acceptKw("PRECISION") // DOUBLE PRECISION
+	case "BOOLEAN":
+		typ = TBool
+	default:
+		return TNull, errSyntax("unsupported type %s", t.describe())
+	}
+	// Optional (length) or (precision, scale) — accepted and ignored, the
+	// engine stores unbounded values.
+	if p.acceptOp("(") {
+		for !p.acceptOp(")") {
+			if p.atEOF() {
+				return TNull, errSyntax("unterminated type parameter list")
+			}
+			p.advance()
+		}
+	}
+	return typ, nil
+}
+
+func (p *parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
+	name, err := p.expectIdent("index name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent("column name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}, nil
+}
+
+func (p *parser) parseAlter() (Stmt, error) {
+	p.advance() // ALTER
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	at := &AlterTableStmt{Table: name}
+	switch {
+	case p.acceptKw("ADD"):
+		p.acceptKw("COLUMN")
+		cd, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		at.AddColumn = &cd
+	case p.acceptKw("DROP"):
+		p.acceptKw("COLUMN")
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		at.DropColumn = col
+	case p.acceptKw("RENAME"):
+		if err := p.expectKw("TO"); err != nil {
+			return nil, err
+		}
+		to, err := p.expectIdent("new table name")
+		if err != nil {
+			return nil, err
+		}
+		at.RenameTo = to
+	default:
+		return nil, errSyntax("expected ADD, DROP or RENAME after ALTER TABLE %s", name)
+	}
+	return at, nil
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	p.advance() // DROP
+	switch {
+	case p.acceptKw("TABLE"):
+		dt := &DropTableStmt{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			dt.IfExists = true
+		}
+		name, err := p.expectIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		dt.Table = name
+		return dt, nil
+	case p.acceptKw("INDEX"):
+		di := &DropIndexStmt{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			di.IfExists = true
+		}
+		name, err := p.expectIdent("index name")
+		if err != nil {
+			return nil, err
+		}
+		di.Name = name
+		return di, nil
+	default:
+		return nil, errSyntax("expected TABLE or INDEX after DROP, got %s", p.peek().describe())
+	}
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate handles comparison and the SQL predicates (LIKE, BETWEEN,
+// IN, IS NULL) at the same precedence level.
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKw("IS") {
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Not: not, X: l}, nil
+	}
+	not := false
+	if p.peek().kind == tkKeyword && p.peek().text == "NOT" &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tkKeyword {
+		switch p.toks[p.pos+1].text {
+		case "LIKE", "BETWEEN", "IN":
+			p.advance()
+			not = true
+		}
+	}
+	switch {
+	case p.acceptKw("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		le := &LikeExpr{Not: not, X: l, Pattern: pat}
+		if p.acceptKw("ESCAPE") {
+			esc, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			le.Escape = esc
+		}
+		return le, nil
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Not: not, X: l, Lo: lo, Hi: hi}, nil
+	case p.acceptKw("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{Not: not, X: l}
+		if p.peek().kind == tkKeyword && p.peek().text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Sub = &Subquery{Sel: sub}
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if not {
+		return nil, errSyntax("expected LIKE, BETWEEN or IN after NOT")
+	}
+	// comparison operators
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.acceptOp(op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			canon := op
+			if canon == "!=" {
+				canon = "<>"
+			}
+			return &Binary{Op: canon, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("+"):
+			op = "+"
+		case p.acceptOp("-"):
+			op = "-"
+		case p.acceptOp("||"):
+			op = "||"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	if p.acceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.advance()
+		return &Literal{Val: t.num}, nil
+	case tkString:
+		p.advance()
+		return &Literal{Val: NewString(t.text)}, nil
+	case tkParam:
+		p.advance()
+		p.nprm++
+		return &Param{Index: p.nprm}, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: Null}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: NewBool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "EXISTS":
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: &Subquery{Sel: sub}}, nil
+		case "SELECT":
+			return nil, errSyntax("subqueries must be parenthesised")
+		case "LEFT", "RIGHT":
+			// LEFT/RIGHT are reserved for joins but double as the string
+			// functions LEFT(s, n) / RIGHT(s, n) when followed by '('.
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tkOp && p.toks[p.pos+1].text == "(" {
+				return p.parseIdentExpr()
+			}
+			return nil, errSyntax("unexpected %s in expression", t.describe())
+		case "DISTINCT":
+			// COUNT(DISTINCT x) handled inside function args; a bare
+			// DISTINCT here is a syntax error.
+			return nil, errSyntax("unexpected DISTINCT")
+		default:
+			return nil, errSyntax("unexpected %s in expression", t.describe())
+		}
+	case tkIdent:
+		return p.parseIdentExpr()
+	case tkOp:
+		if t.text == "(" {
+			p.advance()
+			// A parenthesised SELECT is a scalar subquery.
+			if p.peek().kind == tkKeyword && p.peek().text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Sel: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "*" {
+			// bare * only valid inside COUNT(*), handled in parseIdentExpr
+			return nil, errSyntax("unexpected '*' in expression")
+		}
+	}
+	return nil, errSyntax("unexpected %s in expression", t.describe())
+}
+
+// parseIdentExpr handles column references (possibly qualified) and
+// function calls.
+func (p *parser) parseIdentExpr() (Expr, error) {
+	name := p.advance().text
+	// function call?
+	if p.acceptOp("(") {
+		fc := &FuncCall{Name: strings.ToUpper(name), aggSlot: -1}
+		if p.acceptOp("*") {
+			fc.Star = true
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		if p.acceptOp(")") {
+			return fc, nil
+		}
+		if p.acceptKw("DISTINCT") {
+			fc.Distinct = true
+		}
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	// qualified column?
+	if p.acceptOp(".") {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: name, Column: col, slot: -1}, nil
+	}
+	return &ColumnRef{Column: name, slot: -1}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.advance() // CASE
+	ce := &CaseExpr{}
+	if !(p.peek().kind == tkKeyword && p.peek().text == "WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = op
+	}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, errSyntax("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	p.advance() // CAST
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{X: x, To: typ}, nil
+}

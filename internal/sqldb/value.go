@@ -1,0 +1,379 @@
+// Package sqldb implements a small, self-contained, in-memory relational
+// database engine with a SQL front end.
+//
+// It is the DBMS substrate for the DB2 WWW Connection reproduction: the
+// macro engine (internal/core) only requires dynamic statement execution,
+// result column names and values, row-at-a-time cursors, typed errors, and
+// transactions with rollback — all of which this package provides. The
+// engine supports a useful subset of SQL-92: CREATE/DROP TABLE, CREATE/DROP
+// INDEX, INSERT, UPDATE, DELETE, and SELECT with WHERE, joins, GROUP BY,
+// HAVING, ORDER BY, DISTINCT, LIMIT/OFFSET, scalar functions, aggregates,
+// LIKE, BETWEEN, IN, and CASE.
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type identifies the runtime type of a Value.
+type Type int
+
+// Runtime value types. TNull is the type of the SQL NULL value.
+const (
+	TNull Type = iota
+	TInt
+	TFloat
+	TString
+	TBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "DOUBLE"
+	case TString:
+		return "VARCHAR"
+	case TBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a runtime SQL value. The zero Value is NULL.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{T: TNull}
+
+// NewInt returns an INTEGER value.
+func NewInt(i int64) Value { return Value{T: TInt, I: i} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(f float64) Value { return Value{T: TFloat, F: f} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{T: TString, S: s} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(b bool) Value { return Value{T: TBool, B: b} }
+
+// IsNull reports whether v is the SQL NULL value.
+func (v Value) IsNull() bool { return v.T == TNull }
+
+// String renders the value the way a terminal client or default report
+// would print it. NULL renders as the empty string, matching the paper's
+// treatment of undefined variables.
+func (v Value) String() string {
+	switch v.T {
+	case TNull:
+		return ""
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return formatFloat(v.F)
+	case TString:
+		return v.S
+	case TBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return ""
+	}
+}
+
+// formatFloat renders a double the way a report should read it: plain
+// decimal notation for ordinary magnitudes, scientific only at the
+// extremes (a 1996 report page never showed 1e+07 for a price).
+func formatFloat(f float64) string {
+	abs := f
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs != 0 && (abs >= 1e15 || abs < 1e-4) {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// SQLLiteral renders the value as a SQL literal suitable for re-parsing.
+func (v Value) SQLLiteral() string {
+	switch v.T {
+	case TNull:
+		return "NULL"
+	case TString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	default:
+		return v.String()
+	}
+}
+
+// AsFloat coerces a numeric value to float64. Returns false for non-numeric.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.T {
+	case TInt:
+		return float64(v.I), true
+	case TFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt coerces a numeric value to int64. Returns false for non-numeric.
+func (v Value) AsInt() (int64, bool) {
+	switch v.T {
+	case TInt:
+		return v.I, true
+	case TFloat:
+		return int64(v.F), true
+	default:
+		return 0, false
+	}
+}
+
+// Truth evaluates the value in a boolean context using SQL three-valued
+// logic: the second result is false when the truth value is unknown (NULL).
+func (v Value) Truth() (bool, bool) {
+	switch v.T {
+	case TBool:
+		return v.B, true
+	case TInt:
+		return v.I != 0, true
+	case TFloat:
+		return v.F != 0, true
+	case TNull:
+		return false, false
+	default:
+		return false, false
+	}
+}
+
+// Compare orders two non-NULL values. It returns -1, 0, or +1 and an error
+// when the values are not comparable. Numeric values compare numerically
+// across INT and FLOAT; strings compare lexicographically; booleans order
+// FALSE < TRUE.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, errInternal("Compare called with NULL operand")
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if aok && bok {
+		// Compare int64 exactly when both sides are integers to avoid
+		// float rounding at the extremes.
+		if a.T == TInt && b.T == TInt {
+			switch {
+			case a.I < b.I:
+				return -1, nil
+			case a.I > b.I:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.T == TString && b.T == TString {
+		return strings.Compare(a.S, b.S), nil
+	}
+	if a.T == TBool && b.T == TBool {
+		switch {
+		case !a.B && b.B:
+			return -1, nil
+		case a.B && !b.B:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	// Cross-type comparison between string and number: attempt a numeric
+	// parse of the string side, as 1996-era dynamic SQL front ends did.
+	if a.T == TString && bok {
+		if f, err := strconv.ParseFloat(strings.TrimSpace(a.S), 64); err == nil {
+			switch {
+			case f < bf:
+				return -1, nil
+			case f > bf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if b.T == TString && aok {
+		if f, err := strconv.ParseFloat(strings.TrimSpace(b.S), 64); err == nil {
+			switch {
+			case af < f:
+				return -1, nil
+			case af > f:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	return 0, &Error{Code: CodeDatatypeMismatch,
+		Message: fmt.Sprintf("cannot compare %s with %s", a.T, b.T)}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+// NULL is not equal to anything, including NULL.
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// IdentityEqual reports whether two values are indistinguishable, treating
+// NULL as equal to NULL. Used for DISTINCT and GROUP BY key matching.
+func IdentityEqual(a, b Value) bool {
+	if a.IsNull() && b.IsNull() {
+		return true
+	}
+	if a.IsNull() != b.IsNull() {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// identityKey builds a hashable string key for a value row, used by
+// DISTINCT, GROUP BY, and hash joins. The encoding is injective per type.
+func identityKey(vals []Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		switch v.T {
+		case TNull:
+			sb.WriteString("n|")
+		case TInt:
+			sb.WriteString("i")
+			sb.WriteString(strconv.FormatInt(v.I, 10))
+			sb.WriteByte('|')
+		case TFloat:
+			// Normalise integral floats so 1 and 1.0 group together,
+			// mirroring Compare's numeric cross-type semantics.
+			if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) &&
+				v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+				sb.WriteString("i")
+				sb.WriteString(strconv.FormatInt(int64(v.F), 10))
+			} else {
+				sb.WriteString("f")
+				sb.WriteString(strconv.FormatFloat(v.F, 'b', -1, 64))
+			}
+			sb.WriteByte('|')
+		case TString:
+			sb.WriteString("s")
+			sb.WriteString(strconv.Itoa(len(v.S)))
+			sb.WriteByte(':')
+			sb.WriteString(v.S)
+			sb.WriteByte('|')
+		case TBool:
+			if v.B {
+				sb.WriteString("bt|")
+			} else {
+				sb.WriteString("bf|")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// coerceToColumn converts a value for storage into a column of the given
+// declared type. Strings parse to numbers when the column is numeric;
+// numbers render to strings for VARCHAR columns; NULL passes through.
+func coerceToColumn(v Value, t Type) (Value, error) {
+	if v.IsNull() || t == TNull {
+		return v, nil
+	}
+	switch t {
+	case TInt:
+		switch v.T {
+		case TInt:
+			return v, nil
+		case TFloat:
+			return NewInt(int64(v.F)), nil
+		case TBool:
+			if v.B {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		case TString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				f, ferr := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+				if ferr != nil {
+					return Null, &Error{Code: CodeInvalidText,
+						Message: fmt.Sprintf("invalid INTEGER literal %q", v.S)}
+				}
+				return NewInt(int64(f)), nil
+			}
+			return NewInt(i), nil
+		}
+	case TFloat:
+		switch v.T {
+		case TInt:
+			return NewFloat(float64(v.I)), nil
+		case TFloat:
+			return v, nil
+		case TBool:
+			if v.B {
+				return NewFloat(1), nil
+			}
+			return NewFloat(0), nil
+		case TString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+			if err != nil {
+				return Null, &Error{Code: CodeInvalidText,
+					Message: fmt.Sprintf("invalid DOUBLE literal %q", v.S)}
+			}
+			return NewFloat(f), nil
+		}
+	case TString:
+		return NewString(v.String()), nil
+	case TBool:
+		switch v.T {
+		case TBool:
+			return v, nil
+		case TInt:
+			return NewBool(v.I != 0), nil
+		case TFloat:
+			return NewBool(v.F != 0), nil
+		case TString:
+			switch strings.ToUpper(strings.TrimSpace(v.S)) {
+			case "TRUE", "T", "1", "YES", "Y":
+				return NewBool(true), nil
+			case "FALSE", "F", "0", "NO", "N", "":
+				return NewBool(false), nil
+			}
+			return Null, &Error{Code: CodeInvalidText,
+				Message: fmt.Sprintf("invalid BOOLEAN literal %q", v.S)}
+		}
+	}
+	return Null, errInternal(fmt.Sprintf("coerce %s to %s", v.T, t))
+}

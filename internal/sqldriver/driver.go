@@ -1,0 +1,309 @@
+// Package sqldriver exposes the embedded sqldb engine through Go's
+// standard database/sql interface under the driver name "db2www".
+//
+// The paper's DB2 WWW Connection talks to "a wide variety of DBMS" through
+// a narrow dynamic-SQL surface; registering the engine as a database/sql
+// driver reproduces that portability point: the gateway and macro engine
+// code only depend on *sql.DB, so any conforming driver could be swapped
+// in. Databases are in-memory and registered by name:
+//
+//	db := sqldb.NewDatabase("CELDIAL")
+//	sqldriver.Register("CELDIAL", db)
+//	conn, err := sql.Open("db2www", "CELDIAL")
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"db2www/internal/sqldb"
+)
+
+// DriverName is the name the engine registers under in database/sql.
+const DriverName = "db2www"
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]*sqldb.Database{}
+)
+
+// Register makes db reachable as a DSN for sql.Open(DriverName, name).
+// Registering a name twice replaces the earlier database.
+func Register(name string, db *sqldb.Database) {
+	mu.Lock()
+	defer mu.Unlock()
+	registry[strings.ToUpper(name)] = db
+}
+
+// Unregister removes a previously registered database.
+func Unregister(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(registry, strings.ToUpper(name))
+}
+
+// Lookup returns the registered database for name.
+func Lookup(name string) (*sqldb.Database, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	db, ok := registry[strings.ToUpper(name)]
+	return db, ok
+}
+
+// Open is a convenience wrapper around sql.Open that also verifies the
+// database exists.
+func Open(name string) (*sql.DB, error) {
+	if _, ok := Lookup(name); !ok {
+		return nil, fmt.Errorf("sqldriver: database %q is not registered", name)
+	}
+	return sql.Open(DriverName, name)
+}
+
+func init() {
+	sql.Register(DriverName, &Driver{})
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open opens a connection to the registered database named by dsn.
+// The DSN may carry a "name?user=...&password=..." suffix; credentials are
+// accepted and ignored (the engine has no user catalog), mirroring how the
+// paper's macros carry DATABASE/userid variables.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	name := dsn
+	if i := strings.IndexByte(dsn, '?'); i >= 0 {
+		name = dsn[:i]
+	}
+	db, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: database %q is not registered", name)
+	}
+	return &conn{sess: sqldb.NewSession(db)}, nil
+}
+
+type conn struct {
+	sess *sqldb.Session
+}
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	st, err := sqldb.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{conn: c, parsed: st, numInput: countParams(query)}, nil
+}
+
+func (c *conn) Close() error { return c.sess.Close() }
+
+func (c *conn) Begin() (driver.Tx, error) {
+	if err := c.sess.BeginTxn(); err != nil {
+		return nil, err
+	}
+	return &tx{sess: c.sess}, nil
+}
+
+// ExecContext lets database/sql skip Prepare for one-shot statements.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	params, err := namedToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.sess.Exec(query, params...)
+	if err != nil {
+		return nil, err
+	}
+	return result{res}, nil
+}
+
+// QueryContext lets database/sql skip Prepare for one-shot queries.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	params, err := namedToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.sess.Exec(query, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res, pos: -1}, nil
+}
+
+type stmt struct {
+	conn     *conn
+	parsed   sqldb.Stmt
+	numInput int
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	params, err := driverToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.conn.sess.ExecStmt(s.parsed, params...)
+	if err != nil {
+		return nil, err
+	}
+	return result{res}, nil
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	params, err := driverToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.conn.sess.ExecStmt(s.parsed, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res, pos: -1}, nil
+}
+
+type tx struct {
+	sess *sqldb.Session
+}
+
+func (t *tx) Commit() error   { return t.sess.Commit() }
+func (t *tx) Rollback() error { return t.sess.Rollback() }
+
+type result struct {
+	res *sqldb.Result
+}
+
+func (r result) LastInsertId() (int64, error) { return r.res.LastInsertID, nil }
+func (r result) RowsAffected() (int64, error) { return r.res.RowsAffected, nil }
+
+type rows struct {
+	res *sqldb.Result
+	pos int
+}
+
+func (r *rows) Columns() []string { return r.res.Columns }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos+1 >= len(r.res.Rows) {
+		return io.EOF
+	}
+	r.pos++
+	for i, v := range r.res.Rows[r.pos] {
+		switch v.T {
+		case sqldb.TNull:
+			dest[i] = nil
+		case sqldb.TInt:
+			dest[i] = v.I
+		case sqldb.TFloat:
+			dest[i] = v.F
+		case sqldb.TString:
+			dest[i] = v.S
+		case sqldb.TBool:
+			dest[i] = v.B
+		}
+	}
+	return nil
+}
+
+// driverToValues converts database/sql driver values into engine values.
+func driverToValues(args []driver.Value) ([]sqldb.Value, error) {
+	out := make([]sqldb.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func namedToValues(args []driver.NamedValue) ([]sqldb.Value, error) {
+	out := make([]sqldb.Value, len(args))
+	for _, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("sqldriver: named parameters are not supported")
+		}
+		v, err := toValue(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		out[a.Ordinal-1] = v
+	}
+	return out, nil
+}
+
+func toValue(a driver.Value) (sqldb.Value, error) {
+	switch x := a.(type) {
+	case nil:
+		return sqldb.Null, nil
+	case int64:
+		return sqldb.NewInt(x), nil
+	case float64:
+		return sqldb.NewFloat(x), nil
+	case bool:
+		return sqldb.NewBool(x), nil
+	case string:
+		return sqldb.NewString(x), nil
+	case []byte:
+		return sqldb.NewString(string(x)), nil
+	case time.Time:
+		return sqldb.NewString(x.UTC().Format(time.RFC3339)), nil
+	default:
+		return sqldb.Null, fmt.Errorf("sqldriver: unsupported parameter type %T", a)
+	}
+}
+
+// countParams counts ? placeholders outside of string literals, comments,
+// and quoted identifiers.
+func countParams(query string) int {
+	n := 0
+	inStr, inIdent := false, false
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		switch {
+		case inStr:
+			if c == '\'' {
+				if i+1 < len(query) && query[i+1] == '\'' {
+					i++
+				} else {
+					inStr = false
+				}
+			}
+		case inIdent:
+			if c == '"' {
+				inIdent = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '"':
+			inIdent = true
+		case c == '-' && i+1 < len(query) && query[i+1] == '-':
+			for i < len(query) && query[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(query) && query[i+1] == '*':
+			j := strings.Index(query[i+2:], "*/")
+			if j < 0 {
+				return n
+			}
+			i += 2 + j + 1
+		case c == '?':
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"testing"
+
+	"db2www/internal/sqldb"
+)
+
+func openTestDB(t *testing.T, name string) *sql.DB {
+	t.Helper()
+	engine := sqldb.NewDatabase(name)
+	Register(name, engine)
+	t.Cleanup(func() { Unregister(name) })
+	db, err := Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := sqldb.NewSession(engine)
+	if _, err := s.ExecScript(`
+CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR(40), salary DOUBLE);
+INSERT INTO emp VALUES (1, 'alice', 90000), (2, 'bob', 80000), (3, 'carol', 120000)`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueryRow(t *testing.T) {
+	db := openTestDB(t, "T1")
+	var name string
+	var salary float64
+	err := db.QueryRow("SELECT name, salary FROM emp WHERE id = ?", 2).Scan(&name, &salary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "bob" || salary != 80000 {
+		t.Fatalf("got %q %v", name, salary)
+	}
+}
+
+func TestQueryIteration(t *testing.T) {
+	db := openTestDB(t, "T2")
+	rows, err := db.Query("SELECT id, name FROM emp ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil || len(cols) != 2 {
+		t.Fatalf("columns = %v (%v)", cols, err)
+	}
+	var ids []int64
+	for rows.Next() {
+		var id int64
+		var name string
+		if err := rows.Scan(&id, &name); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestExecInsert(t *testing.T) {
+	db := openTestDB(t, "T3")
+	res, err := db.Exec("INSERT INTO emp VALUES (?, ?, ?)", 4, "dave", 70000.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("rows affected = %d", n)
+	}
+	var count int
+	if err := db.QueryRow("SELECT COUNT(*) FROM emp").Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestNullScan(t *testing.T) {
+	db := openTestDB(t, "T4")
+	if _, err := db.Exec("INSERT INTO emp (id) VALUES (9)"); err != nil {
+		t.Fatal(err)
+	}
+	var name sql.NullString
+	if err := db.QueryRow("SELECT name FROM emp WHERE id = 9").Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name.Valid {
+		t.Fatalf("name = %v, want NULL", name)
+	}
+}
+
+func TestPreparedStatementReuse(t *testing.T) {
+	db := openTestDB(t, "T5")
+	st, err := db.Prepare("SELECT name FROM emp WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for id, want := range map[int]string{1: "alice", 2: "bob", 3: "carol"} {
+		var got string
+		if err := st.QueryRow(id).Scan(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("id %d: got %q want %q", id, got, want)
+		}
+	}
+}
+
+func TestWrongParamCount(t *testing.T) {
+	db := openTestDB(t, "T6")
+	st, err := db.Prepare("SELECT name FROM emp WHERE id = ? AND salary > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Query(1); err == nil {
+		t.Fatal("expected error for missing parameter")
+	}
+}
+
+func TestDriverTransaction(t *testing.T) {
+	db := openTestDB(t, "T7")
+	// A transaction holds the engine write lock, so limit this pool to a
+	// single connection to mirror a CGI process's single session.
+	db.SetMaxOpenConns(1)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE emp SET salary = 0 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var salary float64
+	if err := db.QueryRow("SELECT salary FROM emp WHERE id = 1").Scan(&salary); err != nil {
+		t.Fatal(err)
+	}
+	if salary != 90000 {
+		t.Fatalf("salary = %v after rollback, want 90000", salary)
+	}
+}
+
+func TestUnregisteredDatabase(t *testing.T) {
+	if _, err := Open("NOSUCH"); err == nil {
+		t.Fatal("expected error for unregistered database")
+	}
+	db, err := sql.Open(DriverName, "NOSUCH")
+	if err != nil {
+		t.Fatal(err) // sql.Open defers connection
+	}
+	defer db.Close()
+	if err := db.Ping(); err == nil {
+		t.Fatal("expected ping failure for unregistered database")
+	}
+}
+
+func TestSubqueryThroughDriver(t *testing.T) {
+	db := openTestDB(t, "T8")
+	var name string
+	err := db.QueryRow(
+		"SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)").Scan(&name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "carol" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestUnionThroughDriver(t *testing.T) {
+	db := openTestDB(t, "T9")
+	rows, err := db.Query("SELECT id FROM emp WHERE id = 1 UNION SELECT id FROM emp WHERE id = 3 ORDER BY 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var ids []int
+	for rows.Next() {
+		var id int
+		if err := rows.Scan(&id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestAlterThroughDriver(t *testing.T) {
+	db := openTestDB(t, "T10")
+	if _, err := db.Exec("ALTER TABLE emp ADD bonus DOUBLE DEFAULT 500"); err != nil {
+		t.Fatal(err)
+	}
+	var bonus float64
+	if err := db.QueryRow("SELECT bonus FROM emp WHERE id = 1").Scan(&bonus); err != nil {
+		t.Fatal(err)
+	}
+	if bonus != 500 {
+		t.Fatalf("bonus = %v", bonus)
+	}
+}
+
+func TestCountParams(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM t WHERE a = ? AND b = ?", 2},
+		{"SELECT '?' FROM t WHERE a = ?", 1},
+		{`SELECT "a?b" FROM t`, 0},
+		{"SELECT 1 -- ? comment\n WHERE a = ?", 1},
+		{"SELECT 1 /* ? */ WHERE a = ?", 1},
+		{"SELECT 'it''s ?' FROM t", 0},
+	}
+	for _, c := range cases {
+		if got := countParams(c.sql); got != c.want {
+			t.Errorf("countParams(%q) = %d, want %d", c.sql, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package webclient
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// echoHandler serves a form page at / and echoes submissions at /echo.
+func echoHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, `<TITLE>Search</TITLE>
+<FORM METHOD="post" ACTION="/echo">
+<INPUT TYPE="text" NAME="q" VALUE="">
+<INPUT TYPE="checkbox" NAME="deep" VALUE="yes">
+<SELECT NAME="fields" MULTIPLE>
+<OPTION VALUE="a" SELECTED>A
+<OPTION VALUE="b">B
+</SELECT>
+<INPUT TYPE="submit" VALUE="Go">
+</FORM>
+<A HREF="/other">other</A>`)
+	})
+	mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+		_ = r.ParseForm()
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<TITLE>Echo</TITLE>q=%s deep=%s fields=%v",
+			r.PostFormValue("q"), r.PostFormValue("deep"), r.PostForm["fields"])
+	})
+	mux.HandleFunc("/other", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, "<TITLE>Other</TITLE>ok")
+	})
+	return mux
+}
+
+func TestInProcessFlow(t *testing.T) {
+	c := &Client{Handler: echoHandler()}
+	page, err := c.Get("http://test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Status != 200 || page.Title() != "Search" {
+		t.Fatalf("page = %d %q", page.Status, page.Title())
+	}
+	form, err := page.Form(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := form.SetText("q", "ibm databases"); err != nil {
+		t.Fatal(err)
+	}
+	if err := form.SetCheckbox("deep", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := form.SelectOptions("fields", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	result, err := page.Submit(form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "q=ibm databases deep=yes fields=[a b]"
+	if result.Title() != "Echo" || !contains(result.Body, want) {
+		t.Fatalf("result = %q, want %q", result.Body, want)
+	}
+}
+
+func TestFollowLink(t *testing.T) {
+	c := &Client{Handler: echoHandler()}
+	page, err := c.Get("http://test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := page.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Title() != "Other" {
+		t.Fatalf("followed page = %q", other.Title())
+	}
+	if _, err := page.Follow(5); err == nil {
+		t.Fatal("out-of-range link must fail")
+	}
+}
+
+func TestRealTCPFlow(t *testing.T) {
+	srv := httptest.NewServer(echoHandler())
+	defer srv.Close()
+	c := &Client{}
+	page, err := c.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	form, err := page.Form(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := form.SetText("q", "x"); err != nil {
+		t.Fatal(err)
+	}
+	result, err := page.Submit(form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(result.Body, "q=x") {
+		t.Fatalf("result = %q", result.Body)
+	}
+}
+
+func TestGETFormEncodesIntoQuery(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "got:%s", r.URL.RawQuery)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, `<FORM METHOD="get" ACTION="/search"><INPUT NAME="a" VALUE="1 2"></FORM>`)
+	})
+	c := &Client{Handler: mux}
+	page, _ := c.Get("http://t/")
+	form, _ := page.Form(0)
+	res, err := page.Submit(form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(res.Body, "got:a=1+2") {
+		t.Fatalf("body = %q", res.Body)
+	}
+}
+
+func TestFormIndexError(t *testing.T) {
+	c := &Client{Handler: echoHandler()}
+	page, _ := c.Get("http://t/other")
+	if _, err := page.Form(0); err == nil {
+		t.Fatal("page without forms must error")
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return strings.Contains(haystack, needle)
+}

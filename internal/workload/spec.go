@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"db2www/internal/sqldb"
+)
+
+// Load populates db according to a dataset spec string, the format the
+// command-line tools accept:
+//
+//	urldb[:rows[:seed]]          default 500 rows, seed 1
+//	orders[:customers[:products-per-customer[:seed]]]
+//	                             default 50 customers × 10 products, seed 1
+//
+// Multiple specs may be comma-separated; each loads into the same
+// database.
+func Load(db *sqldb.Database, spec string) error {
+	for _, one := range strings.Split(spec, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		parts := strings.Split(one, ":")
+		nums := make([]int, 0, 3)
+		for _, p := range parts[1:] {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				return fmt.Errorf("workload: bad dataset spec %q: %v", one, err)
+			}
+			nums = append(nums, n)
+		}
+		get := func(i, def int) int {
+			if i < len(nums) {
+				return nums[i]
+			}
+			return def
+		}
+		switch parts[0] {
+		case "urldb":
+			if err := URLDB(db, get(0, 500), int64(get(1, 1))); err != nil {
+				return err
+			}
+		case "orders":
+			if err := Orders(db, get(0, 50), get(1, 10), int64(get(2, 1))); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("workload: unknown dataset %q (want urldb or orders)", parts[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"db2www/internal/sqldb"
+)
+
+func TestLoadSpecs(t *testing.T) {
+	cases := []struct {
+		spec   string
+		table  string
+		expect int64
+	}{
+		{"urldb", "urldb", 500},
+		{"urldb:25", "urldb", 25},
+		{"urldb:25:7", "urldb", 25},
+		{"orders", "customers", 50},
+		{"orders:5:3:2", "customers", 5},
+	}
+	for _, c := range cases {
+		db := sqldb.NewDatabase("SPEC")
+		if err := Load(db, c.spec); err != nil {
+			t.Errorf("Load(%q): %v", c.spec, err)
+			continue
+		}
+		s := sqldb.NewSession(db)
+		res, err := s.Exec("SELECT COUNT(*) FROM " + c.table)
+		if err != nil {
+			t.Errorf("Load(%q): %v", c.spec, err)
+			continue
+		}
+		if res.Rows[0][0].I != c.expect {
+			t.Errorf("Load(%q): %s has %v rows, want %d", c.spec, c.table, res.Rows[0][0], c.expect)
+		}
+	}
+}
+
+func TestLoadMultipleSpecs(t *testing.T) {
+	db := sqldb.NewDatabase("MULTI")
+	if err := Load(db, "urldb:10, orders:3:2:1"); err != nil {
+		t.Fatal(err)
+	}
+	names := db.TableNames()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"urldb", "customers", "products"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("tables = %v, missing %s", names, want)
+		}
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	for _, bad := range []string{"nosuch", "urldb:abc", "orders:1:x"} {
+		db := sqldb.NewDatabase("ERR")
+		if err := Load(db, bad); err == nil {
+			t.Errorf("Load(%q): expected error", bad)
+		}
+	}
+	// Empty and whitespace-only specs are no-ops.
+	db := sqldb.NewDatabase("EMPTY")
+	if err := Load(db, " , "); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.TableNames()) != 0 {
+		t.Fatal("empty spec created tables")
+	}
+}

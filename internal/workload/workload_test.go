@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+
+	"db2www/internal/sqldb"
+)
+
+func TestURLDBDeterministic(t *testing.T) {
+	a := sqldb.NewDatabase("A")
+	b := sqldb.NewDatabase("B")
+	if err := URLDB(a, 100, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := URLDB(b, 100, 42); err != nil {
+		t.Fatal(err)
+	}
+	sa := sqldb.NewSession(a)
+	sb := sqldb.NewSession(b)
+	ra, err := sa.Exec("SELECT url, title, description FROM urldb ORDER BY url")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sb.Exec("SELECT url, title, description FROM urldb ORDER BY url")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Rows) != 100 || len(rb.Rows) != 100 {
+		t.Fatalf("rows = %d / %d", len(ra.Rows), len(rb.Rows))
+	}
+	for i := range ra.Rows {
+		for j := range ra.Rows[i] {
+			if ra.Rows[i][j] != rb.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, j, ra.Rows[i][j], rb.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestURLDBHasNulls(t *testing.T) {
+	db := sqldb.NewDatabase("N")
+	if err := URLDB(db, 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := sqldb.NewSession(db)
+	res, err := s.Exec("SELECT COUNT(*) FROM urldb WHERE title IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I == 0 {
+		t.Error("expected some NULL titles to exercise conditional variables")
+	}
+}
+
+func TestOrdersShape(t *testing.T) {
+	db := sqldb.NewDatabase("O")
+	if err := Orders(db, 20, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	s := sqldb.NewSession(db)
+	res, err := s.Exec("SELECT COUNT(*) FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 20 {
+		t.Fatalf("customers = %v", res.Rows[0][0])
+	}
+	res, err = s.Exec("SELECT COUNT(*) FROM products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 160 {
+		t.Fatalf("products = %v", res.Rows[0][0])
+	}
+	// The custid index must exist and be usable.
+	res, err = s.Exec("SELECT COUNT(*) FROM products WHERE custid = 10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 8 {
+		t.Fatalf("products for first customer = %v, want 8", res.Rows[0][0])
+	}
+}
+
+func TestSearchTermsDeterministicAndSkewed(t *testing.T) {
+	a := SearchTerms(1000, 9)
+	b := SearchTerms(1000, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	counts := map[string]int{}
+	for _, s := range a {
+		counts[s]++
+	}
+	if counts["ibm"] < counts["s"] {
+		t.Errorf("expected skew toward low ranks: %v", counts)
+	}
+}
