@@ -1,15 +1,17 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's
 // per-experiment index: the reproductions of the paper's figures and
-// worked examples (E1–E12) and the design-choice ablations (A1–A5).
+// worked examples (E1–E12) and the design-choice ablations (A1–A6).
 //
 //	benchrunner                  run everything at default scale
 //	benchrunner -exp e7,e8       run selected experiments
 //	benchrunner -rows 2000 -requests 1000
+//	benchrunner -json results.json   also write machine-readable results
 //	benchrunner -write-golden    (re)generate the golden HTML files
 //	benchrunner -no-subprocess   skip building cmd/db2www for E4
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,10 +24,11 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a5) or all")
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a6) or all")
 		rows         = flag.Int("rows", 500, "urldb dataset rows")
 		requests     = flag.Int("requests", 200, "requests per measurement")
 		seed         = flag.Int64("seed", 1, "dataset seed")
+		jsonPath     = flag.String("json", "", "write machine-readable results to this file, '-' for stdout (A6: cache hit ratio and served-from-cache latency percentiles)")
 		writeGolden  = flag.Bool("write-golden", false, "write the golden HTML files and exit")
 		noSubprocess = flag.Bool("no-subprocess", false, "skip the E4 fork/exec flow")
 	)
@@ -46,10 +49,10 @@ func main() {
 		"e7": experiments.E7, "e8": experiments.E8, "e9": experiments.E9,
 		"e10": experiments.E10, "e11": experiments.E11, "e12": experiments.E12,
 		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
-		"a5": experiments.A5,
+		"a5": experiments.A5, "a6": experiments.A6,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "a1", "a2", "a3", "a5"}
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6"}
 
 	var selected []string
 	if *exp == "all" {
@@ -83,16 +86,58 @@ func main() {
 		}
 	}
 
+	// jsonResults accumulates the machine-readable rows experiments expose
+	// (currently A6); keyed by experiment id.
+	jsonResults := map[string]any{}
 	failed := false
 	for _, id := range selected {
-		if err := runners[id](os.Stdout, cfg); err != nil {
+		run := runners[id]
+		if id == "a6" && *jsonPath != "" {
+			// Capture the structured result instead of re-running.
+			run = func(w io.Writer, cfg experiments.Config) error {
+				r, err := experiments.RunA6(cfg)
+				if err != nil {
+					return err
+				}
+				experiments.PrintA6(w, r)
+				jsonResults["a6"] = r
+				return nil
+			}
+		}
+		if err := run(os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s FAILED: %v\n", id, err)
+			failed = true
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, cfg, jsonResults); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: writing %s: %v\n", *jsonPath, err)
 			failed = true
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeJSON emits the structured results envelope to path ('-' = stdout).
+func writeJSON(path string, cfg experiments.Config, results map[string]any) error {
+	doc := map[string]any{
+		"config": map[string]any{
+			"rows": cfg.Rows, "requests": cfg.Requests, "seed": cfg.Seed,
+		},
+		"results": results,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // writeGoldens regenerates the golden HTML files the E2/E7 reproductions

@@ -10,15 +10,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
 	"db2www/internal/core"
 	"db2www/internal/gateway"
+	"db2www/internal/qcache"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
 	"db2www/internal/workload"
@@ -39,10 +42,20 @@ func main() {
 		load     = flag.String("load", "", "restore a database dump instead of generating -dataset")
 		save     = flag.String("save", "", "dump the database to this file on SIGINT/SIGTERM")
 		logPath  = flag.String("accesslog", "", "write NCSA Common Log Format lines to this file; also enables /server-status")
+
+		qcacheOn    = flag.Bool("qcache", false, "cache %EXEC_SQL query results (LRU, table-version invalidation)")
+		qcacheBytes = flag.Int64("qcache-bytes", 64<<20, "query cache byte budget")
+		qcacheTTL   = flag.Duration("qcache-ttl", 0, "query cache entry lifetime (0 = no TTL, rely on invalidation)")
 	)
 	flag.Parse()
 
+	var qc *qcache.Cache
+	if *qcacheOn {
+		qc = qcache.New(*qcacheBytes, *qcacheTTL)
+	}
+
 	h := &gateway.Handler{DocRoot: *docroot}
+	var app *gateway.App
 	if *cgiProg != "" {
 		h.CGIProgram = *cgiProg
 		h.CGIEnv = []string{
@@ -52,6 +65,17 @@ func main() {
 		}
 		if *txn == "single" {
 			h.CGIEnv = append(h.CGIEnv, "DB2WWW_TXN=single")
+		}
+		if *qcacheOn {
+			// Each CGI subprocess gets its own cache; with one request per
+			// process it never hits, which is exactly the process-model cost
+			// the in-process mode exists to escape. Pass the knobs anyway so
+			// the configuration is honest about what was asked for.
+			h.CGIEnv = append(h.CGIEnv,
+				"DB2WWW_QCACHE=1",
+				"DB2WWW_QCACHE_BYTES="+strconv.FormatInt(*qcacheBytes, 10),
+				"DB2WWW_QCACHE_TTL="+qcacheTTL.String(),
+			)
 		}
 	} else {
 		db := sqldb.NewDatabase(*database)
@@ -67,14 +91,15 @@ func main() {
 			saveOnSignal(db, *save)
 		}
 		engine := &core.Engine{
-			DB:       gateway.NewSQLProvider(),
+			DB:       qcache.Wrap(gateway.NewSQLProvider(), qc),
 			Commands: core.NewCommandRegistry(),
 			MaxRows:  *maxRows,
 		}
 		if *txn == "single" {
 			engine.Txn = core.TxnSingle
 		}
-		h.App = &gateway.App{MacroDir: *macros, Engine: engine, CacheMacros: *cache}
+		app = &gateway.App{MacroDir: *macros, Engine: engine, CacheMacros: *cache}
+		h.App = app
 	}
 	if *auth != "" {
 		user, pass, ok := strings.Cut(*auth, ":")
@@ -84,15 +109,47 @@ func main() {
 		h.Authenticate = gateway.BasicAuthUsers(map[string]string{user: pass})
 	}
 
-	var root http.Handler = h
+	// The access-log middleware always wraps the handler so /server-status
+	// is available; -accesslog additionally writes the CLF lines to disk.
+	var logOut io.Writer
 	if *logPath != "" {
 		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			log.Fatalf("opening access log: %v", err)
 		}
 		defer f.Close()
-		root = gateway.NewAccessLog(h, f)
+		logOut = f
 		fmt.Printf("gatewayd: access log at %s, stats at /server-status\n", *logPath)
+	}
+	al := gateway.NewAccessLog(h, logOut)
+	var root http.Handler = al
+	if app != nil {
+		al.AddStatusSection("Macro cache", func() [][2]string {
+			hits, misses := app.MacroCacheStats()
+			return [][2]string{
+				{"Hits", strconv.FormatInt(hits, 10)},
+				{"Misses", strconv.FormatInt(misses, 10)},
+			}
+		})
+	}
+	if qc != nil {
+		al.AddStatusSection("Query cache", func() [][2]string {
+			st := qc.Stats()
+			return [][2]string{
+				{"Hits", strconv.FormatInt(st.Hits, 10)},
+				{"Misses", strconv.FormatInt(st.Misses, 10)},
+				{"Hit ratio", fmt.Sprintf("%.3f", st.HitRatio())},
+				{"Deduplicated", strconv.FormatInt(st.Dedups, 10)},
+				{"Stores", strconv.FormatInt(st.Stores, 10)},
+				{"Evictions", strconv.FormatInt(st.Evictions, 10)},
+				{"Invalidations", strconv.FormatInt(st.Invalidations, 10)},
+				{"Expirations", strconv.FormatInt(st.Expirations, 10)},
+				{"Bypasses", strconv.FormatInt(st.Bypasses, 10)},
+				{"Uncacheable", strconv.FormatInt(st.Uncacheable, 10)},
+				{"Entries", strconv.Itoa(qc.Len())},
+				{"Bytes", strconv.FormatInt(qc.Bytes(), 10)},
+			}
+		})
 	}
 
 	fmt.Printf("gatewayd: serving macros from %s on %s\n", *macros, *addr)

@@ -59,11 +59,31 @@ type Field struct {
 	Null bool
 }
 
-// SQLResult is the engine-facing shape of a statement result.
+// SQLResult is the engine-facing shape of a statement result. A result
+// may be shared between concurrent macro runs (a caching DBConn returns
+// the same materialised result to every identical query), so the engine
+// and report renderers treat it as immutable after Execute returns.
 type SQLResult struct {
 	Columns      []string
 	Rows         [][]Field
 	RowsAffected int64
+}
+
+// SizeBytes estimates the in-memory footprint of the result: slice and
+// struct bookkeeping plus every string payload. The query result cache
+// charges entries against its byte budget with it.
+func (r *SQLResult) SizeBytes() int {
+	n := 64
+	for _, c := range r.Columns {
+		n += 16 + len(c)
+	}
+	for _, row := range r.Rows {
+		n += 24
+		for _, f := range row {
+			n += 24 + len(f.S)
+		}
+	}
+	return n
 }
 
 // SQLStater is implemented by DBMS errors that carry a SQLSTATE code;
@@ -71,6 +91,8 @@ type SQLResult struct {
 type SQLStater interface{ SQLState() string }
 
 // DBConn is one database connection used while processing a macro.
+// Execute may return a result shared with other callers (see SQLResult);
+// implementations and callers alike must not mutate a returned result.
 type DBConn interface {
 	Execute(sql string) (*SQLResult, error)
 	Begin() error

@@ -17,6 +17,7 @@ import (
 
 	"db2www/internal/core"
 	"db2www/internal/gateway"
+	"db2www/internal/qcache"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
 	"db2www/internal/webclient"
@@ -33,6 +34,9 @@ type Stack struct {
 	App      *gateway.App
 	Engine   *core.Engine
 	DB       *sqldb.Database
+	// QCache is the query-result cache when StackConfig.QCache asked for
+	// one (nil otherwise) — exposed so experiments can read its counters.
+	QCache *qcache.Cache
 
 	ownsMacroDir bool
 }
@@ -45,6 +49,10 @@ type StackConfig struct {
 	CacheMacros bool   // default true
 	TxnSingle   bool
 	MacroDir    string // default: temp dir seeded with urlquery.d2w
+
+	QCache      bool          // wrap the DB provider in a query-result cache
+	QCacheBytes int64         // byte budget (default 64 MiB)
+	QCacheTTL   time.Duration // entry lifetime (default 0 = no TTL)
 }
 
 // NewStack builds a Stack. Call Close when done.
@@ -83,7 +91,16 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		st.MacroDir = cfg.MacroDir
 	}
 
-	st.Engine = &core.Engine{DB: gateway.NewSQLProvider(), Commands: core.NewCommandRegistry()}
+	if cfg.QCache {
+		if cfg.QCacheBytes == 0 {
+			cfg.QCacheBytes = 64 << 20
+		}
+		st.QCache = qcache.New(cfg.QCacheBytes, cfg.QCacheTTL)
+	}
+	st.Engine = &core.Engine{
+		DB:       qcache.Wrap(gateway.NewSQLProvider(), st.QCache),
+		Commands: core.NewCommandRegistry(),
+	}
 	if cfg.TxnSingle {
 		st.Engine.Txn = core.TxnSingle
 	}

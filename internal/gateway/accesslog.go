@@ -26,12 +26,38 @@ type AccessLog struct {
 	StatusPath string
 	// Now is the clock used for log timestamps (overridable for tests).
 	Now func() time.Time
+	// MaxPaths caps how many distinct URL paths the per-path counters
+	// track; once full, requests for new paths fall into one aggregate
+	// "other" bucket, so a client scanning random URLs cannot grow
+	// gateway memory without bound. 0 means the default (512).
+	MaxPaths int
 
-	started  time.Time
-	requests int64
-	bytes    int64
-	statuses map[int]int64
-	paths    map[string]int64
+	started    time.Time
+	requests   int64
+	bytes      int64
+	statuses   map[int]int64
+	paths      map[string]int64
+	otherPaths int64
+	sections   []statusSection
+}
+
+// statusSection is one caller-registered block on the status page.
+type statusSection struct {
+	title string
+	items func() [][2]string
+}
+
+// defaultMaxPaths bounds the paths map when MaxPaths is unset.
+const defaultMaxPaths = 512
+
+// AddStatusSection appends a section to the /server-status page. items is
+// called per render (under no AccessLog locks) and returns name/value
+// rows — how the gateway surfaces cache counters and other app metrics
+// through the one observability page a 1996 webmaster had.
+func (l *AccessLog) AddStatusSection(title string, items func() [][2]string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sections = append(l.sections, statusSection{title: title, items: items})
 }
 
 // NewAccessLog wraps next, writing one Common Log Format line per request
@@ -102,11 +128,19 @@ func (l *AccessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		host, user, l.Now().Format("02/Jan/2006:15:04:05 -0700"),
 		r.Method, r.URL.RequestURI(), r.Proto, cw.status, cw.bytes)
 
+	maxPaths := l.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = defaultMaxPaths
+	}
 	l.mu.Lock()
 	l.requests++
 	l.bytes += cw.bytes
 	l.statuses[cw.status]++
-	l.paths[r.URL.Path]++
+	if _, known := l.paths[r.URL.Path]; known || len(l.paths) < maxPaths {
+		l.paths[r.URL.Path]++
+	} else {
+		l.otherPaths++
+	}
 	out := l.out
 	l.mu.Unlock()
 	if out != nil {
@@ -144,6 +178,9 @@ func (l *AccessLog) serveStatus(w http.ResponseWriter) {
 	for p, n := range l.paths {
 		paths = append(paths, kv{p, n})
 	}
+	otherPaths := l.otherPaths
+	sections := make([]statusSection, len(l.sections))
+	copy(sections, l.sections)
 	l.mu.Unlock()
 	sort.Slice(statuses, func(i, j int) bool { return statuses[i].k < statuses[j].k })
 	sort.Slice(paths, func(i, j int) bool {
@@ -169,5 +206,16 @@ func (l *AccessLog) serveStatus(w http.ResponseWriter) {
 	for _, p := range paths {
 		fmt.Fprintf(w, "<LI>%s (%d)\n", p.k, p.v)
 	}
-	fmt.Fprintf(w, "</OL>\n</BODY></HTML>\n")
+	if otherPaths > 0 {
+		fmt.Fprintf(w, "<LI>(other) (%d)\n", otherPaths)
+	}
+	fmt.Fprintf(w, "</OL>\n")
+	for _, s := range sections {
+		fmt.Fprintf(w, "<H2>%s</H2>\n<UL>\n", htmlEscape(s.title))
+		for _, item := range s.items() {
+			fmt.Fprintf(w, "<LI>%s: %s\n", htmlEscape(item[0]), htmlEscape(item[1]))
+		}
+		fmt.Fprintf(w, "</UL>\n")
+	}
+	fmt.Fprintf(w, "</BODY></HTML>\n")
 }

@@ -122,6 +122,83 @@ func TestAccessLogConcurrentSafe(t *testing.T) {
 	}
 }
 
+func TestAccessLogPathCardinalityCapped(t *testing.T) {
+	l := NewAccessLog(okHandler(), nil)
+	l.MaxPaths = 3
+	c := &webclient.Client{Handler: l}
+	// Distinct paths beyond the cap fall into the "(other)" bucket...
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get(fmt.Sprintf("http://host/missing-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...while already-tracked paths keep counting individually.
+	if _, err := c.Get("http://host/missing-0"); err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	tracked, other := len(l.paths), l.otherPaths
+	n := l.paths["/missing-0"]
+	l.mu.Unlock()
+	if tracked != 3 {
+		t.Fatalf("tracked %d paths, want 3", tracked)
+	}
+	if other != 7 {
+		t.Fatalf("other bucket = %d, want 7", other)
+	}
+	if n != 2 {
+		t.Fatalf("/missing-0 count = %d, want 2", n)
+	}
+	page, err := c.Get("http://host/server-status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.Body, "(other) (7)") {
+		t.Fatalf("status page missing other bucket:\n%s", page.Body)
+	}
+}
+
+func TestServerStatusSections(t *testing.T) {
+	l := NewAccessLog(okHandler(), nil)
+	l.AddStatusSection("Query cache", func() [][2]string {
+		return [][2]string{{"Hits", "41"}, {"Misses", "1"}}
+	})
+	c := &webclient.Client{Handler: l}
+	page, err := c.Get("http://host/server-status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<H2>Query cache</H2>", "<LI>Hits: 41", "<LI>Misses: 1"} {
+		if !strings.Contains(page.Body, want) {
+			t.Errorf("status page missing %q:\n%s", want, page.Body)
+		}
+	}
+}
+
+func TestMacroCacheStats(t *testing.T) {
+	h, app := newTestStack(t)
+	c := &webclient.Client{Handler: h}
+	for i := 0; i < 3; i++ {
+		if page, err := c.Get("http://host/cgi-bin/db2www/urlquery.d2w/input"); err != nil || page.Status != 200 {
+			t.Fatalf("status %d err %v", page.Status, err)
+		}
+	}
+	hits, misses := app.MacroCacheStats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+
+	// With the macro cache off every load is a miss.
+	app.CacheMacros = false
+	if _, err := c.Get("http://host/cgi-bin/db2www/urlquery.d2w/input"); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = app.MacroCacheStats()
+	if misses != 2 || hits != 2 {
+		t.Fatalf("after disabling: hits/misses = %d/%d, want 2/2", hits, misses)
+	}
+}
+
 func TestAccessLogWithGateway(t *testing.T) {
 	h, _ := newTestStack(t)
 	var buf bytes.Buffer

@@ -28,8 +28,20 @@ type App struct {
 	// faithful CGI process model; the A2 ablation measures the delta.
 	CacheMacros bool
 
-	mu    sync.Mutex
-	cache map[string]cachedMacro
+	mu          sync.Mutex
+	cache       map[string]cachedMacro
+	macroHits   int64
+	macroMisses int64
+}
+
+// MacroCacheStats reports how many macro loads were served from the
+// parsed-macro cache versus read and parsed from disk. With CacheMacros
+// off every load counts as a miss, so the ratio doubles as a measure of
+// what the cache would save.
+func (a *App) MacroCacheStats() (hits, misses int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.macroHits, a.macroMisses
 }
 
 type cachedMacro struct {
@@ -91,11 +103,15 @@ func (a *App) loadMacro(name string) (*core.Macro, int, error) {
 	if a.CacheMacros {
 		a.mu.Lock()
 		if c, ok := a.cache[full]; ok && c.mtime == st.ModTime().UnixNano() && c.size == st.Size() {
+			a.macroHits++
 			a.mu.Unlock()
 			return c.macro, 200, nil
 		}
 		a.mu.Unlock()
 	}
+	a.mu.Lock()
+	a.macroMisses++
+	a.mu.Unlock()
 	src, err := os.ReadFile(full)
 	if err != nil {
 		return nil, 404, fmt.Errorf("cannot read macro %q: %v", name, err)

@@ -1,0 +1,364 @@
+package qcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"db2www/internal/core"
+)
+
+// fakeVersions is a VersionSource whose table versions tests mutate.
+type fakeVersions struct {
+	mu sync.Mutex
+	v  map[string]uint64
+}
+
+func newFakeVersions() *fakeVersions { return &fakeVersions{v: map[string]uint64{}} }
+
+func (f *fakeVersions) TableVersions(tables []string) []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]uint64, len(tables))
+	for i, t := range tables {
+		out[i] = f.v[t]
+	}
+	return out
+}
+
+func (f *fakeVersions) bump(table string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.v[table]++
+}
+
+func resultOfSize(payload int) *core.SQLResult {
+	return &core.SQLResult{
+		Columns: []string{"c"},
+		Rows:    [][]core.Field{{{S: strings.Repeat("x", payload)}}},
+	}
+}
+
+func analyzed(tables ...string) func() ([]string, bool) {
+	return func() ([]string, bool) { return tables, true }
+}
+
+func computeCounting(n *int64, res *core.SQLResult) func() (*core.SQLResult, error) {
+	return func() (*core.SQLResult, error) {
+		atomic.AddInt64(n, 1)
+		return res, nil
+	}
+}
+
+func TestDoCachesAndHits(t *testing.T) {
+	c := New(1<<20, 0)
+	src := newFakeVersions()
+	var execs int64
+	res := resultOfSize(10)
+	for i := 0; i < 5; i++ {
+		got, err := c.Do("k1", src, analyzed("t"), computeCounting(&execs, res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != res {
+			t.Fatalf("iteration %d returned a different result pointer", i)
+		}
+	}
+	if execs != 1 {
+		t.Fatalf("executed %d times, want 1", execs)
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v, want 4 hits / 1 miss / 1 store", st)
+	}
+}
+
+func TestVersionInvalidation(t *testing.T) {
+	c := New(1<<20, 0)
+	src := newFakeVersions()
+	var execs int64
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	src.bump("t")
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != 2 {
+		t.Fatalf("executed %d times, want 2 (write invalidates)", execs)
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// A bump of an unrelated table does not invalidate.
+	src.bump("other")
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != 2 {
+		t.Fatalf("executed %d times after unrelated bump, want 2", execs)
+	}
+}
+
+func TestWriteDuringExecutionIsNotStored(t *testing.T) {
+	c := New(1<<20, 0)
+	src := newFakeVersions()
+	var execs int64
+	compute := func() (*core.SQLResult, error) {
+		atomic.AddInt64(&execs, 1)
+		src.bump("t") // a write lands mid-execution
+		return resultOfSize(4), nil
+	}
+	if _, err := c.Do("k", src, analyzed("t"), compute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entry stored despite a mid-execution write")
+	}
+	if st := c.Stats(); st.Uncacheable != 1 {
+		t.Fatalf("uncacheable = %d, want 1", st.Uncacheable)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	clock := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return clock })
+	src := newFakeVersions()
+	var execs int64
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(30 * time.Second)
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != 1 {
+		t.Fatalf("executed %d times inside TTL, want 1", execs)
+	}
+	clock = clock.Add(31 * time.Second)
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != 2 {
+		t.Fatalf("executed %d times after TTL, want 2", execs)
+	}
+	if st := c.Stats(); st.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", st.Expirations)
+	}
+}
+
+func TestLRUEvictionUnderByteBudget(t *testing.T) {
+	// Each entry is ~130 bytes (64 base + 17 column + 24 row + 25+payload
+	// field + key); a 400-byte budget holds about three.
+	c := New(400, 0)
+	src := newFakeVersions()
+	var execs int64
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := c.Do(key, src, analyzed("t"), computeCounting(&execs, resultOfSize(1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions storing 4 entries under a 3-entry budget; stats %+v, bytes %d", st, c.Bytes())
+	}
+	if c.Bytes() > 400 {
+		t.Fatalf("cache holds %d bytes, budget 400", c.Bytes())
+	}
+	// k0 was evicted (LRU): re-asking executes again.
+	before := execs
+	if _, err := c.Do("k0", src, analyzed("t"), computeCounting(&execs, resultOfSize(1))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != before+1 {
+		t.Fatalf("k0 served from cache after eviction")
+	}
+}
+
+func TestLRUOrderRespectsRecency(t *testing.T) {
+	c := New(400, 0)
+	src := newFakeVersions()
+	var execs int64
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := c.Do(k, src, analyzed("t"), computeCounting(&execs, resultOfSize(1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is now the least recently used, then overflow.
+	if _, err := c.Do("a", src, analyzed("t"), computeCounting(&execs, resultOfSize(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("d", src, analyzed("t"), computeCounting(&execs, resultOfSize(1))); err != nil {
+		t.Fatal(err)
+	}
+	before := execs
+	if _, err := c.Do("a", src, analyzed("t"), computeCounting(&execs, resultOfSize(1))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != before {
+		t.Fatalf("recently-touched entry was evicted before the LRU one")
+	}
+	if _, err := c.Do("b", src, analyzed("t"), computeCounting(&execs, resultOfSize(1))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != before+1 {
+		t.Fatalf("LRU entry survived past newer entries")
+	}
+}
+
+func TestOversizeResultNotStored(t *testing.T) {
+	c := New(200, 0)
+	src := newFakeVersions()
+	var execs int64
+	if _, err := c.Do("big", src, analyzed("t"), computeCounting(&execs, resultOfSize(500))); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("oversize entry stored: len %d bytes %d", c.Len(), c.Bytes())
+	}
+}
+
+func TestUncacheableNeverStored(t *testing.T) {
+	c := New(1<<20, 0)
+	src := newFakeVersions()
+	var execs int64
+	notCacheable := func() ([]string, bool) { return nil, false }
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do("k", src, notCacheable, computeCounting(&execs, resultOfSize(4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if execs != 3 {
+		t.Fatalf("uncacheable statement executed %d times, want 3", execs)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("uncacheable statement was stored")
+	}
+}
+
+func TestSingleFlightDeduplicates(t *testing.T) {
+	c := New(1<<20, 0)
+	src := newFakeVersions()
+	var execs int64
+	gate := make(chan struct{})
+	compute := func() (*core.SQLResult, error) {
+		atomic.AddInt64(&execs, 1)
+		<-gate
+		return resultOfSize(4), nil
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*core.SQLResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Do("k", src, analyzed("t"), compute)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	// Let followers pile up behind the leader, then release it.
+	for atomic.LoadInt64(&execs) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if execs != 1 {
+		t.Fatalf("executed %d times across %d concurrent callers, want 1", execs, n)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result", i)
+		}
+	}
+	if st := c.Stats(); st.Dedups == 0 {
+		t.Fatalf("dedups = 0, want > 0; stats %+v", st)
+	}
+}
+
+func TestFollowerRevalidatesAfterLeaderFails(t *testing.T) {
+	c := New(1<<20, 0)
+	src := newFakeVersions()
+	var execs int64
+	gate := make(chan struct{})
+	leaderCompute := func() (*core.SQLResult, error) {
+		atomic.AddInt64(&execs, 1)
+		<-gate
+		return nil, fmt.Errorf("boom")
+	}
+	followerCompute := computeCounting(&execs, resultOfSize(4))
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Do("k", src, analyzed("t"), leaderCompute)
+		errCh <- err
+	}()
+	for atomic.LoadInt64(&execs) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The follower must not inherit the leader's error: it re-checks
+		// the cache, finds nothing, and executes itself.
+		res, err := c.Do("k", src, analyzed("t"), followerCompute)
+		if err != nil {
+			t.Errorf("follower: %v", err)
+		}
+		if res == nil {
+			t.Errorf("follower got nil result")
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	if err := <-errCh; err == nil {
+		t.Fatalf("leader error lost")
+	}
+	<-done
+	if execs != 2 {
+		t.Fatalf("executed %d times, want 2 (leader fails, follower retries)", execs)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(1<<20, 0)
+	src := newFakeVersions()
+	var execs int64
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("flush left len %d bytes %d", c.Len(), c.Bytes())
+	}
+	if _, err := c.Do("k", src, analyzed("t"), computeCounting(&execs, resultOfSize(4))); err != nil {
+		t.Fatal(err)
+	}
+	if execs != 2 {
+		t.Fatalf("executed %d times after flush, want 2", execs)
+	}
+}
+
+func TestWrapNilCacheReturnsInner(t *testing.T) {
+	inner := &stubProvider{}
+	if got := Wrap(inner, nil); got != core.DBProvider(inner) {
+		t.Fatalf("Wrap(inner, nil) != inner")
+	}
+	if got := Wrap(inner, New(1, 0)); got == core.DBProvider(inner) {
+		t.Fatalf("Wrap with a cache returned inner unchanged")
+	}
+}
+
+type stubProvider struct{}
+
+func (s *stubProvider) Connect(database, login, password string) (core.DBConn, error) {
+	return nil, fmt.Errorf("stub")
+}

@@ -1,0 +1,298 @@
+package qcache_test
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"db2www/internal/cgi"
+	"db2www/internal/core"
+	"db2www/internal/gateway"
+	"db2www/internal/qcache"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqldriver"
+	"db2www/internal/workload"
+)
+
+// newStressDB registers a tiny kv database and returns it with a cleanup.
+func newStressDB(t *testing.T, name string) *sqldb.Database {
+	t.Helper()
+	db := sqldb.NewDatabase(name)
+	s := sqldb.NewSession(db)
+	if _, err := s.Exec("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO kv VALUES (1, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	sqldriver.Register(name, db)
+	t.Cleanup(func() { sqldriver.Unregister(name) })
+	return db
+}
+
+// TestNoStaleReadAfterCommittedWrite is the correctness stress test: one
+// writer advances a counter monotonically while concurrent readers go
+// through the cache; every value read must be at least the last value
+// whose write had committed before the read began. Run under -race this
+// also exercises the cache's locking.
+func TestNoStaleReadAfterCommittedWrite(t *testing.T) {
+	newStressDB(t, "QSTRESS")
+	cache := qcache.New(1<<20, 0)
+	provider := qcache.Wrap(gateway.NewSQLProvider(), cache)
+
+	const (
+		writes  = 800
+		readers = 4
+	)
+	var committedFloor atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		conn, err := provider.Connect("QSTRESS", "", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		for i := 1; i <= writes; i++ {
+			if _, err := conn.Execute(fmt.Sprintf("UPDATE kv SET v = %d WHERE k = 1", i)); err != nil {
+				t.Error(err)
+				return
+			}
+			// The write is committed once Execute returns (auto-commit
+			// mode); only now may readers demand to see it.
+			committedFloor.Store(int64(i))
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := provider.Connect("QSTRESS", "", "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := committedFloor.Load()
+				res, err := conn.Execute("SELECT v FROM kv WHERE k = 1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := strconv.ParseInt(res.Rows[0][0].S, 10, 64)
+				if err != nil {
+					t.Errorf("non-numeric v %q", res.Rows[0][0].S)
+					return
+				}
+				if got < floor {
+					t.Errorf("stale read: v = %d after write %d committed", got, floor)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("stress test never hit the cache; stats %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Fatalf("stress test never invalidated; stats %+v", st)
+	}
+}
+
+// TestNoStaleReadAcrossTransactions repeats the staleness check with the
+// writer using explicit transactions, including rollbacks: a reader must
+// never observe a value from a rolled-back transaction, and committed
+// values must be visible to subsequent cached reads.
+func TestNoStaleReadAcrossTransactions(t *testing.T) {
+	newStressDB(t, "QSTRESSTXN")
+	cache := qcache.New(1<<20, 0)
+	provider := qcache.Wrap(gateway.NewSQLProvider(), cache)
+
+	const rounds = 200
+	var committedFloor atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		conn, err := provider.Connect("QSTRESSTXN", "", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		for i := 1; i <= rounds; i++ {
+			if err := conn.Begin(); err != nil {
+				t.Error(err)
+				return
+			}
+			// Write a poison value, then the real one; on odd rounds roll
+			// the whole transaction back.
+			if _, err := conn.Execute("UPDATE kv SET v = -1 WHERE k = 1"); err != nil {
+				t.Error(err)
+				return
+			}
+			commit := i%2 == 0
+			target := committedFloor.Load()
+			if commit {
+				target = int64(i)
+			}
+			if _, err := conn.Execute(fmt.Sprintf("UPDATE kv SET v = %d WHERE k = 1", i)); err != nil {
+				t.Error(err)
+				return
+			}
+			if commit {
+				if err := conn.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			} else if err := conn.Rollback(); err != nil {
+				t.Error(err)
+				return
+			}
+			committedFloor.Store(target)
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := provider.Connect("QSTRESSTXN", "", "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := committedFloor.Load()
+				res, err := conn.Execute("SELECT v FROM kv WHERE k = 1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, _ := strconv.ParseInt(res.Rows[0][0].S, 10, 64)
+				if got == -1 {
+					t.Errorf("read the uncommitted poison value")
+					return
+				}
+				if got < floor {
+					t.Errorf("stale read: v = %d after write %d committed", got, floor)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCachedAndUncachedReportsAreByteIdentical is the property test: the
+// same macro, inputs, and database state must render the same report
+// bytes whether execution goes through the cache or not — including the
+// ROW_NUM / RPT_STARTROW / RPT_MAXROWS paging machinery — across a
+// sequence of interleaved writes.
+func TestCachedAndUncachedReportsAreByteIdentical(t *testing.T) {
+	const dbName = "QPROP"
+	db := sqldb.NewDatabase(dbName)
+	if err := workload.URLDB(db, 120, 1); err != nil {
+		t.Fatal(err)
+	}
+	sqldriver.Register(dbName, db)
+	t.Cleanup(func() { sqldriver.Unregister(dbName) })
+
+	macroSrc := `%define{
+DATABASE = "` + dbName + `"
+RPT_MAXROWS = "25"
+%}
+%SQL{
+SELECT url, title FROM urldb ORDER BY url
+%SQL_REPORT{
+<P>Columns: $(NLIST)</P>
+<UL>
+%ROW{<LI>#$(ROW_NUM): <A HREF="$(V1)">$(V2)</A>
+%}
+</UL>
+<P>Total rows: $(ROW_NUM)</P>
+%}
+%}
+%HTML_REPORT{<H1>Report</H1>
+%EXEC_SQL
+%}
+`
+	m, err := core.Parse("qprop.d2w", macroSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := qcache.New(1<<20, 0)
+	cached := &core.Engine{DB: qcache.Wrap(gateway.NewSQLProvider(), cache)}
+	plain := &core.Engine{DB: gateway.NewSQLProvider()}
+
+	render := func(e *core.Engine, inputs *cgi.Form) string {
+		var buf bytes.Buffer
+		if err := e.Run(m, core.ModeReport, inputs, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	writer := sqldb.NewSession(db)
+	defer writer.Close()
+
+	for round := 0; round < 6; round++ {
+		// Vary the paging inputs so cached results are re-rendered under
+		// different RPT_STARTROW positions from the same materialisation.
+		inputs := cgi.NewForm()
+		inputs.Set("RPT_STARTROW", strconv.Itoa(1+round*10))
+
+		// Render cached twice (miss then hit) and compare both to plain.
+		first := render(cached, inputs)
+		second := render(cached, inputs)
+		reference := render(plain, inputs)
+		if first != reference {
+			t.Fatalf("round %d: cached (miss) differs from uncached:\n%q\nvs\n%q", round, first, reference)
+		}
+		if second != reference {
+			t.Fatalf("round %d: cached (hit) differs from uncached", round)
+		}
+
+		// Interleave a write and confirm both substrates see it.
+		if _, err := writer.Exec(
+			"INSERT INTO urldb VALUES (?, ?, ?)",
+			sqldb.NewString(fmt.Sprintf("http://www.round%d.example/", round)),
+			sqldb.NewString(fmt.Sprintf("Round %d", round)),
+			sqldb.NewString("added mid-test")); err != nil {
+			t.Fatal(err)
+		}
+		if render(cached, inputs) != render(plain, inputs) {
+			t.Fatalf("round %d: cached report stale after write", round)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Invalidations == 0 {
+		t.Fatalf("property test exercised no hits or no invalidations: %+v", st)
+	}
+}

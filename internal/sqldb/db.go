@@ -26,6 +26,10 @@ type Database struct {
 	// nowFn supplies the clock for NOW()/CURDATE()/CURTIME(). Defaults
 	// to time.Now; tests inject a fixed clock for determinism.
 	nowFn func() time.Time
+
+	// vt holds the per-table version counters behind result-cache
+	// invalidation; see version.go.
+	vt versionTable
 }
 
 // NewDatabase creates an empty database.
@@ -267,6 +271,20 @@ func (s *Session) Rollback() error {
 			}
 		}
 	}
+	// Bump every table the transaction touched once more: the undo just
+	// rewrote their contents, and result caches must not trust any entry
+	// recorded against the aborted intermediate state.
+	var touched []string
+	seen := map[string]bool{}
+	for _, r := range s.undo {
+		for _, name := range []string{r.table, r.alterOldName} {
+			if name != "" && !seen[strings.ToLower(name)] {
+				seen[strings.ToLower(name)] = true
+				touched = append(touched, name)
+			}
+		}
+	}
+	db.bumpVersions(touched...)
 	s.undo = s.undo[:0]
 	s.inTxn = false
 	s.db.mu.Unlock()
@@ -311,18 +329,20 @@ func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
 		}
 		return s.db.execSelect(x, params)
 	case *InsertStmt:
-		return s.withWriteLock(func() (*Result, error) { return s.execInsert(x, params) })
+		return s.execWrite(func() (*Result, error) { return s.execInsert(x, params) }, x.Table)
 	case *UpdateStmt:
-		return s.withWriteLock(func() (*Result, error) { return s.execUpdate(x, params) })
+		return s.execWrite(func() (*Result, error) { return s.execUpdate(x, params) }, x.Table)
 	case *DeleteStmt:
-		return s.withWriteLock(func() (*Result, error) { return s.execDelete(x, params) })
+		return s.execWrite(func() (*Result, error) { return s.execDelete(x, params) }, x.Table)
 	case *CreateTableStmt:
-		return s.withWriteLock(func() (*Result, error) { return s.execCreateTable(x) })
+		return s.execWrite(func() (*Result, error) { return s.execCreateTable(x) }, x.Table)
 	case *AlterTableStmt:
-		return s.withWriteLock(func() (*Result, error) { return s.execAlterTable(x) })
+		// A rename changes what two names resolve to; bump both.
+		return s.execWrite(func() (*Result, error) { return s.execAlterTable(x) }, x.Table, x.RenameTo)
 	case *DropTableStmt:
-		return s.withWriteLock(func() (*Result, error) { return s.execDropTable(x) })
+		return s.execWrite(func() (*Result, error) { return s.execDropTable(x) }, x.Table)
 	case *CreateIndexStmt:
+		// Index DDL changes access paths, never results: no version bump.
 		return s.withWriteLock(func() (*Result, error) { return s.execCreateIndex(x) })
 	case *DropIndexStmt:
 		return s.withWriteLock(func() (*Result, error) { return s.execDropIndex(x) })
@@ -337,6 +357,20 @@ func (s *Session) withWriteLock(fn func() (*Result, error)) (*Result, error) {
 		s.db.mu.Lock()
 		defer s.db.mu.Unlock()
 	}
+	return fn()
+}
+
+// execWrite runs a data-changing statement under the write lock and bumps
+// the version of every table it names. The bump is unconditional — a
+// failed statement may still have left partial effects in auto-commit
+// mode — and the deferred ordering places it before the lock release, so
+// any session that can observe the write also observes the new version.
+func (s *Session) execWrite(fn func() (*Result, error), tables ...string) (*Result, error) {
+	if !s.inTxn {
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+	}
+	defer s.db.bumpVersions(tables...)
 	return fn()
 }
 

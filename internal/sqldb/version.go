@@ -1,0 +1,72 @@
+package sqldb
+
+import (
+	"strings"
+	"sync"
+)
+
+// Table version counters.
+//
+// Every write that can change what a query over a table would return —
+// INSERT, UPDATE, DELETE, CREATE/DROP/ALTER TABLE — bumps that table's
+// version. A result cache layered above the engine records the versions
+// of every table a query read alongside the cached rows; on lookup it
+// compares the recorded versions against the current ones and treats any
+// difference as an invalidation. This makes invalidation a cheap O(tables
+// read) comparison at lookup time instead of a broadcast at write time.
+//
+// Versions are drawn from one database-wide sequence, so a table version
+// never repeats — not even across a DROP and re-CREATE of the same name
+// (per-table counters would restart at 1 and could collide with a stale
+// cached entry). Bumps are deliberately conservative: they happen whether
+// or not the statement succeeds (a multi-row INSERT that fails midway in
+// auto-commit mode keeps its earlier rows) and they survive rollback (the
+// restored data merely looks "newer" than it is, which costs a cache miss,
+// never a stale hit).
+//
+// The counters live behind their own mutex, not db.mu, because the cache
+// reads them without holding any engine lock. The bump for a write
+// statement is ordered before the statement's lock release (see
+// Session.execWrite), so any observer that sees the write's effects also
+// sees its version bump.
+type versionTable struct {
+	mu       sync.Mutex
+	seq      uint64
+	versions map[string]uint64
+}
+
+// TableVersion returns the current version of the named table. A table
+// that has never been written (or does not exist) reports 0.
+func (db *Database) TableVersion(name string) uint64 {
+	db.vt.mu.Lock()
+	defer db.vt.mu.Unlock()
+	return db.vt.versions[strings.ToLower(name)]
+}
+
+// TableVersions returns the current versions of the named tables, in
+// order, as one consistent snapshot.
+func (db *Database) TableVersions(names []string) []uint64 {
+	out := make([]uint64, len(names))
+	db.vt.mu.Lock()
+	defer db.vt.mu.Unlock()
+	for i, n := range names {
+		out[i] = db.vt.versions[strings.ToLower(n)]
+	}
+	return out
+}
+
+// bumpVersions advances the version of each named table.
+func (db *Database) bumpVersions(names ...string) {
+	db.vt.mu.Lock()
+	defer db.vt.mu.Unlock()
+	if db.vt.versions == nil {
+		db.vt.versions = map[string]uint64{}
+	}
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		db.vt.seq++
+		db.vt.versions[strings.ToLower(n)] = db.vt.seq
+	}
+}

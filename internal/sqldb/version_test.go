@@ -1,0 +1,179 @@
+package sqldb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func newVersionTestDB(t *testing.T) (*Database, *Session) {
+	t.Helper()
+	db := NewDatabase("VTEST")
+	s := NewSession(db)
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.Exec("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := s.Exec("INSERT INTO kv VALUES (1, 10)"); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	return db, s
+}
+
+func TestTableVersionBumpsOnWrites(t *testing.T) {
+	db, s := newVersionTestDB(t)
+	v := db.TableVersion("kv")
+	if v == 0 {
+		t.Fatalf("version 0 after CREATE+INSERT, want > 0")
+	}
+	steps := []string{
+		"INSERT INTO kv VALUES (2, 20)",
+		"UPDATE kv SET v = 30 WHERE k = 1",
+		"DELETE FROM kv WHERE k = 2",
+	}
+	for _, sql := range steps {
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		nv := db.TableVersion("KV") // case-insensitive
+		if nv <= v {
+			t.Fatalf("%s: version %d, want > %d", sql, nv, v)
+		}
+		v = nv
+	}
+}
+
+func TestTableVersionUnchangedByReadsAndIndexDDL(t *testing.T) {
+	db, s := newVersionTestDB(t)
+	v := db.TableVersion("kv")
+	if _, err := s.Exec("SELECT * FROM kv"); err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if _, err := s.Exec("CREATE INDEX kv_v ON kv (v)"); err != nil {
+		t.Fatalf("create index: %v", err)
+	}
+	if _, err := s.Exec("DROP INDEX kv_v"); err != nil {
+		t.Fatalf("drop index: %v", err)
+	}
+	if nv := db.TableVersion("kv"); nv != v {
+		t.Fatalf("version changed to %d by reads/index DDL, want %d", nv, v)
+	}
+}
+
+func TestTableVersionBumpsEvenOnFailedWrite(t *testing.T) {
+	db, s := newVersionTestDB(t)
+	v := db.TableVersion("kv")
+	// Duplicate primary key: the statement fails, but conservatively the
+	// version still moves (a failed multi-row INSERT can leave rows).
+	if _, err := s.Exec("INSERT INTO kv VALUES (1, 99)"); err == nil {
+		t.Fatalf("duplicate insert unexpectedly succeeded")
+	}
+	if nv := db.TableVersion("kv"); nv <= v {
+		t.Fatalf("version %d after failed write, want > %d", nv, v)
+	}
+}
+
+func TestTableVersionAcrossTransactions(t *testing.T) {
+	db, s := newVersionTestDB(t)
+	v := db.TableVersion("kv")
+
+	// Committed transaction: version strictly advances.
+	if err := s.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE kv SET v = 40 WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := db.TableVersion("kv")
+	if v2 <= v {
+		t.Fatalf("version %d after committed txn, want > %d", v2, v)
+	}
+
+	// Rolled-back transaction: the write bump AND the rollback bump both
+	// advance the version, so no entry recorded against the aborted state
+	// can ever validate.
+	if err := s.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE kv SET v = 50 WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	mid := db.TableVersion("kv")
+	if mid <= v2 {
+		t.Fatalf("version %d inside txn, want > %d", mid, v2)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if v3 := db.TableVersion("kv"); v3 <= mid {
+		t.Fatalf("version %d after rollback, want > %d", v3, mid)
+	}
+	res, err := s.Exec("SELECT v FROM kv WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 40 {
+		t.Fatalf("v = %d after rollback, want 40", res.Rows[0][0].I)
+	}
+}
+
+func TestTableVersionNeverRepeatsAcrossDropCreate(t *testing.T) {
+	db, s := newVersionTestDB(t)
+	v := db.TableVersion("kv")
+	if _, err := s.Exec("DROP TABLE kv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE kv (k INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if nv := db.TableVersion("kv"); nv <= v {
+		t.Fatalf("version %d after drop+create, want > %d", nv, v)
+	}
+}
+
+func TestTableVersionsSnapshot(t *testing.T) {
+	db, s := newVersionTestDB(t)
+	if _, err := s.Exec("CREATE TABLE other (x INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	got := db.TableVersions([]string{"kv", "other", "missing"})
+	want := []uint64{db.TableVersion("kv"), db.TableVersion("other"), 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TableVersions = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeQuery(t *testing.T) {
+	cases := []struct {
+		sql       string
+		tables    []string
+		cacheable bool
+	}{
+		{"SELECT * FROM urldb", []string{"urldb"}, true},
+		{"SELECT a.x FROM t1 a JOIN t2 b ON a.id = b.id", []string{"t1", "t2"}, true},
+		{"SELECT x FROM (SELECT x FROM inner_t) d", []string{"inner_t"}, true},
+		{"SELECT x FROM t WHERE y IN (SELECT y FROM u)", []string{"t", "u"}, true},
+		{"SELECT x FROM t WHERE EXISTS (SELECT 1 FROM v)", []string{"t", "v"}, true},
+		{"SELECT x FROM a UNION SELECT x FROM b", []string{"a", "b"}, true},
+		{"SELECT T.x FROM T, T u", []string{"t"}, true},
+		{"SELECT NOW() FROM t", nil, false},
+		{"SELECT x FROM t WHERE d < CURDATE()", nil, false},
+		{"SELECT x FROM t WHERE ts > CURRENT_TIMESTAMP()", nil, false},
+		{"INSERT INTO t VALUES (1)", nil, false},
+		{"UPDATE t SET x = 1", nil, false},
+		{"DELETE FROM t", nil, false},
+		{"not sql at all", nil, false},
+	}
+	for _, c := range cases {
+		tables, cacheable := AnalyzeQuery(c.sql)
+		if cacheable != c.cacheable {
+			t.Errorf("AnalyzeQuery(%q) cacheable = %v, want %v", c.sql, cacheable, c.cacheable)
+			continue
+		}
+		if c.cacheable && !reflect.DeepEqual(tables, c.tables) {
+			t.Errorf("AnalyzeQuery(%q) tables = %v, want %v", c.sql, tables, c.tables)
+		}
+	}
+}
