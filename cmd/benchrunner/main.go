@@ -1,6 +1,6 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's
 // per-experiment index: the reproductions of the paper's figures and
-// worked examples (E1–E12) and the design-choice ablations (A1–A6).
+// worked examples (E1–E12) and the design-choice ablations (A1–A7).
 //
 //	benchrunner                  run everything at default scale
 //	benchrunner -exp e7,e8       run selected experiments
@@ -20,19 +20,25 @@ import (
 	"strings"
 
 	"db2www/internal/experiments"
+	"db2www/internal/obs"
 )
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a6) or all")
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a7) or all")
 		rows         = flag.Int("rows", 500, "urldb dataset rows")
 		requests     = flag.Int("requests", 200, "requests per measurement")
 		seed         = flag.Int64("seed", 1, "dataset seed")
 		jsonPath     = flag.String("json", "", "write machine-readable results to this file, '-' for stdout (A6: cache hit ratio and served-from-cache latency percentiles)")
 		writeGolden  = flag.Bool("write-golden", false, "write the golden HTML files and exit")
 		noSubprocess = flag.Bool("no-subprocess", false, "skip the E4 fork/exec flow")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("benchrunner"))
+		return
+	}
 
 	if *writeGolden {
 		if err := writeGoldens(); err != nil {
@@ -49,10 +55,10 @@ func main() {
 		"e7": experiments.E7, "e8": experiments.E8, "e9": experiments.E9,
 		"e10": experiments.E10, "e11": experiments.E11, "e12": experiments.E12,
 		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
-		"a5": experiments.A5, "a6": experiments.A6,
+		"a5": experiments.A5, "a6": experiments.A6, "a7": experiments.A7,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6"}
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7"}
 
 	var selected []string
 	if *exp == "all" {
@@ -87,8 +93,12 @@ func main() {
 	}
 
 	// jsonResults accumulates the machine-readable rows experiments expose
-	// (currently A6); keyed by experiment id.
+	// (currently A6 and A7); keyed by experiment id.
 	jsonResults := map[string]any{}
+	// The obs registry accumulates across every experiment in the run;
+	// the delta over the whole batch lands in the JSON envelope so a CI
+	// run's metrics ride along with its latency numbers.
+	metricsBefore := obs.Default.Snapshot()
 	failed := false
 	for _, id := range selected {
 		run := runners[id]
@@ -104,13 +114,25 @@ func main() {
 				return nil
 			}
 		}
+		if id == "a7" && *jsonPath != "" {
+			run = func(w io.Writer, cfg experiments.Config) error {
+				r, err := experiments.RunA7(cfg)
+				if err != nil {
+					return err
+				}
+				experiments.PrintA7(w, r)
+				jsonResults["a7"] = r
+				return nil
+			}
+		}
 		if err := run(os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s FAILED: %v\n", id, err)
 			failed = true
 		}
 	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, cfg, jsonResults); err != nil {
+		delta := obs.DeltaSnapshot(metricsBefore, obs.Default.Snapshot())
+		if err := writeJSON(*jsonPath, cfg, jsonResults, delta); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: writing %s: %v\n", *jsonPath, err)
 			failed = true
 		}
@@ -121,12 +143,13 @@ func main() {
 }
 
 // writeJSON emits the structured results envelope to path ('-' = stdout).
-func writeJSON(path string, cfg experiments.Config, results map[string]any) error {
+func writeJSON(path string, cfg experiments.Config, results map[string]any, metricsDelta map[string]float64) error {
 	doc := map[string]any{
 		"config": map[string]any{
 			"rows": cfg.Rows, "requests": cfg.Requests, "seed": cfg.Seed,
 		},
-		"results": results,
+		"results":       results,
+		"metrics_delta": metricsDelta,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

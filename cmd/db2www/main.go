@@ -35,6 +35,7 @@ import (
 	"db2www/internal/cgi"
 	"db2www/internal/core"
 	"db2www/internal/gateway"
+	"db2www/internal/obs"
 	"db2www/internal/qcache"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
@@ -42,6 +43,12 @@ import (
 )
 
 func main() {
+	// The CGI calling convention reserves positional arguments for
+	// {macro-file} and {cmd}, so -version is matched literally.
+	if len(os.Args) == 2 && (os.Args[1] == "-version" || os.Args[1] == "--version") {
+		fmt.Println(obs.VersionLine("db2www"))
+		return
+	}
 	if err := run(); err != nil {
 		// A CGI program must still emit a valid response on failure.
 		fmt.Print(cgi.WriteHeader("text/html"))

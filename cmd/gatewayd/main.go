@@ -13,14 +13,17 @@ import (
 	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"db2www/internal/core"
 	"db2www/internal/gateway"
+	"db2www/internal/obs"
 	"db2www/internal/qcache"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
@@ -46,8 +49,18 @@ func main() {
 		qcacheOn    = flag.Bool("qcache", false, "cache %EXEC_SQL query results (LRU, table-version invalidation)")
 		qcacheBytes = flag.Int64("qcache-bytes", 64<<20, "query cache byte budget")
 		qcacheTTL   = flag.Duration("qcache-ttl", 0, "query cache entry lifetime (0 = no TTL, rely on invalidation)")
+
+		version          = flag.Bool("version", false, "print build information and exit")
+		slowlogPath      = flag.String("slowlog", "", "write slow-request lines (trace, spans, SQL) to this file; \"-\" for stderr")
+		slowlogThreshold = flag.Duration("slowlog-threshold", 200*time.Millisecond, "log requests slower than this")
+		traceRingSize    = flag.Int("trace-ring", 64, "recent request traces kept for /server-status (0 disables)")
+		pprofAddr        = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("gatewayd"))
+		return
+	}
 
 	var qc *qcache.Cache
 	if *qcacheOn {
@@ -55,6 +68,23 @@ func main() {
 	}
 
 	h := &gateway.Handler{DocRoot: *docroot}
+	var ring *obs.Ring
+	if *traceRingSize > 0 {
+		ring = obs.NewRing(*traceRingSize)
+		h.TraceRing = ring
+	}
+	if *slowlogPath != "" {
+		out := io.Writer(os.Stderr)
+		if *slowlogPath != "-" {
+			f, err := os.OpenFile(*slowlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("opening slow log: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		h.SlowLog = obs.NewSlowLog(out, *slowlogThreshold)
+	}
 	var app *gateway.App
 	if *cgiProg != "" {
 		h.CGIProgram = *cgiProg
@@ -123,6 +153,10 @@ func main() {
 	}
 	al := gateway.NewAccessLog(h, logOut)
 	var root http.Handler = al
+	al.AddStatusSection("Build info", obs.BuildKV)
+	if ring != nil {
+		al.AddStatusSection("Recent traces", ring.StatusRows)
+	}
 	if app != nil {
 		al.AddStatusSection("Macro cache", func() [][2]string {
 			hits, misses := app.MacroCacheStats()
@@ -152,7 +186,17 @@ func main() {
 		})
 	}
 
+	if *pprofAddr != "" {
+		// The pprof import registers on http.DefaultServeMux, which the
+		// main listener never serves — profiling stays on its own address.
+		go func() {
+			log.Printf("gatewayd: pprof at http://%s/debug/pprof/", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
 	fmt.Printf("gatewayd: serving macros from %s on %s\n", *macros, *addr)
+	fmt.Printf("gatewayd: metrics at /metrics, status at /server-status\n")
 	fmt.Printf("gatewayd: try http://localhost%s/cgi-bin/db2www/urlquery.d2w/input\n",
 		ensureColon(*addr))
 	log.Fatal(http.ListenAndServe(*addr, root))

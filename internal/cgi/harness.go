@@ -2,12 +2,17 @@ package cgi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"strings"
 	"time"
 )
+
+// ErrTimeout marks a CGI subprocess that exceeded its invocation
+// timeout; the gateway maps it to 504 rather than a generic 502.
+var ErrTimeout = errors.New("cgi: subprocess timed out")
 
 // Handler is a CGI application that can be invoked in-process. The
 // in-process harness preserves the CGI contract (a Request in, a CGI
@@ -51,7 +56,7 @@ func InvokeProcess(program string, args []string, req *Request, extra []string, 
 		case <-time.After(timeout):
 			_ = cmd.Process.Kill()
 			<-done
-			return nil, fmt.Errorf("cgi: %s timed out after %v", program, timeout)
+			return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, program, timeout)
 		}
 	} else {
 		werr = <-done

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"db2www/internal/cgi"
+	"db2www/internal/obs"
 )
 
 // Mode selects which half of a macro the engine processes — the {cmd}
@@ -101,6 +104,15 @@ type DBConn interface {
 	Close() error
 }
 
+// ContextDBConn is an optional extension of DBConn: connections that
+// implement it receive the request context on every statement, carrying
+// the request trace and the obs.ExecInfo out-parameter (how the query
+// cache handled the statement). The engine falls back to Execute on
+// connections that do not.
+type ContextDBConn interface {
+	ExecuteContext(ctx context.Context, sql string) (*SQLResult, error)
+}
+
 // DBProvider opens connections. The engine dereferences the macro
 // variables DATABASE, LOGIN, and PASSWORD (Section 3.1.1's "variables
 // necessary for database access") and passes them here.
@@ -135,9 +147,22 @@ var errStopReport = fmt.Errorf("core: report processing stopped by message handl
 // %EXEC_SQL directives in report mode. inputs carries the HTML input
 // variables from the CGI layer (may be nil).
 func (e *Engine) Run(m *Macro, mode Mode, inputs *cgi.Form, w io.Writer) error {
+	return e.RunContext(context.Background(), m, mode, inputs, w)
+}
+
+// RunContext is Run with a request context: the gateway threads the
+// per-request trace (and cancellation, for connections that honour it)
+// through here, so every macro phase — variable evaluation, each %SQL
+// section's execution, report rendering — lands as a timed span on the
+// request's trace.
+func (e *Engine) RunContext(ctx context.Context, m *Macro, mode Mode, inputs *cgi.Form, w io.Writer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	vt := NewVarTable(m.Name, inputs)
 	vt.engine = e
-	run := &macroRun{engine: e, macro: m, vt: vt, out: w}
+	run := &macroRun{engine: e, macro: m, vt: vt, out: w,
+		ctx: ctx, trace: obs.TraceFrom(ctx)}
 	defer run.cleanup()
 
 	for _, sec := range m.Sections {
@@ -170,6 +195,8 @@ type macroRun struct {
 	macro    *Macro
 	vt       *VarTable
 	out      io.Writer
+	ctx      context.Context
+	trace    *obs.Trace
 	conn     DBConn
 	txnOpen  bool
 	finished bool
@@ -385,9 +412,16 @@ func (r *macroRun) execDirective(item HTMLItem) error {
 // execSQLSection performs Section 4.2's three steps for one SQL section:
 // build the SQL string by substitution, execute it, and render the result
 // through the custom or default report format — or the message handler on
-// error.
+// error. Each step is a timed span on the request trace, and the
+// execution latency feeds the per-section /metrics histogram.
 func (r *macroRun) execSQLSection(sec *SQLSection) error {
+	secName := sec.SectName
+	if secName == "" {
+		secName = "(unnamed)"
+	}
+	evalSpan := r.trace.Start("var-eval:" + secName)
 	sqlStr, err := r.vt.Expand(sec.Command)
+	evalSpan.End()
 	if err != nil {
 		return err
 	}
@@ -398,9 +432,32 @@ func (r *macroRun) execSQLSection(sec *SQLSection) error {
 	if err != nil {
 		return err
 	}
-	res, execErr := conn.Execute(sqlStr)
+	execSpan := r.trace.Start("sql-exec:" + secName)
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
+	info := obs.ExecInfo{}
+	res, execErr := r.executeStatement(conn, sqlStr, &info)
+	if !start.IsZero() {
+		obs.Default.Histogram("db2www_sql_exec_seconds",
+			"macro %SQL section execution latency (substitution excluded)",
+			nil, "section", secName).Observe(time.Since(start).Seconds())
+	}
 	if execErr != nil {
+		if execSpan != nil {
+			execSpan.EndNote(fmt.Sprintf("error=%s sql=%q",
+				obs.TruncateSQL(execErr.Error(), 120), obs.TruncateSQL(sqlStr, 200)))
+		}
 		return r.handleSQLError(sec, sqlStr, execErr)
+	}
+	if execSpan != nil {
+		note := fmt.Sprintf("rows=%d", len(res.Rows))
+		if info.CacheState != "" {
+			note += " cache=" + info.CacheState
+		}
+		note += fmt.Sprintf(" sql=%q", obs.TruncateSQL(sqlStr, 200))
+		execSpan.EndNote(note)
 	}
 	// The no-rows condition: DB2 reports SQLCODE +100; a message entry
 	// keyed "+100" customises it.
@@ -409,7 +466,20 @@ func (r *macroRun) execSQLSection(sec *SQLSection) error {
 			return r.emitMessage(entry, "+100", "no rows satisfy the query")
 		}
 	}
-	return r.renderResult(sec, res)
+	renderSpan := r.trace.Start("report-render:" + secName)
+	err = r.renderResult(sec, res)
+	renderSpan.End()
+	return err
+}
+
+// executeStatement dispatches to the context-aware execution path when
+// the connection supports it, threading the trace and the per-statement
+// ExecInfo carrier down to the cache and database layers.
+func (r *macroRun) executeStatement(conn DBConn, sqlStr string, info *obs.ExecInfo) (*SQLResult, error) {
+	if cc, ok := conn.(ContextDBConn); ok {
+		return cc.ExecuteContext(obs.WithExecInfo(r.ctx, info), sqlStr)
+	}
+	return conn.Execute(sqlStr)
 }
 
 // maybeShowSQL echoes the SQL statement when the show-SQL input variable
@@ -464,16 +534,29 @@ func (r *macroRun) handleSQLError(sec *SQLSection, sqlStr string, execErr error)
 }
 
 func (r *macroRun) emitDefaultError(execErr error) error {
+	// With a live trace, the page carries the trace ID so a user report
+	// ("my query failed, the page said trace 4f2a…") correlates with the
+	// server's logs and the /server-status trace ring.
+	if r.trace != nil && r.trace.ID != "" {
+		_, err := fmt.Fprintf(r.out, "<P><B>SQL error:</B> %s <SMALL>(trace %s)</SMALL></P>\n",
+			escapeHTML(execErr.Error()), escapeHTML(r.trace.ID))
+		return err
+	}
 	_, err := fmt.Fprintf(r.out, "<P><B>SQL error:</B> %s</P>\n", escapeHTML(execErr.Error()))
 	return err
 }
 
 // emitMessage expands and prints one message entry, with SQL_STATE and
-// SQL_MESSAGE bound in a system scope, and honours its disposition.
+// SQL_MESSAGE bound in a system scope (plus TRACE_ID when the request is
+// traced, so custom error pages can echo it), and honours its
+// disposition.
 func (r *macroRun) emitMessage(entry *MessageEntry, state, dbmsMsg string) error {
 	scope := r.vt.PushScope()
 	scope["SQL_STATE"] = state
 	scope["SQL_MESSAGE"] = dbmsMsg
+	if r.trace != nil && r.trace.ID != "" {
+		scope["TRACE_ID"] = r.trace.ID
+	}
 	text, err := r.vt.Expand(entry.Text)
 	r.vt.PopScope()
 	if err != nil {

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"db2www/internal/obs"
+)
+
+// TestA7ObsAblation runs the observability-overhead experiment at small
+// scale and checks the result's shape. The strict 5% budget is enforced
+// by A7/benchrunner at full scale; this unit test tolerates CI noise and
+// only rejects overhead so large it indicates a broken disabled path.
+func TestA7ObsAblation(t *testing.T) {
+	cfg := Config{Rows: 40, Requests: 15, Seed: 1}
+	r, err := RunA7(cfg)
+	if err != nil {
+		t.Fatalf("A7: %v", err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("RunA7 left instrumentation disabled")
+	}
+	if r.OffMeanMicros <= 0 || r.OnMeanMicros <= 0 {
+		t.Fatalf("timings not populated: %+v", r)
+	}
+	if r.SpansPerTrace < 3 {
+		t.Fatalf("spans per trace = %v, want the engine's phase spans", r.SpansPerTrace)
+	}
+	if r.OverheadPct > 50 {
+		t.Fatalf("overhead %.1f%% — disabled path is not actually cheap", r.OverheadPct)
+	}
+	var buf bytes.Buffer
+	PrintA7(&buf, r)
+	for _, want := range []string{"observability", "overhead", "spans per trace"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("PrintA7 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

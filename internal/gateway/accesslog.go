@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"db2www/internal/obs"
 )
 
 // AccessLog is NCSA Common Log Format middleware plus an Apache-style
@@ -24,6 +26,11 @@ type AccessLog struct {
 	// StatusPath serves the statistics page when non-empty.
 	// Defaults to "/server-status".
 	StatusPath string
+	// MetricsPath serves the obs registry in Prometheus text exposition
+	// format. Defaults to "/metrics"; set "-" to disable.
+	MetricsPath string
+	// Metrics is the registry MetricsPath serves. Defaults to obs.Default.
+	Metrics *obs.Registry
 	// Now is the clock used for log timestamps (overridable for tests).
 	Now func() time.Time
 	// MaxPaths caps how many distinct URL paths the per-path counters
@@ -103,6 +110,18 @@ func (l *AccessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Path == statusPath {
 		l.serveStatus(w)
+		return
+	}
+	metricsPath := l.MetricsPath
+	if metricsPath == "" {
+		metricsPath = "/metrics"
+	}
+	if metricsPath != "-" && r.URL.Path == metricsPath {
+		reg := l.Metrics
+		if reg == nil {
+			reg = obs.Default
+		}
+		reg.ServeHTTP(w, r)
 		return
 	}
 	cw := &countingWriter{ResponseWriter: w}

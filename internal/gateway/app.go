@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path"
@@ -11,6 +12,7 @@ import (
 
 	"db2www/internal/cgi"
 	"db2www/internal/core"
+	"db2www/internal/obs"
 )
 
 // App is the DB2WWW CGI application: given a CGI request whose PATH_INFO
@@ -52,28 +54,44 @@ type cachedMacro struct {
 
 // ServeCGI implements cgi.Handler.
 func (a *App) ServeCGI(req *cgi.Request) (*cgi.Response, error) {
+	return a.ServeCGIContext(context.Background(), req)
+}
+
+// ServeCGIContext is ServeCGI with the request context: the gateway's
+// trace rides it into the engine, and macro loading becomes the trace's
+// "parse" span (noting whether the parsed-macro cache served it).
+func (a *App) ServeCGIContext(ctx context.Context, req *cgi.Request) (*cgi.Response, error) {
+	tr := obs.TraceFrom(ctx)
 	macroName, cmdName, err := cgi.SplitPathInfo(req.PathInfo)
 	if err != nil {
-		return errorPage(400, "Bad request", err.Error()), nil
+		return errorPageTrace(400, "Bad request", err.Error(), tr), nil
 	}
 	mode, err := core.ParseMode(cmdName)
 	if err != nil {
-		return errorPage(400, "Bad request", err.Error()), nil
+		return errorPageTrace(400, "Bad request", err.Error(), tr), nil
 	}
-	m, status, err := a.loadMacro(macroName)
+	parseSpan := tr.Start("parse")
+	m, status, cached, err := a.loadMacro(macroName)
+	if parseSpan != nil {
+		note := "cache=miss"
+		if cached {
+			note = "cache=hit"
+		}
+		parseSpan.EndNote(note)
+	}
 	if err != nil {
 		if status == 404 {
-			return errorPage(404, "Macro not found", err.Error()), nil
+			return errorPageTrace(404, "Macro not found", err.Error(), tr), nil
 		}
-		return errorPage(500, "Macro error", err.Error()), nil
+		return errorPageTrace(500, "Macro error", err.Error(), tr), nil
 	}
 	inputs, err := req.Inputs()
 	if err != nil {
-		return errorPage(400, "Bad request", err.Error()), nil
+		return errorPageTrace(400, "Bad request", err.Error(), tr), nil
 	}
 	var buf bytes.Buffer
-	if err := a.Engine.Run(m, mode, inputs, &buf); err != nil {
-		return errorPage(500, "Macro processing failed", err.Error()), nil
+	if err := a.Engine.RunContext(ctx, m, mode, inputs, &buf); err != nil {
+		return errorPageTrace(500, "Macro processing failed", err.Error(), tr), nil
 	}
 	return &cgi.Response{
 		Status:      200,
@@ -85,27 +103,28 @@ func (a *App) ServeCGI(req *cgi.Request) (*cgi.Response, error) {
 
 // loadMacro resolves, reads, and parses a macro file, refusing any path
 // that escapes MacroDir (Section 5's security posture: the gateway must
-// not become a file oracle).
-func (a *App) loadMacro(name string) (*core.Macro, int, error) {
+// not become a file oracle). cached reports whether the parsed-macro
+// cache served it.
+func (a *App) loadMacro(name string) (m *core.Macro, status int, cached bool, err error) {
 	clean := path.Clean("/" + name)
 	if clean == "/" {
-		return nil, 404, fmt.Errorf("empty macro name")
+		return nil, 404, false, fmt.Errorf("empty macro name")
 	}
 	rel := clean[1:]
 	if strings.Contains(rel, "..") {
-		return nil, 404, fmt.Errorf("macro name %q escapes the macro directory", name)
+		return nil, 404, false, fmt.Errorf("macro name %q escapes the macro directory", name)
 	}
 	full := filepath.Join(a.MacroDir, filepath.FromSlash(rel))
 	st, err := os.Stat(full)
 	if err != nil || st.IsDir() {
-		return nil, 404, fmt.Errorf("no such macro %q", name)
+		return nil, 404, false, fmt.Errorf("no such macro %q", name)
 	}
 	if a.CacheMacros {
 		a.mu.Lock()
 		if c, ok := a.cache[full]; ok && c.mtime == st.ModTime().UnixNano() && c.size == st.Size() {
 			a.macroHits++
 			a.mu.Unlock()
-			return c.macro, 200, nil
+			return c.macro, 200, true, nil
 		}
 		a.mu.Unlock()
 	}
@@ -114,11 +133,11 @@ func (a *App) loadMacro(name string) (*core.Macro, int, error) {
 	a.mu.Unlock()
 	src, err := os.ReadFile(full)
 	if err != nil {
-		return nil, 404, fmt.Errorf("cannot read macro %q: %v", name, err)
+		return nil, 404, false, fmt.Errorf("cannot read macro %q: %v", name, err)
 	}
-	m, err := core.ParseWithIncludes(rel, string(src), a.includeResolver())
+	m, err = core.ParseWithIncludes(rel, string(src), a.includeResolver())
 	if err != nil {
-		return nil, 500, err
+		return nil, 500, false, err
 	}
 	if a.CacheMacros {
 		a.mu.Lock()
@@ -128,7 +147,7 @@ func (a *App) loadMacro(name string) (*core.Macro, int, error) {
 		a.cache[full] = cachedMacro{mtime: st.ModTime().UnixNano(), size: st.Size(), macro: m}
 		a.mu.Unlock()
 	}
-	return m, 200, nil
+	return m, 200, false, nil
 }
 
 // includeResolver loads %INCLUDE targets from inside MacroDir, with the
@@ -159,6 +178,18 @@ func errorPage(status int, title, detail string) *cgi.Response {
 		Headers:     map[string]string{"content-type": "text/html"},
 		Body:        body,
 	}
+}
+
+// errorPageTrace is errorPage plus a trace-ID footer when the request is
+// traced, so the error a user screenshots names the trace the operator
+// can pull from the ring or the logs.
+func errorPageTrace(status int, title, detail string, tr *obs.Trace) *cgi.Response {
+	resp := errorPage(status, title, detail)
+	if tr != nil && tr.ID != "" {
+		footer := fmt.Sprintf("<P><SMALL>trace %s</SMALL></P>\n</BODY></HTML>\n", htmlEscape(tr.ID))
+		resp.Body = strings.Replace(resp.Body, "</BODY></HTML>\n", footer, 1)
+	}
+	return resp
 }
 
 func htmlEscape(s string) string {

@@ -1,9 +1,12 @@
 package gateway
 
 import (
+	"context"
 	"crypto/subtle"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"strconv"
@@ -11,6 +14,7 @@ import (
 	"time"
 
 	"db2www/internal/cgi"
+	"db2www/internal/obs"
 )
 
 // Handler is the Web-server half of Figure 4: it serves static documents
@@ -41,10 +45,75 @@ type Handler struct {
 	CGIArgs    []string
 	CGIEnv     []string
 	CGITimeout time.Duration
+
+	// TraceRing, when non-nil, receives every finished request trace;
+	// /server-status renders its contents.
+	TraceRing *obs.Ring
+	// SlowLog, when non-nil, records requests over its threshold with
+	// their per-phase span breakdown and substituted SQL.
+	SlowLog *obs.SlowLog
+	// Logf receives server-side error detail (with the trace ID) that is
+	// deliberately kept out of client responses. Defaults to log.Printf.
+	Logf func(format string, args ...any)
 }
 
-// ServeHTTP implements http.Handler.
+// contextCGIHandler is the optional context-aware extension of
+// cgi.Handler; App implements it, and the handler uses it to thread the
+// request trace into macro processing.
+type contextCGIHandler interface {
+	ServeCGIContext(ctx context.Context, req *cgi.Request) (*cgi.Response, error)
+}
+
+// Request-path series are resolved once; only the per-status counter
+// needs a registry lookup per request (the status is dynamic).
+var (
+	mInFlight = obs.Default.Gauge("db2www_http_in_flight",
+		"requests currently being served")
+	mRequestSeconds = obs.Default.Histogram("db2www_http_request_seconds",
+		"request latency from gateway receipt to response completion", nil)
+)
+
+// ServeHTTP implements http.Handler. Every request gets a trace: the ID
+// comes from a valid incoming X-Trace-Id header (so a client or an
+// upstream proxy can stitch its own correlation) or is minted here, is
+// echoed on the X-Trace-Id response header, and travels the request
+// context through the engine. Request count, latency, and in-flight
+// gauges land in the obs registry.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !obs.Enabled() {
+		h.route(w, r)
+		return
+	}
+	start := time.Now()
+	id := obs.SanitizeTraceID(r.Header.Get("X-Trace-Id"))
+	if id == "" {
+		id = obs.NewTraceID()
+	}
+	tr := obs.NewTrace(id)
+	tr.Method, tr.Path = r.Method, r.URL.Path
+	w.Header().Set("X-Trace-Id", id)
+	r = r.WithContext(obs.WithTrace(r.Context(), tr))
+
+	mInFlight.Add(1)
+	defer mInFlight.Add(-1)
+
+	cw := &countingWriter{ResponseWriter: w}
+	h.route(cw, r)
+	status := cw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	total := time.Since(start)
+	tr.Finish(status, total)
+	obs.Default.Counter("db2www_http_requests_total",
+		"requests served, by response status", "code", strconv.Itoa(status)).Inc()
+	mRequestSeconds.Observe(total.Seconds())
+	h.TraceRing.Add(tr)
+	h.SlowLog.Record(tr)
+}
+
+// route dispatches between CGI, static files, and 404.
+func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 	script := h.ScriptName
 	if script == "" {
 		script = "/cgi-bin/db2www"
@@ -59,6 +128,22 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	http.NotFound(w, r)
+}
+
+// logf reports server-side detail, tagged with the request's trace ID so
+// the operator can correlate it with the access log, the trace ring, and
+// the line the client quotes back.
+func (h *Handler) logf(r *http.Request, format string, args ...any) {
+	logf := h.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	id := "-"
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		id = tr.ID
+	}
+	logf("gateway: trace=%s %s %s: %s", id, r.Method, r.URL.Path,
+		fmt.Sprintf(format, args...))
 }
 
 func (h *Handler) serveCGI(w http.ResponseWriter, r *http.Request, script string) {
@@ -80,23 +165,41 @@ func (h *Handler) serveCGI(w http.ResponseWriter, r *http.Request, script string
 	}
 	req, err := h.buildRequest(r, script, pathInfo)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		// The detail (an unreadable body, a malformed header) is logged
+		// with the trace ID; the client gets a generic message — internal
+		// error strings are not part of the response contract.
+		h.logf(r, "rejecting request: %v", err)
+		http.Error(w, "bad request", http.StatusBadRequest)
 		return
 	}
 	var resp *cgi.Response
-	if h.CGIProgram != "" {
+	switch {
+	case h.CGIProgram != "":
 		timeout := h.CGITimeout
 		if timeout == 0 {
 			timeout = 30 * time.Second
 		}
 		resp, err = cgi.InvokeProcess(h.CGIProgram, h.CGIArgs, req, h.CGIEnv, timeout)
-	} else if h.App != nil {
-		resp, err = h.App.ServeCGI(req)
-	} else {
-		err = fmt.Errorf("gateway: no CGI application configured")
+	case h.App != nil:
+		if ch, ok := h.App.(contextCGIHandler); ok {
+			resp, err = ch.ServeCGIContext(r.Context(), req)
+		} else {
+			resp, err = h.App.ServeCGI(req)
+		}
+	default:
+		h.logf(r, "no CGI application configured")
+		http.Error(w, "server misconfigured", http.StatusInternalServerError)
+		return
 	}
 	if err != nil {
-		http.Error(w, "CGI failure: "+err.Error(), http.StatusBadGateway)
+		// Distinct status codes per failure class; raw error text stays
+		// server-side.
+		h.logf(r, "CGI failure: %v", err)
+		if errors.Is(err, cgi.ErrTimeout) {
+			http.Error(w, "gateway timeout", http.StatusGatewayTimeout)
+		} else {
+			http.Error(w, "gateway error", http.StatusBadGateway)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", resp.ContentType)

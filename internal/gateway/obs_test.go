@@ -1,0 +1,306 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// TestTraceIDPropagation walks one request end to end: a client-supplied
+// X-Trace-Id must come back on the response header, land in the trace
+// ring, and carry the engine's phase spans (parse, var-eval, sql-exec,
+// report-render).
+func TestTraceIDPropagation(t *testing.T) {
+	h, _ := newTestStack(t)
+	ring := obs.NewRing(8)
+	h.TraceRing = ring
+
+	req := httptest.NewRequest("GET",
+		"http://server/cgi-bin/db2www/urlquery.d2w/report?SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title", nil)
+	req.Header.Set("X-Trace-Id", "t1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Trace-Id"); got != "t1" {
+		t.Fatalf("X-Trace-Id = %q, want t1", got)
+	}
+	traces := ring.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != "t1" {
+		t.Errorf("trace ID = %q", tr.ID)
+	}
+	if tr.Status() != 200 || tr.Total() <= 0 {
+		t.Errorf("finish: status=%d total=%v", tr.Status(), tr.Total())
+	}
+	names := map[string]string{}
+	for _, sp := range tr.Spans() {
+		names[sp.Name] = sp.Note
+	}
+	for _, want := range []string{"parse", "var-eval:(unnamed)",
+		"sql-exec:(unnamed)", "report-render:(unnamed)"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("span %q missing; have %v", want, names)
+		}
+	}
+	if note := names["sql-exec:(unnamed)"]; !strings.Contains(note, "rows=") ||
+		!strings.Contains(note, "sql=") {
+		t.Errorf("sql-exec note = %q, want rows= and sql=", note)
+	}
+}
+
+// TestTraceIDMinted verifies a request without the header still gets a
+// well-formed ID, and that a hostile header value is replaced.
+func TestTraceIDMinted(t *testing.T) {
+	h, _ := newTestStack(t)
+	for _, hdr := range []string{"", "bad value\nwith junk"} {
+		req := httptest.NewRequest("GET", "http://server/cgi-bin/db2www/urlquery.d2w/input", nil)
+		if hdr != "" {
+			req.Header.Set("X-Trace-Id", hdr)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		id := rec.Header().Get("X-Trace-Id")
+		if obs.SanitizeTraceID(id) != id || id == "" {
+			t.Errorf("header %q: minted ID %q is not clean", hdr, id)
+		}
+		if hdr != "" && id == hdr {
+			t.Errorf("hostile header value %q echoed verbatim", hdr)
+		}
+	}
+}
+
+// TestErrorPageCarriesTraceID: macro-level failures (bad command name)
+// keep their 1996-style error page but gain the trace footer.
+func TestErrorPageCarriesTraceID(t *testing.T) {
+	h, _ := newTestStack(t)
+	req := httptest.NewRequest("GET", "http://server/cgi-bin/db2www/urlquery.d2w/badcmd", nil)
+	req.Header.Set("X-Trace-Id", "t2")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "trace t2") {
+		t.Errorf("error page missing trace footer:\n%s", rec.Body.String())
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after real traffic and checks the
+// exposition carries the request histogram, status-code counters, and
+// per-section SQL latency series.
+func TestMetricsEndpoint(t *testing.T) {
+	h, _ := newTestStack(t)
+	al := NewAccessLog(h, nil)
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest("GET",
+			"http://server/cgi-bin/db2www/urlquery.d2w/report?SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title", nil)
+		rec := httptest.NewRecorder()
+		al.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("warm request %d: status %d", i, rec.Code)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	al.ServeHTTP(rec, httptest.NewRequest("GET", "http://server/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE db2www_http_requests_total counter",
+		`db2www_http_requests_total{code="200"}`,
+		"# TYPE db2www_http_request_seconds histogram",
+		`db2www_http_request_seconds_bucket{le="+Inf"}`,
+		"db2www_http_request_seconds_count",
+		`db2www_sql_exec_seconds_count{section="(unnamed)"}`,
+		"db2www_sqldb_exec_seconds_bucket",
+		"db2www_sqldb_rows_returned_total",
+		"db2www_http_in_flight",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerStatusSectionsConcurrent hammers AddStatusSection against
+// /server-status renders; run under -race this pins the locking.
+func TestServerStatusSectionsConcurrent(t *testing.T) {
+	h, _ := newTestStack(t)
+	ring := obs.NewRing(16)
+	h.TraceRing = ring
+	al := NewAccessLog(h, nil)
+	al.AddStatusSection("Recent traces", ring.StatusRows)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				al.AddStatusSection(fmt.Sprintf("Section %d-%d", g, i),
+					func() [][2]string { return [][2]string{{"k", "v"}} })
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rec := httptest.NewRecorder()
+				al.ServeHTTP(rec, httptest.NewRequest("GET", "http://server/server-status", nil))
+				if rec.Code != 200 {
+					t.Errorf("/server-status status = %d", rec.Code)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				rec := httptest.NewRecorder()
+				al.ServeHTTP(rec, httptest.NewRequest("GET",
+					"http://server/cgi-bin/db2www/urlquery.d2w/input", nil))
+				if rec.Code != 200 {
+					t.Errorf("request status = %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rec := httptest.NewRecorder()
+	al.ServeHTTP(rec, httptest.NewRequest("GET", "http://server/server-status", nil))
+	if !strings.Contains(rec.Body.String(), "Recent traces") {
+		t.Error("status page missing the trace section")
+	}
+	if !strings.Contains(rec.Body.String(), "Section 0-0") {
+		t.Error("status page missing registered sections")
+	}
+}
+
+// TestHandlerGenericErrorBodies: client-visible error text must be the
+// generic phrase; the detail goes to Logf with the trace ID.
+func TestHandlerGenericErrorBodies(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	h := &Handler{
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "http://server/cgi-bin/db2www/x.d2w/input", nil)
+	req.Header.Set("X-Trace-Id", "t3")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body := strings.TrimSpace(rec.Body.String()); body != "server misconfigured" {
+		t.Errorf("body = %q leaks detail", body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 1 || !strings.Contains(logged[0], "trace=t3") {
+		t.Errorf("server-side log = %v, want one line tagged trace=t3", logged)
+	}
+}
+
+// TestSlowLogOnRequestPath: with a zero threshold every request logs,
+// carrying the trace ID and span breakdown.
+func TestSlowLogOnRequestPath(t *testing.T) {
+	h, _ := newTestStack(t)
+	var buf syncWriter
+	h.SlowLog = obs.NewSlowLog(&buf, 0)
+
+	req := httptest.NewRequest("GET",
+		"http://server/cgi-bin/db2www/urlquery.d2w/report?SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title", nil)
+	req.Header.Set("X-Trace-Id", "t4")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace=t4", "status=200", "sql-exec:(unnamed)=", "sql="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObsDisabledSkipsTracing: with instrumentation off the handler
+// neither mints IDs nor records traces, and requests still succeed.
+func TestObsDisabledSkipsTracing(t *testing.T) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	h, _ := newTestStack(t)
+	ring := obs.NewRing(8)
+	h.TraceRing = ring
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET",
+		"http://server/cgi-bin/db2www/urlquery.d2w/input", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Trace-Id") != "" {
+		t.Error("trace ID minted while disabled")
+	}
+	if len(ring.Snapshot()) != 0 {
+		t.Error("trace recorded while disabled")
+	}
+}
+
+// syncWriter is a goroutine-safe buffer for log output.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncWriter) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncWriter) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// TestCGITimeoutMaps504 exercises the subprocess error classification
+// without a real subprocess: a handler with a bogus CGI program path
+// yields 502 (start failure), never a raw error string.
+func TestCGITimeoutMaps504(t *testing.T) {
+	h := &Handler{CGIProgram: "/nonexistent/db2www", CGITimeout: time.Second,
+		Logf: func(string, ...any) {}}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "http://server/cgi-bin/db2www/x.d2w/input", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", rec.Code)
+	}
+	if body := strings.TrimSpace(rec.Body.String()); body != "gateway error" {
+		t.Errorf("body = %q leaks detail", body)
+	}
+}

@@ -128,7 +128,16 @@ func (c *sqlConn) Close() error {
 // Execute runs one dynamically assembled SQL statement and materialises
 // the result in the engine's string-oriented shape.
 func (c *sqlConn) Execute(sqlText string) (*core.SQLResult, error) {
-	ctx := context.Background()
+	return c.ExecuteContext(context.Background(), sqlText)
+}
+
+// ExecuteContext is Execute carrying the request context, so statement
+// execution rides the same trace/cancellation scope as the HTTP request
+// that assembled it.
+func (c *sqlConn) ExecuteContext(ctx context.Context, sqlText string) (*core.SQLResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	query := func(q string) (*sql.Rows, error) {
 		if c.tx != nil {
 			return c.tx.QueryContext(ctx, q)

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Span is one completed, timed phase of a request: parse, var-eval,
+// sql-exec:<section>, report-render, … Start is the offset from the
+// trace's begin time, so a span list reads as a waterfall.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+	// Note carries phase detail: row counts, cache hit/miss, the
+	// fully-substituted SQL of an exec span.
+	Note string
+}
+
+// Trace is one request's journey through the stack: an ID (minted at the
+// gateway or taken from the client's X-Trace-Id header), the request
+// identity, and the spans recorded while it ran. A nil *Trace is valid
+// everywhere — every method no-ops — so instrumented code never branches
+// on "is tracing on".
+type Trace struct {
+	ID     string
+	Begun  time.Time
+	Method string
+	Path   string
+
+	mu     sync.Mutex
+	status int
+	total  time.Duration
+	spans  []Span
+}
+
+// NewTrace starts a trace now under the given ID.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, Begun: time.Now()}
+}
+
+// ActiveSpan is an in-progress span; End (or EndNote) completes it and
+// appends it to the trace. A nil *ActiveSpan no-ops.
+type ActiveSpan struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start opens a span. Returns nil (a no-op span) on a nil trace.
+func (t *Trace) Start(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, name: name, start: time.Now()}
+}
+
+// End completes the span with no note.
+func (s *ActiveSpan) End() { s.EndNote("") }
+
+// EndNote completes the span with a detail note.
+func (s *ActiveSpan) EndNote(note string) {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, Span{
+		Name:  s.name,
+		Start: s.start.Sub(s.t.Begun),
+		Dur:   end.Sub(s.start),
+		Note:  note,
+	})
+	s.t.mu.Unlock()
+}
+
+// Add appends an already-measured span (for phases timed externally).
+func (t *Trace) Add(name string, start, dur time.Duration, note string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: dur, Note: note})
+	t.mu.Unlock()
+}
+
+// Finish records the response status and total duration.
+func (t *Trace) Finish(status int, total time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.status = status
+	t.total = total
+	t.mu.Unlock()
+}
+
+// Status returns the response status recorded by Finish.
+func (t *Trace) Status() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Total returns the request duration recorded by Finish.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// NewTraceID mints a 16-hex-digit random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed ID
+		// keeps tracing alive rather than panicking on the request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeTraceID validates a client-supplied trace ID: 1–64 characters
+// drawn from [A-Za-z0-9._-]. Anything else returns "" (mint a fresh ID)
+// so header values can't inject into logs or HTML.
+func SanitizeTraceID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	execInfoKey
+)
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// ExecInfo is an out-parameter the engine threads to the database layer
+// for one statement execution: the query cache fills in how it handled
+// the statement so the engine's sql-exec span can say "cache=hit".
+type ExecInfo struct {
+	// CacheState is "", "hit", "miss", or "bypass".
+	CacheState string
+}
+
+// WithExecInfo attaches a statement-scoped ExecInfo carrier.
+func WithExecInfo(ctx context.Context, info *ExecInfo) context.Context {
+	return context.WithValue(ctx, execInfoKey, info)
+}
+
+// ExecInfoFrom returns the context's ExecInfo carrier, or nil.
+func ExecInfoFrom(ctx context.Context) *ExecInfo {
+	if ctx == nil {
+		return nil
+	}
+	info, _ := ctx.Value(execInfoKey).(*ExecInfo)
+	return info
+}
+
+// TruncateSQL bounds a SQL string for notes and log lines, marking the
+// cut. Newlines collapse to spaces so one statement stays one line.
+func TruncateSQL(sql string, max int) string {
+	oneLine := make([]byte, 0, len(sql))
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if c == '\n' || c == '\r' || c == '\t' {
+			c = ' '
+		}
+		oneLine = append(oneLine, c)
+	}
+	s := string(oneLine)
+	if max > 0 && len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
+}

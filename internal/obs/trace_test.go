@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("abc")
+	sp := tr.Start("sql-exec:Q1")
+	time.Sleep(time.Millisecond)
+	sp.EndNote("rows=3 cache=miss")
+	tr.Start("report-render").End()
+	tr.Finish(200, 5*time.Millisecond)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Name != "sql-exec:Q1" || spans[0].Note != "rows=3 cache=miss" {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[0].Dur < time.Millisecond {
+		t.Errorf("span 0 dur = %v", spans[0].Dur)
+	}
+	if tr.Status() != 200 || tr.Total() != 5*time.Millisecond {
+		t.Errorf("finish: status=%d total=%v", tr.Status(), tr.Total())
+	}
+	line := FormatSpans(tr)
+	if !strings.Contains(line, "sql-exec:Q1=") || !strings.Contains(line, "[rows=3 cache=miss]") {
+		t.Errorf("FormatSpans = %q", line)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.End()
+	tr.Add("y", 0, 0, "")
+	tr.Finish(200, time.Second)
+	if tr.Spans() != nil || tr.Status() != 0 || tr.Total() != 0 {
+		t.Fatal("nil trace must no-op")
+	}
+	if FormatSpans(nil) != "" {
+		t.Fatal("FormatSpans(nil) must be empty")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context must carry no trace")
+	}
+	if TraceFrom(nil) != nil { //nolint:staticcheck // nil-context robustness is the point
+		t.Fatal("nil context must carry no trace")
+	}
+	tr := NewTrace("t1")
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	info := &ExecInfo{}
+	ctx = WithExecInfo(ctx, info)
+	if ExecInfoFrom(ctx) != info {
+		t.Fatal("exec info lost in context")
+	}
+	if TraceFrom(ctx) != tr {
+		t.Fatal("exec info must not displace the trace")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("ids = %q %q", a, b)
+	}
+	if SanitizeTraceID(a) != a {
+		t.Fatalf("minted id %q must sanitize to itself", a)
+	}
+}
+
+func TestSanitizeTraceID(t *testing.T) {
+	good := []string{"t1", "abc-DEF_123.z", strings.Repeat("a", 64)}
+	for _, id := range good {
+		if SanitizeTraceID(id) != id {
+			t.Errorf("rejected valid id %q", id)
+		}
+	}
+	bad := []string{"", strings.Repeat("a", 65), "has space", "quote\"", "semi;colon", "nl\n"}
+	for _, id := range bad {
+		if SanitizeTraceID(id) != "" {
+			t.Errorf("accepted invalid id %q", id)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %d", len(got))
+	}
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		r.Add(NewTrace(id))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %d traces", len(snap))
+	}
+	// Newest first; a and b were overwritten.
+	for i, want := range []string{"e", "d", "c"} {
+		if snap[i].ID != want {
+			t.Errorf("snap[%d] = %q, want %q", i, snap[i].ID, want)
+		}
+	}
+	var nilRing *Ring
+	nilRing.Add(NewTrace("x"))
+	if nilRing.Snapshot() != nil {
+		t.Fatal("nil ring must no-op")
+	}
+	rows := r.StatusRows()
+	if len(rows) != 3 || !strings.Contains(rows[0][0], "e") {
+		t.Errorf("StatusRows = %v", rows)
+	}
+}
+
+func TestTruncateSQL(t *testing.T) {
+	if got := TruncateSQL("SELECT *\nFROM\tt", 0); got != "SELECT * FROM t" {
+		t.Errorf("newline collapse = %q", got)
+	}
+	if got := TruncateSQL("abcdef", 3); got != "abc…" {
+		t.Errorf("truncate = %q", got)
+	}
+}

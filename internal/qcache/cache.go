@@ -131,8 +131,10 @@ func (c *Cache) Do(key string, src VersionSource,
 		c.mu.Lock()
 		if res, ok := c.lookupLocked(key, src); ok {
 			c.stats.Hits++
+			mHits.Inc()
 			if waited {
 				c.stats.Dedups++
+				mDedups.Inc()
 			}
 			c.mu.Unlock()
 			return res, nil
@@ -150,6 +152,7 @@ func (c *Cache) Do(key string, src VersionSource,
 			continue
 		}
 		c.stats.Misses++
+		mMisses.Inc()
 		f = &flight{done: make(chan struct{})}
 		c.flights[key] = f
 		c.mu.Unlock()
@@ -174,6 +177,7 @@ func (c *Cache) leaderExec(key string, src VersionSource,
 		res, err := compute()
 		if err == nil {
 			c.addStat(&c.stats.Uncacheable)
+			mUncacheable.Inc()
 		}
 		return res, err
 	}
@@ -187,6 +191,7 @@ func (c *Cache) leaderExec(key string, src VersionSource,
 		// A write landed while we executed; the result's position
 		// relative to it is unknown. Serve it, don't store it.
 		c.addStat(&c.stats.Uncacheable)
+		mUncacheable.Inc()
 		return res, nil
 	}
 	c.store(key, res, tables, after)
@@ -203,11 +208,13 @@ func (c *Cache) lookupLocked(key string, src VersionSource) (*core.SQLResult, bo
 	if !e.expires.IsZero() && c.now().After(e.expires) {
 		c.removeLocked(e)
 		c.stats.Expirations++
+		mExpirations.Inc()
 		return nil, false
 	}
 	if src != nil && !versionsEqual(e.versions, src.TableVersions(e.tables)) {
 		c.removeLocked(e)
 		c.stats.Invalidations++
+		mInvalidations.Inc()
 		return nil, false
 	}
 	c.lru.MoveToFront(e.elem)
@@ -223,6 +230,7 @@ func (c *Cache) store(key string, res *core.SQLResult, tables []string, versions
 	defer c.mu.Unlock()
 	if c.maxBytes > 0 && size > c.maxBytes {
 		c.stats.Uncacheable++
+		mUncacheable.Inc()
 		return
 	}
 	if old, ok := c.entries[key]; ok {
@@ -236,6 +244,7 @@ func (c *Cache) store(key string, res *core.SQLResult, tables []string, versions
 	c.entries[key] = e
 	c.bytes += size
 	c.stats.Stores++
+	mStores.Inc()
 	for c.maxBytes > 0 && c.bytes > c.maxBytes {
 		back := c.lru.Back()
 		if back == nil {
@@ -243,6 +252,7 @@ func (c *Cache) store(key string, res *core.SQLResult, tables []string, versions
 		}
 		c.removeLocked(back.Value.(*entry))
 		c.stats.Evictions++
+		mEvictions.Inc()
 	}
 }
 
@@ -256,7 +266,10 @@ func (c *Cache) removeLocked(e *entry) {
 // NoteBypass counts a statement that went straight to the database:
 // a write, or any statement inside an open transaction (whose reads may
 // see uncommitted data that must never leak into the cache).
-func (c *Cache) NoteBypass() { c.addStat(&c.stats.Bypasses) }
+func (c *Cache) NoteBypass() {
+	c.addStat(&c.stats.Bypasses)
+	mBypasses.Inc()
+}
 
 func (c *Cache) addStat(p *int64) {
 	c.mu.Lock()

@@ -1,9 +1,11 @@
 package qcache
 
 import (
+	"context"
 	"strings"
 
 	"db2www/internal/core"
+	"db2www/internal/obs"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
 )
@@ -88,13 +90,46 @@ func (c *cachingConn) Close() error { return c.inner.Close() }
 // must all reach the database (and must not be deduplicated), and results
 // read under an uncommitted transaction must never be published.
 func (c *cachingConn) Execute(sql string) (*core.SQLResult, error) {
+	return c.ExecuteContext(context.Background(), sql)
+}
+
+// ExecuteContext is Execute carrying the request context. When the
+// context holds an obs.ExecInfo carrier (the engine installs one per
+// %EXEC_SQL), the cache reports how it handled the statement — bypass,
+// hit, or miss — so the request trace can say so.
+func (c *cachingConn) ExecuteContext(ctx context.Context, sql string) (*core.SQLResult, error) {
+	info := obs.ExecInfoFrom(ctx)
 	if c.inTxn || !isSelect(sql) {
 		c.cache.NoteBypass()
-		return c.inner.Execute(sql)
+		if info != nil {
+			info.CacheState = "bypass"
+		}
+		return c.execInner(ctx, sql)
 	}
-	return c.cache.Do(c.keyPrefix+sql, c.db,
+	computed := false
+	res, err := c.cache.Do(c.keyPrefix+sql, c.db,
 		func() ([]string, bool) { return sqldb.AnalyzeQuery(sql) },
-		func() (*core.SQLResult, error) { return c.inner.Execute(sql) })
+		func() (*core.SQLResult, error) {
+			computed = true
+			return c.execInner(ctx, sql)
+		})
+	if info != nil {
+		if err == nil && !computed {
+			info.CacheState = "hit"
+		} else {
+			info.CacheState = "miss"
+		}
+	}
+	return res, err
+}
+
+// execInner forwards to the wrapped connection, preserving the context
+// when it is context-aware.
+func (c *cachingConn) execInner(ctx context.Context, sql string) (*core.SQLResult, error) {
+	if cc, ok := c.inner.(core.ContextDBConn); ok {
+		return cc.ExecuteContext(ctx, sql)
+	}
+	return c.inner.Execute(sql)
 }
 
 // isSelect reports whether the statement is a SELECT (after leading

@@ -323,11 +323,19 @@ func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
 		}
 		return &Result{}, nil
 	case *SelectStmt:
+		lockStart := obsNow()
 		if !s.inTxn {
 			s.db.mu.RLock()
 			defer s.db.mu.RUnlock()
 		}
-		return s.db.execSelect(x, params)
+		observeLockWait(lockStart)
+		execStart := obsNow()
+		res, err := s.db.execSelect(x, params)
+		observeExec(mExecSelect, execStart)
+		if err == nil {
+			observeRows(res)
+		}
+		return res, err
 	case *InsertStmt:
 		return s.execWrite(func() (*Result, error) { return s.execInsert(x, params) }, x.Table)
 	case *UpdateStmt:
@@ -353,11 +361,16 @@ func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
 }
 
 func (s *Session) withWriteLock(fn func() (*Result, error)) (*Result, error) {
+	lockStart := obsNow()
 	if !s.inTxn {
 		s.db.mu.Lock()
 		defer s.db.mu.Unlock()
 	}
-	return fn()
+	observeLockWait(lockStart)
+	execStart := obsNow()
+	res, err := fn()
+	observeExec(mExecDDL, execStart)
+	return res, err
 }
 
 // execWrite runs a data-changing statement under the write lock and bumps
@@ -366,12 +379,17 @@ func (s *Session) withWriteLock(fn func() (*Result, error)) (*Result, error) {
 // mode — and the deferred ordering places it before the lock release, so
 // any session that can observe the write also observes the new version.
 func (s *Session) execWrite(fn func() (*Result, error), tables ...string) (*Result, error) {
+	lockStart := obsNow()
 	if !s.inTxn {
 		s.db.mu.Lock()
 		defer s.db.mu.Unlock()
 	}
+	observeLockWait(lockStart)
 	defer s.db.bumpVersions(tables...)
-	return fn()
+	execStart := obsNow()
+	res, err := fn()
+	observeExec(mExecWrite, execStart)
+	return res, err
 }
 
 // Query executes a SELECT (or any statement) and returns a row cursor.

@@ -1,0 +1,60 @@
+package sqldb
+
+import (
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// Registry series for the embedded engine: execution latency by
+// statement kind, time spent acquiring the database readers-writer lock
+// (the contention signal for the one-big-lock design), and rows returned.
+var (
+	mExecSelect = obs.Default.Histogram("db2www_sqldb_exec_seconds",
+		"statement execution time inside the embedded engine, by statement kind",
+		nil, "kind", "select")
+	mExecWrite = obs.Default.Histogram("db2www_sqldb_exec_seconds",
+		"statement execution time inside the embedded engine, by statement kind",
+		nil, "kind", "write")
+	mExecDDL = obs.Default.Histogram("db2www_sqldb_exec_seconds",
+		"statement execution time inside the embedded engine, by statement kind",
+		nil, "kind", "ddl")
+	mLockWait = obs.Default.Histogram("db2www_sqldb_lock_wait_seconds",
+		"time spent acquiring the database readers-writer lock", nil)
+	mRowsReturned = obs.Default.Counter("db2www_sqldb_rows_returned_total",
+		"rows returned by SELECT statements")
+)
+
+// obsNow returns the wall clock when observability is enabled, else the
+// zero time; the observe helpers no-op on zero, so the disabled path
+// costs one atomic load and no clock reads.
+func obsNow() time.Time {
+	if !obs.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeLockWait records the time since the caller started waiting for
+// the database lock.
+func observeLockWait(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	mLockWait.Observe(time.Since(start).Seconds())
+}
+
+// observeExec records one statement execution in h.
+func observeExec(h *obs.Histogram, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// observeRows counts a SELECT's result rows.
+func observeRows(res *Result) {
+	if res != nil && len(res.Rows) > 0 {
+		mRowsReturned.Add(int64(len(res.Rows)))
+	}
+}
