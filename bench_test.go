@@ -25,6 +25,7 @@ import (
 	"db2www/internal/experiments"
 	"db2www/internal/gateway"
 	"db2www/internal/htmlutil"
+	"db2www/internal/macrolint"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
 	"db2www/internal/workload"
@@ -180,6 +181,7 @@ func BenchmarkE5_Figure5_MacroPipeline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	linter := macrolint.New()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -187,8 +189,8 @@ func BenchmarkE5_Figure5_MacroPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if warnings := core.Lint(m); len(warnings) != 0 {
-			b.Fatal("unexpected lint warnings")
+		if diags := linter.LintMacro(m, "urlquery.d2w"); macrolint.HasErrors(diags) {
+			b.Fatal("unexpected lint errors")
 		}
 	}
 }

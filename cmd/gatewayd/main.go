@@ -23,6 +23,7 @@ import (
 
 	"db2www/internal/core"
 	"db2www/internal/gateway"
+	"db2www/internal/macrolint"
 	"db2www/internal/obs"
 	"db2www/internal/qcache"
 	"db2www/internal/sqldb"
@@ -41,6 +42,7 @@ func main() {
 		cache    = flag.Bool("cache", true, "cache parsed macros")
 		maxRows  = flag.Int("maxrows", 0, "default report row cap (0 = unlimited)")
 		cgiProg  = flag.String("cgi", "", "path to a db2www CGI executable; enables subprocess mode")
+		lintMode = flag.String("lint", "warn", "macro lint: off, warn (preflight + log findings), or strict (refuse to start or serve on lint errors)")
 		auth     = flag.String("auth", "", "user:password for HTTP basic auth (optional)")
 		load     = flag.String("load", "", "restore a database dump instead of generating -dataset")
 		save     = flag.String("save", "", "dump the database to this file on SIGINT/SIGTERM")
@@ -131,6 +133,38 @@ func main() {
 		app = &gateway.App{MacroDir: *macros, Engine: engine, CacheMacros: *cache}
 		h.App = app
 	}
+	// Lint preflight: analyze the whole macro corpus before accepting a
+	// single request, so a broken or injectable macro is a deploy-time
+	// failure instead of a runtime one. The same linter then re-checks
+	// each macro as it is (re)loaded, catching files edited after boot.
+	var preFiles, preErrs, preWarns int
+	switch *lintMode {
+	case "off":
+	case "warn", "strict":
+		linter := macrolint.New()
+		files, diags, err := linter.LintDir(*macros)
+		if err != nil {
+			log.Fatalf("gatewayd: lint preflight of %s: %v", *macros, err)
+		}
+		macrolint.Record(diags)
+		for _, d := range diags {
+			log.Printf("gatewayd: lint: %s", d)
+		}
+		errs, warns, _ := macrolint.Counts(diags)
+		preFiles, preErrs, preWarns = len(files), errs, warns
+		fmt.Printf("gatewayd: lint preflight: %d macro(s), %d error(s), %d warning(s)\n",
+			preFiles, preErrs, preWarns)
+		if *lintMode == "strict" && preErrs > 0 {
+			log.Fatalf("gatewayd: -lint strict: refusing to serve %s with %d error-severity finding(s)",
+				*macros, preErrs)
+		}
+		if app != nil {
+			app.Lint = linter
+			app.LintStrict = *lintMode == "strict"
+		}
+	default:
+		log.Fatalf("gatewayd: -lint wants off, warn, or strict, got %q", *lintMode)
+	}
 	if *auth != "" {
 		user, pass, ok := strings.Cut(*auth, ":")
 		if !ok {
@@ -164,6 +198,28 @@ func main() {
 				{"Hits", strconv.FormatInt(hits, 10)},
 				{"Misses", strconv.FormatInt(misses, 10)},
 			}
+		})
+	}
+	if *lintMode != "off" {
+		mode := *lintMode
+		al.AddStatusSection("Macro lint", func() [][2]string {
+			rows := [][2]string{
+				{"Mode", mode},
+				{"Preflight macros", strconv.Itoa(preFiles)},
+				{"Preflight errors", strconv.Itoa(preErrs)},
+				{"Preflight warnings", strconv.Itoa(preWarns)},
+			}
+			if app != nil {
+				loads, errs, warns, infos, rejected := app.LintStats()
+				rows = append(rows,
+					[2]string{"Loads linted", strconv.FormatInt(loads, 10)},
+					[2]string{"Load errors", strconv.FormatInt(errs, 10)},
+					[2]string{"Load warnings", strconv.FormatInt(warns, 10)},
+					[2]string{"Load infos", strconv.FormatInt(infos, 10)},
+					[2]string{"Loads refused", strconv.FormatInt(rejected, 10)},
+				)
+			}
+			return rows
 		})
 	}
 	if qc != nil {

@@ -78,6 +78,9 @@ type SQLSection struct {
 	Report   *ReportBlock
 	Message  *MessageBlock
 	Line     int
+	// CmdLine is the source line where the (whitespace-trimmed) command
+	// text begins — diagnostics inside the command are offset from here.
+	CmdLine int
 }
 
 // ReportBlock is a %SQL_REPORT block: HTML before the %ROW block (the

@@ -154,20 +154,13 @@ func TestIfConditionWithQuotedOperatorChars(t *testing.T) {
 }
 
 func TestIfVariablesVisibleToLint(t *testing.T) {
+	// The macrolint undefined-variable analyzer builds on Variables; %IF
+	// condition references must register (macrolint's own tests cover the
+	// diagnostic itself).
 	m := mustParse(t, `%HTML_INPUT{%IF($(mystery) == "x")y%ENDIF%}`)
 	_, refs := Variables(m)
 	if !refs["mystery"] {
 		t.Fatal("condition variables must register as references")
-	}
-	warnings := Lint(m)
-	found := false
-	for _, w := range warnings {
-		if strings.Contains(w, "mystery") {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("lint must flag undefined condition variable: %v", warnings)
 	}
 }
 

@@ -1,19 +1,40 @@
 package core
 
 import (
-	"fmt"
-	"sort"
 	"strings"
 
 	"db2www/internal/htmlutil"
 )
 
-// refsInTemplate extracts the variable names referenced by $(name)
-// patterns in a template, skipping $$(name) escapes. The second result
-// reports whether an unterminated "$(" was seen.
-func refsInTemplate(tpl string) ([]string, bool) {
-	var names []string
-	unterminated := false
+// TemplateRef is one $(name) reference found in a value template by
+// ParseTemplate. Offset/End are byte offsets of the '$' and of the byte
+// just past the closing ')' within the template text.
+//
+// A reference whose body itself contains a $( — the late-evaluated
+// $(A$(B)) form, legal because the engine substitutes the inner
+// reference when the outer name is dereferenced — is marked Dynamic: its
+// effective name cannot be resolved statically, so Name is empty and Raw
+// holds the unexpanded body. The inner references are reported as
+// TemplateRefs in their own right.
+type TemplateRef struct {
+	Raw     string // text between the parens, transform prefix included
+	Name    string // Raw minus any transform prefix; "" when Dynamic
+	Prefix  string // "@html:", "@sq:", "@url:", or ""
+	Offset  int    // byte offset of '$' in the template
+	End     int    // byte offset just past ')'
+	Dynamic bool   // body contains a nested $( reference
+}
+
+// ParseTemplate extracts every $(name) reference from a value template,
+// skipping $$(name) escapes, matching nested references with balanced
+// parentheses, and reporting the byte offset of every unterminated "$("
+// (or "$$(") so tooling can point at the exact position.
+func ParseTemplate(tpl string) (refs []TemplateRef, unterminated []int) {
+	parseTemplateInto(tpl, 0, &refs, &unterminated)
+	return refs, unterminated
+}
+
+func parseTemplateInto(tpl string, base int, refs *[]TemplateRef, unterminated *[]int) {
 	i := 0
 	for i < len(tpl) {
 		if tpl[i] != '$' {
@@ -23,29 +44,95 @@ func refsInTemplate(tpl string) ([]string, bool) {
 		if strings.HasPrefix(tpl[i:], "$$(") {
 			end := strings.IndexByte(tpl[i+3:], ')')
 			if end < 0 {
-				unterminated = true
-				break
+				*unterminated = append(*unterminated, base+i)
+				return
 			}
 			i += 3 + end + 1
 			continue
 		}
 		if strings.HasPrefix(tpl[i:], "$(") {
-			end := strings.IndexByte(tpl[i+2:], ')')
-			if end < 0 {
-				unterminated = true
-				break
+			depth := 0
+			j := i + 2
+			closed := -1
+			for j < len(tpl) {
+				if strings.HasPrefix(tpl[j:], "$(") {
+					depth++
+					j += 2
+					continue
+				}
+				if tpl[j] == ')' {
+					if depth == 0 {
+						closed = j
+						break
+					}
+					depth--
+				}
+				j++
 			}
-			name := tpl[i+2 : i+2+end]
-			for _, p := range []string{prefixHTML, prefixSQ, prefixURL} {
-				name = strings.TrimPrefix(name, p)
+			if closed < 0 {
+				*unterminated = append(*unterminated, base+i)
+				return
 			}
-			names = append(names, name)
-			i += 2 + end + 1
+			raw := tpl[i+2 : closed]
+			ref := TemplateRef{Raw: raw, Offset: base + i, End: base + closed + 1}
+			if strings.Contains(raw, "$(") {
+				ref.Dynamic = true
+				// The inner references are evaluated first at run time;
+				// report them so analyses do not under-count.
+				parseTemplateInto(raw, base+i+2, refs, unterminated)
+			} else {
+				name := raw
+				for _, p := range []string{prefixHTML, prefixSQ, prefixURL} {
+					if strings.HasPrefix(name, p) {
+						ref.Prefix = p
+						name = strings.TrimPrefix(name, p)
+						break
+					}
+				}
+				ref.Name = name
+			}
+			*refs = append(*refs, ref)
+			i = closed + 1
 			continue
 		}
 		i++
 	}
-	return names, unterminated
+}
+
+// refsInTemplate extracts the statically resolvable variable names
+// referenced by $(name) patterns in a template. The second result
+// reports whether an unterminated "$(" was seen.
+func refsInTemplate(tpl string) ([]string, bool) {
+	refs, unterminated := ParseTemplate(tpl)
+	var names []string
+	for _, r := range refs {
+		if !r.Dynamic {
+			names = append(names, r.Name)
+		}
+	}
+	return names, len(unterminated) > 0
+}
+
+// EscapeNames returns the names inside $$(name) escapes. An escape emits
+// a literal $(name) into the page — the Appendix A idiom that round-trips
+// a reference through a hidden form field for later evaluation — so an
+// escaped name counts as a use of the variable.
+func EscapeNames(tpl string) []string {
+	var names []string
+	i := 0
+	for i < len(tpl) {
+		if !strings.HasPrefix(tpl[i:], "$$(") {
+			i++
+			continue
+		}
+		end := strings.IndexByte(tpl[i+3:], ')')
+		if end < 0 {
+			break
+		}
+		names = append(names, tpl[i+3:i+3+end])
+		i += 3 + end + 1
+	}
+	return names
 }
 
 // Variables returns the sets of variable names a macro defines and
@@ -81,7 +168,7 @@ func Variables(m *Macro) (defined, referenced map[string]bool) {
 				}
 			}
 		case *HTMLSection:
-			walkHTMLItems(s.Items, func(it HTMLItem) {
+			WalkHTMLItems(s.Items, func(it HTMLItem) {
 				switch {
 				case it.Cond != nil:
 					for _, arm := range it.Cond.Arms {
@@ -99,26 +186,26 @@ func Variables(m *Macro) (defined, referenced map[string]bool) {
 	return defined, referenced
 }
 
-// walkHTMLItems visits every item, descending into %IF arms and %ELSE
+// WalkHTMLItems visits every item, descending into %IF arms and %ELSE
 // bodies.
-func walkHTMLItems(items []HTMLItem, fn func(HTMLItem)) {
+func WalkHTMLItems(items []HTMLItem, fn func(HTMLItem)) {
 	for _, it := range items {
 		fn(it)
 		if it.Cond != nil {
 			for _, arm := range it.Cond.Arms {
-				walkHTMLItems(arm.Items, fn)
+				WalkHTMLItems(arm.Items, fn)
 			}
-			walkHTMLItems(it.Cond.Else, fn)
+			WalkHTMLItems(it.Cond.Else, fn)
 		}
 	}
 }
 
-// systemVariable reports whether name is one the engine binds at run
+// IsSystemVariable reports whether name is one the engine binds at run
 // time (report variables, message variables, %EXEC outputs).
-func systemVariable(name string) bool {
+func IsSystemVariable(name string) bool {
 	switch name {
 	case "ROW_NUM", "NLIST", "VLIST", "RPT_MAXROWS", "RPT_STARTROW",
-		"SQL_STATE", "SQL_MESSAGE", "SHOWSQL":
+		"SQL_STATE", "SQL_MESSAGE", "SHOWSQL", "TRACE_ID":
 		return true
 	}
 	if strings.HasSuffix(name, "_OUTPUT") {
@@ -143,20 +230,20 @@ func systemVariable(name string) bool {
 	return false
 }
 
-// inputNames extracts the NAME attributes of form controls in the
+// InputNames extracts the NAME attributes of form controls in the
 // macro's HTML input section — the variables the Web client will supply.
-func inputNames(m *Macro) map[string]bool {
+func InputNames(m *Macro) map[string]bool {
 	out := map[string]bool{}
 	h := m.HTMLInput()
 	if h == nil {
 		return out
 	}
 	var raw strings.Builder
-	for _, it := range h.Items {
-		if !it.ExecSQL {
+	WalkHTMLItems(h.Items, func(it HTMLItem) {
+		if !it.ExecSQL && it.Cond == nil {
 			raw.WriteString(it.Text)
 		}
-	}
+	})
 	for _, tok := range htmlutil.Tokenize(raw.String()) {
 		if tok.Kind != htmlutil.TokStart {
 			continue
@@ -169,103 +256,4 @@ func inputNames(m *Macro) map[string]bool {
 		}
 	}
 	return out
-}
-
-// Lint checks a parsed macro for the mistakes the DB2WWW developer guide
-// warned about. It returns human-readable warnings; a clean macro
-// returns none. Parse already rejects structural errors, so everything
-// here is advisory.
-func Lint(m *Macro) []string {
-	var warnings []string
-	defined, referenced := Variables(m)
-	inputs := inputNames(m)
-
-	// Unterminated $( anywhere.
-	checkTpl := func(where, tpl string) {
-		if _, bad := refsInTemplate(tpl); bad {
-			warnings = append(warnings, fmt.Sprintf("%s contains an unterminated $( reference", where))
-		}
-	}
-	for _, sec := range m.Sections {
-		switch s := sec.(type) {
-		case *DefineSection:
-			for _, st := range s.Stmts {
-				checkTpl(fmt.Sprintf("definition of %q (line %d)", st.Name, st.Line), st.Value)
-			}
-		case *SQLSection:
-			checkTpl(fmt.Sprintf("SQL section at line %d", s.Line), s.Command)
-		case *HTMLSection:
-			walkHTMLItems(s.Items, func(it HTMLItem) {
-				if !it.ExecSQL && it.Cond == nil {
-					checkTpl(fmt.Sprintf("HTML section at line %d", s.Line), it.Text)
-				}
-			})
-		}
-	}
-
-	// References that nothing can bind.
-	var unknown []string
-	for name := range referenced {
-		if !defined[name] && !inputs[name] && !systemVariable(name) {
-			unknown = append(unknown, name)
-		}
-	}
-	sort.Strings(unknown)
-	for _, name := range unknown {
-		warnings = append(warnings, fmt.Sprintf(
-			"variable %q is referenced but never defined in the macro and is not a form input; it will evaluate to the null string unless supplied in the URL", name))
-	}
-
-	// SQL sections and directives.
-	sqlSections := m.SQLSections()
-	report := m.HTMLReport()
-	var directives []HTMLItem
-	if report != nil {
-		walkHTMLItems(report.Items, func(it HTMLItem) {
-			if it.ExecSQL {
-				directives = append(directives, it)
-			}
-		})
-	}
-	if len(sqlSections) > 0 && report == nil {
-		warnings = append(warnings, "macro has SQL sections but no %HTML_REPORT section to execute them")
-	}
-	if len(directives) > 0 && len(sqlSections) == 0 {
-		warnings = append(warnings, "%EXEC_SQL used but the macro has no SQL sections")
-	}
-	// Named sections never executed (skip if any directive name is dynamic).
-	dynamic := false
-	usedNames := map[string]bool{}
-	usesUnnamed := false
-	for _, d := range directives {
-		if d.SQLName == "" {
-			usesUnnamed = true
-			continue
-		}
-		if strings.Contains(d.SQLName, "$(") {
-			dynamic = true
-			continue
-		}
-		usedNames[d.SQLName] = true
-	}
-	if !dynamic {
-		for _, q := range sqlSections {
-			if q.SectName != "" && !usedNames[q.SectName] {
-				warnings = append(warnings, fmt.Sprintf(
-					"SQL section %q (line %d) is never executed by an %%EXEC_SQL directive", q.SectName, q.Line))
-			}
-			if q.SectName == "" && !usesUnnamed {
-				warnings = append(warnings, fmt.Sprintf(
-					"unnamed SQL section at line %d is never executed (no unnamed %%EXEC_SQL)", q.Line))
-			}
-		}
-	}
-	// Database access without DATABASE.
-	if len(directives) > 0 && !defined["DATABASE"] && !inputs["DATABASE"] {
-		warnings = append(warnings, "macro executes SQL but never defines the DATABASE variable")
-	}
-	if m.HTMLInput() == nil && report == nil {
-		warnings = append(warnings, "macro has neither an %HTML_INPUT nor an %HTML_REPORT section")
-	}
-	return warnings
 }

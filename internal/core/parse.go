@@ -104,6 +104,79 @@ func (p *macroParser) parseIncludeTarget() (string, error) {
 	return target, nil
 }
 
+// IncludeRef is one top-level %INCLUDE directive found by ScanIncludes.
+type IncludeRef struct {
+	Target string
+	Line   int
+}
+
+// ScanIncludes lists the top-level %INCLUDE directives of macro source
+// without resolving them — the raw edges of the include graph, which
+// the linter walks itself so it can report missing files and cycles with
+// positions instead of tripping the parser's depth limit. The scan is
+// tolerant: malformed sections are skipped, not reported.
+func ScanIncludes(src string) []IncludeRef {
+	p := &macroParser{src: src, line: 1}
+	var out []IncludeRef
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return out
+		}
+		if p.cur() != '%' {
+			p.advance(1)
+			continue
+		}
+		kw := p.keywordAt()
+		if kw == "INCLUDE" {
+			line := p.line
+			target, err := p.parseIncludeTarget()
+			if err == nil && target != "" {
+				out = append(out, IncludeRef{Target: target, Line: line})
+			}
+			continue
+		}
+		if kw == "" {
+			if strings.HasPrefix(p.rest(), "%{") {
+				p.advance(2)
+				_, _ = p.readBlockBody()
+				continue
+			}
+			p.advance(1)
+			continue
+		}
+		p.advance(1 + len(kw))
+		// Optional "(name)" between keyword and '{'.
+		for !p.eof() && (p.cur() == ' ' || p.cur() == '\t') {
+			p.advance(1)
+		}
+		if !p.eof() && p.cur() == '(' {
+			for !p.eof() && p.cur() != ')' && p.cur() != '\n' {
+				p.advance(1)
+			}
+			if !p.eof() && p.cur() == ')' {
+				p.advance(1)
+			}
+		}
+		for !p.eof() && (p.cur() == ' ' || p.cur() == '\t') {
+			p.advance(1)
+		}
+		if !p.eof() && p.cur() == '{' {
+			p.advance(1)
+			if kw == "DEFINE" {
+				_, _ = p.readDefineBody()
+			} else {
+				_, _ = p.readBlockBody()
+			}
+			continue
+		}
+		// Line form (e.g. %DEFINE X = "v"): skip to end of line.
+		for !p.eof() && p.cur() != '\n' {
+			p.advance(1)
+		}
+	}
+}
+
 // validate enforces structural rules the paper states: at most one HTML
 // input and one HTML report section, at most one unnamed %EXEC_SQL in the
 // report, unique SQL section names, and non-nested sections (guaranteed
@@ -640,6 +713,8 @@ func (p *macroParser) parseSQL(startLine int) (Section, error) {
 		return nil, err
 	}
 	sec.Command = strings.TrimSpace(cmd)
+	lead := len(cmd) - len(strings.TrimLeft(cmd, " \t\r\n\f\v"))
+	sec.CmdLine = bodyLine + strings.Count(cmd[:lead], "\n")
 	sec.Report = report
 	sec.Message = message
 	if sec.Command == "" {

@@ -53,11 +53,11 @@ func TestCmdMacrocheck(t *testing.T) {
 	bin := buildCmd(t, "macrocheck")
 	macro := filepath.Join(RepoRoot(), "testdata", "macros", "urlquery.d2w")
 
-	out, err := exec.Command(bin, macro).CombinedOutput()
+	out, err := exec.Command(bin, "-strict", macro).CombinedOutput()
 	if err != nil {
 		t.Fatalf("lint clean macro: %v\n%s", err, out)
 	}
-	if !strings.Contains(string(out), "OK (6 sections, 0 warnings)") {
+	if !strings.Contains(string(out), "0 error(s)") {
 		t.Fatalf("output = %s", out)
 	}
 
@@ -75,8 +75,15 @@ func TestCmdMacrocheck(t *testing.T) {
 	if err := os.WriteFile(broken, []byte("%HTML_INPUT{oops"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := exec.Command(bin, broken).Run(); err == nil {
-		t.Fatal("broken macro must exit non-zero")
+	// Without -strict a parse failure is a reported finding, not a
+	// failure exit; with -strict it must exit 1.
+	if err := exec.Command(bin, broken).Run(); err != nil {
+		t.Fatalf("non-strict lint of broken macro must exit 0: %v", err)
+	}
+	err = exec.Command(bin, "-strict", broken).Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("strict lint of broken macro must exit 1, got %v", err)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"db2www/internal/cgi"
 	"db2www/internal/core"
 	"db2www/internal/htmlutil"
+	"db2www/internal/macrolint"
 	"db2www/internal/webclient"
 )
 
@@ -333,10 +334,13 @@ func E5(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	warnings := core.Lint(m)
-	fmt.Fprintf(w, "urlquery.d2w: %d sections, %d lint warnings\n", len(m.Sections), len(warnings))
-	for _, warn := range warnings {
-		fmt.Fprintf(w, "  warning: %s\n", warn)
+	linter := macrolint.New()
+	diags := linter.LintMacro(m, "urlquery.d2w")
+	errs, warns, infos := macrolint.Counts(diags)
+	fmt.Fprintf(w, "urlquery.d2w: %d sections, %d lint findings (%d errors, %d warnings, %d infos)\n",
+		len(m.Sections), len(diags), errs, warns, infos)
+	for _, d := range diags {
+		fmt.Fprintf(w, "  %s\n", d)
 	}
 	defined, referenced := core.Variables(m)
 	fmt.Fprintf(w, "variables: %d defined, %d referenced\n", len(defined), len(referenced))
@@ -352,7 +356,7 @@ func E5(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		core.Lint(mm)
+		linter.LintMacro(mm, "urlquery.d2w")
 	}
 	per := time.Since(start) / time.Duration(cfg.Requests)
 	fmt.Fprintf(w, "parse+lint: %s per macro (n=%d)\n", per.Round(time.Microsecond), cfg.Requests)

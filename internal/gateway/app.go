@@ -12,6 +12,7 @@ import (
 
 	"db2www/internal/cgi"
 	"db2www/internal/core"
+	"db2www/internal/macrolint"
 	"db2www/internal/obs"
 )
 
@@ -29,11 +30,32 @@ type App struct {
 	// mtime). Off, every request re-reads and re-parses the file — the
 	// faithful CGI process model; the A2 ablation measures the delta.
 	CacheMacros bool
+	// Lint, when set, runs the macrolint analyzers over every macro as
+	// it is loaded (cache misses only, so an unchanged macro is linted
+	// once) and exports the findings to the metrics registry.
+	Lint *macrolint.Linter
+	// LintStrict refuses to serve a macro whose lint run produced
+	// error-severity findings: the request gets a 500 instead of an
+	// injectable or broken page.
+	LintStrict bool
 
 	mu          sync.Mutex
 	cache       map[string]cachedMacro
 	macroHits   int64
 	macroMisses int64
+	lintLoads   int64
+	lintErrors  int64
+	lintWarns   int64
+	lintInfos   int64
+	lintRejects int64
+}
+
+// LintStats reports cumulative lint-on-load activity: macro loads
+// linted, findings by severity, and loads refused under LintStrict.
+func (a *App) LintStats() (loads, errors, warnings, infos, rejected int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lintLoads, a.lintErrors, a.lintWarns, a.lintInfos, a.lintRejects
 }
 
 // MacroCacheStats reports how many macro loads were served from the
@@ -138,6 +160,28 @@ func (a *App) loadMacro(name string) (m *core.Macro, status int, cached bool, er
 	m, err = core.ParseWithIncludes(rel, string(src), a.includeResolver())
 	if err != nil {
 		return nil, 500, false, err
+	}
+	if a.Lint != nil {
+		diags := a.Lint.LintMacro(m, rel)
+		macrolint.Record(diags)
+		errs, warns, infos := macrolint.Counts(diags)
+		reject := a.LintStrict && errs > 0
+		a.mu.Lock()
+		a.lintLoads++
+		a.lintErrors += int64(errs)
+		a.lintWarns += int64(warns)
+		a.lintInfos += int64(infos)
+		if reject {
+			a.lintRejects++
+		}
+		a.mu.Unlock()
+		if reject {
+			for _, d := range diags {
+				if d.Severity == macrolint.SevError {
+					return nil, 500, false, fmt.Errorf("macro refused by lint: %s", d)
+				}
+			}
+		}
 	}
 	if a.CacheMacros {
 		a.mu.Lock()

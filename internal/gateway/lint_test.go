@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"db2www/internal/core"
+	"db2www/internal/macrolint"
+	"db2www/internal/webclient"
+)
+
+// taintedMacro interpolates a form input into SQL raw — an
+// error-severity taint finding.
+const taintedMacro = `%define DATABASE = "CELDIAL"
+%SQL{SELECT url FROM urldb WHERE title LIKE '%$(Q)%'%}
+%HTML_INPUT{<FORM ACTION="x"><INPUT NAME="Q"></FORM>%}
+%HTML_REPORT{%EXEC_SQL%}
+`
+
+func newLintStack(t *testing.T, strict bool) (*Handler, *App) {
+	t.Helper()
+	macroDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(macroDir, "tainted.d2w"), []byte(taintedMacro), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	app := &App{
+		MacroDir:    macroDir,
+		Engine:      &core.Engine{},
+		CacheMacros: true,
+		Lint:        macrolint.New(),
+		LintStrict:  strict,
+	}
+	return &Handler{App: app}, app
+}
+
+func TestLintStrictRefusesTaintedMacro(t *testing.T) {
+	h, app := newLintStack(t, true)
+	c := &webclient.Client{Handler: h}
+	page, err := c.Get("http://server/cgi-bin/db2www/tainted.d2w/input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Status != 500 {
+		t.Fatalf("status = %d, want 500; body: %s", page.Status, page.Body)
+	}
+	if !strings.Contains(page.Body, "refused by lint") {
+		t.Fatalf("body does not name the lint refusal:\n%s", page.Body)
+	}
+	loads, errs, _, _, rejected := app.LintStats()
+	if loads != 1 || errs == 0 || rejected != 1 {
+		t.Fatalf("LintStats = loads %d, errors %d, rejected %d", loads, errs, rejected)
+	}
+}
+
+func TestLintWarnModeStillServes(t *testing.T) {
+	h, app := newLintStack(t, false)
+	c := &webclient.Client{Handler: h}
+	page, err := c.Get("http://server/cgi-bin/db2www/tainted.d2w/input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Status != 200 {
+		t.Fatalf("status = %d, body: %s", page.Status, page.Body)
+	}
+	loads, errs, _, _, rejected := app.LintStats()
+	if loads != 1 || errs == 0 || rejected != 0 {
+		t.Fatalf("LintStats = loads %d, errors %d, rejected %d", loads, errs, rejected)
+	}
+}
+
+// TestLintOnLoadOncePerCacheMiss: a cached macro is not re-linted, so
+// lint-on-load costs nothing on the hot path.
+func TestLintOnLoadOncePerCacheMiss(t *testing.T) {
+	h, app := newLintStack(t, false)
+	c := &webclient.Client{Handler: h}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get("http://server/cgi-bin/db2www/tainted.d2w/input"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads, _, _, _, _ := app.LintStats()
+	if loads != 1 {
+		t.Fatalf("linted %d loads, want 1 (cache misses only)", loads)
+	}
+}
+
+// TestLintConcurrentLoads: concurrent first-requests must lint without
+// races (run under -race in CI).
+func TestLintConcurrentLoads(t *testing.T) {
+	h, app := newLintStack(t, true)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &webclient.Client{Handler: h}
+			page, err := c.Get("http://server/cgi-bin/db2www/tainted.d2w/input")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if page.Status != 500 {
+				t.Errorf("status = %d", page.Status)
+			}
+		}()
+	}
+	wg.Wait()
+	loads, _, _, _, rejected := app.LintStats()
+	if loads == 0 || loads != rejected {
+		t.Fatalf("LintStats = loads %d, rejected %d", loads, rejected)
+	}
+}

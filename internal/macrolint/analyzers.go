@@ -1,0 +1,323 @@
+package macrolint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"db2www/internal/core"
+)
+
+// runTemplate reports every unterminated "$(" reference with its exact
+// line and column. The engine treats the dangling text as a literal, so
+// the page silently ships a half-reference.
+func runTemplate(p *pass) {
+	for _, t := range p.env.templates {
+		_, unterminated := core.ParseTemplate(t.text)
+		for _, off := range unterminated {
+			p.reportAt(t, off, Diagnostic{
+				Analyzer: "template",
+				Severity: SevWarn,
+				Message:  fmt.Sprintf(`unterminated "$(" reference in %s; the text is emitted literally`, t.where),
+				Fix:      "add the closing ')'",
+			})
+		}
+	}
+}
+
+// boundName reports whether a reference to name resolves to anything at
+// run time: a DEFINE, a form control, or an engine-bound system
+// variable.
+func boundName(e *env, name string) bool {
+	return e.defined(name) || e.inputs[name] ||
+		core.IsSystemVariable(name) || engineReadVars[name]
+}
+
+// runUndefined flags references that nothing binds — they substitute as
+// the null string (paper Section 2.2), which the engine cannot
+// distinguish from an intentional empty value.
+func runUndefined(p *pass) {
+	e := p.env
+	for _, site := range e.refs {
+		if boundName(e, site.ref.Name) {
+			continue
+		}
+		p.reportAt(site.t, site.ref.Offset, Diagnostic{
+			Analyzer: "undefined",
+			Severity: SevWarn,
+			Message: fmt.Sprintf("$(%s) in %s has no definition, form input, or system binding; it substitutes as the null string",
+				site.ref.Name, site.t.where),
+			Fix: fmt.Sprintf("define %q or add a form control named %q", site.ref.Name, site.ref.Name),
+		})
+	}
+	// Conditional-definition test variables are dereferenced too, but do
+	// not appear as $(name) references in any template.
+	for _, name := range e.order {
+		for _, st := range e.vars[name].stmts {
+			if st.Kind == core.DefCondTest && !boundName(e, st.TestVar) {
+				p.report(Diagnostic{
+					Analyzer: "undefined",
+					Severity: SevWarn,
+					Line:     st.Line,
+					Message: fmt.Sprintf("conditional definition of %q tests %q, which has no definition, form input, or system binding",
+						name, st.TestVar),
+				})
+			}
+		}
+	}
+}
+
+// runUnused flags DEFINE variables nothing ever dereferences. Escaped
+// $$(name) occurrences count as uses (the Appendix A hidden-field idiom
+// round-trips a reference through the form), as do names the engine
+// reads directly.
+func runUnused(p *pass) {
+	e := p.env
+	testVarUses := map[string]bool{}
+	for _, name := range e.order {
+		for _, st := range e.vars[name].stmts {
+			if st.Kind == core.DefCondTest {
+				testVarUses[st.TestVar] = true
+			}
+		}
+	}
+	for _, name := range e.order {
+		if len(e.byName[name]) > 0 || e.escapeUses[name] ||
+			engineReadVars[name] || testVarUses[name] {
+			continue
+		}
+		p.report(Diagnostic{
+			Analyzer: "unused",
+			Severity: SevInfo,
+			Line:     e.vars[name].firstLine,
+			Message:  fmt.Sprintf("%q is defined but never referenced", name),
+			Fix:      "remove the definition, or reference it",
+		})
+	}
+}
+
+// defineEdges returns the variables a definition dereferences when its
+// owner is expanded: references in the run-time-effective value
+// templates, the %LIST separator, and conditional test variables.
+func defineEdges(e *env, v *varInfo) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	addTpl := func(text string) {
+		refs, _ := core.ParseTemplate(text)
+		for _, r := range refs {
+			if !r.Dynamic {
+				add(r.Name)
+			}
+		}
+	}
+	for _, st := range v.effective() {
+		addTpl(st.Value)
+		if st.Kind == core.DefCondTest {
+			addTpl(st.Value2)
+			add(st.TestVar)
+		}
+	}
+	addTpl(v.sep)
+	return out
+}
+
+// runCycle detects definition cycles, including self-references. A
+// cyclic variable fails at dereference time with a run-time error, so
+// this is the static form of VarTable's visiting-set check.
+func runCycle(p *pass) {
+	e := p.env
+	const (
+		white = iota // unvisited
+		grey         // on the DFS stack
+		black        // done
+	)
+	color := map[string]int{}
+	var stack []string
+	reported := map[string]bool{}
+
+	var visit func(name string)
+	visit = func(name string) {
+		color[name] = grey
+		stack = append(stack, name)
+		for _, dep := range defineEdges(e, e.vars[name]) {
+			// A form input for dep would shadow the definition at run
+			// time, but inputs are request-dependent; the cycle is still
+			// reachable whenever the field is absent.
+			v, ok := e.vars[dep]
+			if !ok {
+				continue
+			}
+			switch color[dep] {
+			case white:
+				visit(dep)
+			case grey:
+				// Back edge: the cycle is the stack suffix from dep.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != dep {
+					i--
+				}
+				cycle := append([]string(nil), stack[i:]...)
+				key := canonicalCycle(cycle)
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				d := Diagnostic{
+					Analyzer: "cycle",
+					Severity: SevError,
+					Line:     v.firstLine,
+					Fix:      "break the cycle by inlining one value or introducing a distinct variable",
+				}
+				if len(cycle) == 1 {
+					d.Message = fmt.Sprintf("%q references itself in its own definition; dereferencing it fails at run time", dep)
+				} else {
+					d.Message = fmt.Sprintf("definition cycle %s -> %s; dereferencing any member fails at run time",
+						strings.Join(cycle, " -> "), cycle[0])
+				}
+				p.report(d)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[name] = black
+	}
+	for _, name := range e.order {
+		if color[name] == white {
+			visit(name)
+		}
+	}
+}
+
+// canonicalCycle keys a cycle independently of its starting point so
+// each loop is reported once.
+func canonicalCycle(cycle []string) string {
+	names := append([]string(nil), cycle...)
+	sort.Strings(names)
+	return strings.Join(names, "\x00")
+}
+
+// runSections checks cross-section consistency: every %EXEC_SQL must
+// have a section to execute, every SQL section should be executable, and
+// the engine needs DATABASE to connect.
+func runSections(p *pass) {
+	e := p.env
+
+	// Duplicate named sections: NamedSQL resolves to the first, so the
+	// later definition is dead (and almost certainly a mistake).
+	byName := map[string]*core.SQLSection{}
+	var unnamed []*core.SQLSection
+	for _, s := range e.m.SQLSections() {
+		if s.SectName == "" {
+			unnamed = append(unnamed, s)
+			continue
+		}
+		if first, dup := byName[s.SectName]; dup {
+			p.report(Diagnostic{
+				Analyzer: "sections",
+				Severity: SevError,
+				Line:     s.Line,
+				Message: fmt.Sprintf("duplicate SQL section %q (first defined at line %d); %%EXEC_SQL always runs the first",
+					s.SectName, first.Line),
+				Fix: "rename or remove one of the sections",
+			})
+			continue
+		}
+		byName[s.SectName] = s
+	}
+
+	// %EXEC_SQL directive targets. A name template containing $(...) is
+	// resolved at render time and cannot be checked statically; its
+	// presence also means we cannot prove any section unreached.
+	targeted := map[string]bool{}
+	unnamedExec := false
+	dynamicExec := false
+	for _, t := range e.templates {
+		if t.kind != tplExecName {
+			continue
+		}
+		name := strings.TrimSpace(t.text)
+		switch {
+		case name == "":
+			unnamedExec = true
+		case strings.Contains(name, "$("):
+			dynamicExec = true
+		default:
+			targeted[name] = true
+			if byName[name] == nil {
+				sev := SevError
+				msg := fmt.Sprintf("%%EXEC_SQL(%s) targets a SQL section that does not exist", name)
+				if len(byName) == 0 && len(unnamed) > 0 {
+					msg += "; only unnamed sections are defined"
+				}
+				p.reportAt(t, 0, Diagnostic{
+					Analyzer: "sections",
+					Severity: sev,
+					Message:  msg,
+					Fix:      fmt.Sprintf("add %%SQL(%s){...%%} or fix the name", name),
+				})
+			}
+		}
+	}
+	// An unnamed %EXEC_SQL in the HTML report with no %EXEC_SQL template
+	// at all still needs detecting: tplExecName templates are only added
+	// for non-empty names (addTpl skips empty text), so walk the report
+	// items directly.
+	if rep := e.m.HTMLReport(); rep != nil {
+		core.WalkHTMLItems(rep.Items, func(it core.HTMLItem) {
+			if it.ExecSQL && strings.TrimSpace(it.SQLName) == "" {
+				unnamedExec = true
+				if len(unnamed) == 0 {
+					msg := "%EXEC_SQL executes the unnamed SQL sections, but the macro has none"
+					if len(byName) > 0 {
+						msg += "; name the section you mean: %EXEC_SQL(name)"
+					}
+					p.report(Diagnostic{
+						Analyzer: "sections",
+						Severity: SevError,
+						Line:     it.Line,
+						Message:  msg,
+					})
+				}
+			}
+		})
+	}
+
+	// Sections no %EXEC_SQL can ever run.
+	if !dynamicExec {
+		for _, s := range e.m.SQLSections() {
+			name := s.SectName
+			if name == "" {
+				if !unnamedExec {
+					p.report(Diagnostic{
+						Analyzer: "sections",
+						Severity: SevWarn,
+						Line:     s.Line,
+						Message:  "unnamed SQL section is never executed: no unnamed %EXEC_SQL in the HTML report section",
+					})
+				}
+			} else if byName[name] == s && !targeted[name] {
+				p.report(Diagnostic{
+					Analyzer: "sections",
+					Severity: SevWarn,
+					Line:     s.Line,
+					Message:  fmt.Sprintf("SQL section %q is never executed: no %%EXEC_SQL(%s) in the HTML report section", name, name),
+				})
+			}
+		}
+	}
+
+	// The engine reads DATABASE to connect before running any SQL.
+	if len(e.m.SQLSections()) > 0 && !e.defined("DATABASE") && !e.inputs["DATABASE"] {
+		p.report(Diagnostic{
+			Analyzer: "sections",
+			Severity: SevWarn,
+			Message:  "macro has SQL sections but never defines DATABASE; execution fails unless the request supplies it",
+			Fix:      `add DATABASE = "..." to a %DEFINE section`,
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package macrolint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity ranks a diagnostic. Error-severity findings gate deploys
+// (macrocheck -strict, gatewayd -lint strict); warnings are defects the
+// engine papers over at run time (null substitution, silent fallbacks);
+// info findings are hygiene.
+type Severity int
+
+// Severities, least severe first so ordering comparisons read naturally.
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+// String returns the Prometheus-label / SARIF-friendly spelling.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Diagnostic is one structured finding: which analyzer produced it, how
+// bad it is, where it points, and (when the fix is mechanical) what to
+// do about it.
+type Diagnostic struct {
+	Analyzer string   // analyzer ID from the catalog
+	Severity Severity //
+	File     string   // macro file the finding is attributed to
+	Line     int      // 1-based; 0 when the finding is file-scoped
+	Col      int      // 1-based column within Line; 0 when unknown
+	Message  string   //
+	Fix      string   // suggested fix, "" when none applies
+}
+
+// String renders the finding as a classic compiler line:
+//
+//	file:line:col: severity: message [analyzer]
+func (d Diagnostic) String() string {
+	pos := d.File
+	if d.Line > 0 {
+		pos = fmt.Sprintf("%s:%d", pos, d.Line)
+		if d.Col > 0 {
+			pos = fmt.Sprintf("%s:%d", pos, d.Col)
+		}
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Message, d.Analyzer)
+}
+
+// sortDiags orders findings for stable output: by file, position,
+// descending severity, analyzer, message.
+func sortDiags(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any finding has error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts tallies findings by severity.
+func Counts(diags []Diagnostic) (errors, warnings, infos int) {
+	for _, d := range diags {
+		switch d.Severity {
+		case SevError:
+			errors++
+		case SevWarn:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return errors, warnings, infos
+}

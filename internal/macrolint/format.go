@@ -1,0 +1,163 @@
+package macrolint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings one per line in compiler style
+// (file:line:col: severity: message [analyzer]), with the suggested fix
+// indented beneath when present.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+		if d.Fix != "" {
+			if _, err := fmt.Fprintf(w, "\tfix: %s\n", d.Fix); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonDiag is the machine-readable projection of a Diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// WriteJSON renders findings as a JSON array (never null: an empty run
+// emits []).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			Severity: d.Severity.String(),
+			File:     d.File,
+			Line:     d.Line,
+			Col:      d.Col,
+			Message:  d.Message,
+			Fix:      d.Fix,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF skeleton types — just enough of the 2.1.0 schema for code
+// scanning UIs to place findings.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps severities onto the SARIF level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log with one run whose
+// rules are the analyzer catalog — the format CI code-scanning uploads
+// consume.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(catalog))
+	for _, a := range catalog {
+		rules = append(rules, sarifRule{ID: a.ID, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		msg := d.Message
+		if d.Fix != "" {
+			msg += " (fix: " + d.Fix + ")"
+		}
+		res := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifText{Text: msg},
+		}
+		phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
+		if d.Line > 0 {
+			phys.Region = &sarifRegion{StartLine: d.Line, StartColumn: d.Col}
+		}
+		res.Locations = []sarifLocation{{PhysicalLocation: phys}}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "macrocheck", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

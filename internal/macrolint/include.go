@@ -1,0 +1,79 @@
+package macrolint
+
+import (
+	"fmt"
+	"strings"
+
+	"db2www/internal/core"
+)
+
+// lintIncludes walks the %INCLUDE graph of file's source before parsing:
+// missing targets and cycles are reported as findings instead of letting
+// the parser abort on them. It returns a memoizing resolver that serves
+// the sources it already fetched — with missing targets mapped to empty
+// content — so the subsequent parse sees a consistent tree and does not
+// re-report the same problem, plus whether the graph is cyclic (a cyclic
+// tree cannot be parsed at all).
+func (l *Linter) lintIncludes(file, src string) (diags []Diagnostic, resolver core.IncludeResolver, cyclic bool) {
+	sources := map[string]string{}
+	var stack []string
+	onStack := map[string]bool{}
+	visited := map[string]bool{}
+
+	var walk func(name, text string)
+	walk = func(name, text string) {
+		stack = append(stack, name)
+		onStack[name] = true
+		for _, inc := range core.ScanIncludes(text) {
+			target := inc.Target
+			if onStack[target] {
+				cyclic = true
+				i := 0
+				for stack[i] != target {
+					i++
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "include",
+					Severity: SevError,
+					File:     name,
+					Line:     inc.Line,
+					Message: fmt.Sprintf("%%INCLUDE cycle: %s -> %s",
+						strings.Join(stack[i:], " -> "), target),
+					Fix: "remove one of the includes",
+				})
+				continue
+			}
+			body, seen := sources[target]
+			if !seen {
+				loaded, err := l.Resolver(target)
+				if err != nil {
+					diags = append(diags, Diagnostic{
+						Analyzer: "include",
+						Severity: SevError,
+						File:     name,
+						Line:     inc.Line,
+						Message:  fmt.Sprintf("%%INCLUDE target %q cannot be read: %v", target, err),
+					})
+					loaded = "" // keep the parse going with empty content
+				}
+				sources[target] = loaded
+				body = loaded
+			}
+			if !visited[target] {
+				visited[target] = true
+				walk(target, body)
+			}
+		}
+		delete(onStack, name)
+		stack = stack[:len(stack)-1]
+	}
+	walk(file, src)
+
+	resolver = func(name string) (string, error) {
+		if body, ok := sources[name]; ok {
+			return body, nil
+		}
+		return l.Resolver(name)
+	}
+	return diags, resolver, cyclic
+}

@@ -1,0 +1,284 @@
+// Package macrolint is the static analyzer for the DB2WWW macro
+// language: a registry of composable analyzers over the parsed macro AST
+// and the resolved %INCLUDE graph, producing structured diagnostics
+// (analyzer ID, severity, file:line:col, message, suggested fix) instead
+// of the free-form warning strings the original core.Lint returned.
+//
+// The paper's substitution mechanism fails in three stereotyped ways —
+// undefined variables silently becoming empty strings, definition
+// cycles, and form input substituted straight into SQL — and all three
+// are statically checkable. macrolint moves them from request time
+// (a 500, or worse, an injected query) to analysis time: macrocheck
+// runs it in CI, and gatewayd runs it as a startup preflight and on
+// every macro load.
+//
+// See docs/LINTING.md for the analyzer catalog.
+package macrolint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"db2www/internal/core"
+	"db2www/internal/obs"
+)
+
+// Analyzer is one registered check. Analyzers with a nil run hook
+// (parse, include) are driven by the lint pipeline itself rather than
+// over the AST, but still appear in the catalog so they can be enabled,
+// disabled, and documented uniformly.
+type Analyzer struct {
+	ID  string
+	Doc string
+	run func(p *pass)
+}
+
+// catalog is the analyzer registry, in the order analyzers run and are
+// documented.
+var catalog = []*Analyzer{
+	{ID: "parse", Doc: "macro source must parse; parse failures are error findings rather than tool aborts"},
+	{ID: "include", Doc: "%INCLUDE targets must exist and the include graph must be acyclic"},
+	{ID: "template", Doc: "$(name) references must be terminated; reported with line and column", run: runTemplate},
+	{ID: "undefined", Doc: "references that no DEFINE, form input, or system variable binds evaluate to the null string", run: runUndefined},
+	{ID: "unused", Doc: "DEFINE variables never referenced (escapes and engine-read names count as uses)", run: runUnused},
+	{ID: "cycle", Doc: "definition cycles and self-references fail at dereference time", run: runCycle},
+	{ID: "sections", Doc: "cross-section consistency: %EXEC_SQL targets, unexecuted SQL sections, DATABASE, page structure", run: runSections},
+	{ID: "taint", Doc: "dataflow from form/URL input through DEFINE chains into SQL or %EXEC sinks without $(@sq:) quoting", run: runTaint},
+	{ID: "sqlreport", Doc: "substituted-skeleton SQL must parse and %SQL_REPORT column references must match the SELECT list", run: runSQLReport},
+}
+
+// Analyzers returns the analyzer catalog in registration order.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// IsAnalyzer reports whether id names a registered analyzer.
+func IsAnalyzer(id string) bool {
+	for _, a := range catalog {
+		if a.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Linter runs the enabled analyzers. The zero value is not usable; call
+// New.
+type Linter struct {
+	// Resolver loads %INCLUDE targets; nil rejects includes (they then
+	// surface as parse findings). LintFile installs a directory resolver
+	// automatically when none is set.
+	Resolver core.IncludeResolver
+
+	enabled map[string]bool
+}
+
+// New returns a Linter with every analyzer enabled.
+func New() *Linter {
+	l := &Linter{enabled: map[string]bool{}}
+	for _, a := range catalog {
+		l.enabled[a.ID] = true
+	}
+	return l
+}
+
+// Configure restricts the analyzer set: enable and disable are
+// comma-separated analyzer ID lists. A non-empty enable list switches to
+// allow-list mode (only those run); disable then removes from whatever
+// is enabled. Unknown IDs are errors.
+func (l *Linter) Configure(enable, disable string) error {
+	split := func(s string) ([]string, error) {
+		var out []string
+		for _, id := range strings.Split(s, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !IsAnalyzer(id) {
+				return nil, fmt.Errorf("unknown analyzer %q (run with -analyzers for the catalog)", id)
+			}
+			out = append(out, id)
+		}
+		return out, nil
+	}
+	on, err := split(enable)
+	if err != nil {
+		return err
+	}
+	off, err := split(disable)
+	if err != nil {
+		return err
+	}
+	if len(on) > 0 {
+		for id := range l.enabled {
+			l.enabled[id] = false
+		}
+		for _, id := range on {
+			l.enabled[id] = true
+		}
+	}
+	for _, id := range off {
+		l.enabled[id] = false
+	}
+	return nil
+}
+
+// Enabled reports whether the analyzer with the given ID will run.
+func (l *Linter) Enabled(id string) bool { return l.enabled[id] }
+
+// pass carries one macro's analysis state through the analyzers.
+type pass struct {
+	l     *Linter
+	env   *env
+	diags []Diagnostic
+}
+
+// report appends a finding, filling in the file.
+func (p *pass) report(d Diagnostic) {
+	if d.File == "" {
+		d.File = p.env.file
+	}
+	p.diags = append(p.diags, d)
+}
+
+// reportAt appends a finding positioned at a template offset.
+func (p *pass) reportAt(t *tpl, off int, d Diagnostic) {
+	d.Line, d.Col = t.pos(off)
+	p.report(d)
+}
+
+// LintMacro runs the enabled AST analyzers over an already-parsed macro.
+// Findings are attributed to file (m.Name when file is empty).
+func (l *Linter) LintMacro(m *core.Macro, file string) []Diagnostic {
+	if file == "" {
+		file = m.Name
+	}
+	p := &pass{l: l, env: buildEnv(m, file)}
+	for _, a := range catalog {
+		if a.run != nil && l.enabled[a.ID] {
+			a.run(p)
+		}
+	}
+	sortDiags(p.diags)
+	return p.diags
+}
+
+// LintSource lints macro source text end to end: include-graph analysis
+// (when a Resolver is configured), parsing, and the AST analyzers.
+// Findings are attributed to file. Parse failures become "parse"
+// findings rather than errors — a lint run over a corpus keeps going.
+func (l *Linter) LintSource(file, src string) []Diagnostic {
+	var diags []Diagnostic
+	resolver := l.Resolver
+	if l.enabled["include"] && resolver != nil {
+		var cyclic bool
+		diags, resolver, cyclic = l.lintIncludes(file, src)
+		if cyclic {
+			// A cyclic include graph cannot be parsed meaningfully; the
+			// cycle findings stand on their own.
+			sortDiags(diags)
+			return diags
+		}
+	}
+	m, err := core.ParseWithIncludes(file, src, resolver)
+	if err != nil {
+		if l.enabled["parse"] {
+			d := Diagnostic{Analyzer: "parse", Severity: SevError, File: file, Message: err.Error()}
+			if ce, ok := err.(*core.Error); ok {
+				d.Line = ce.Line
+				d.Message = ce.Msg
+				if ce.Macro != "" {
+					d.File = ce.Macro
+				}
+			}
+			diags = append(diags, d)
+		}
+		sortDiags(diags)
+		return diags
+	}
+	diags = append(diags, l.LintMacro(m, file)...)
+	sortDiags(diags)
+	return diags
+}
+
+// LintFile reads and lints one macro file. When no Resolver is set,
+// %INCLUDE targets resolve relative to the file's directory.
+func (l *Linter) LintFile(path string) ([]Diagnostic, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ll := *l
+	if ll.Resolver == nil {
+		ll.Resolver = DirResolver(filepath.Dir(path))
+	}
+	return ll.LintSource(path, string(src)), nil
+}
+
+// LintDir lints every .d2w file under dir (the gateway's macro-corpus
+// preflight). Findings are attributed to dir-relative paths; %INCLUDE
+// targets resolve inside dir, exactly as the gateway resolves them.
+func (l *Linter) LintDir(dir string) (files []string, diags []Diagnostic, err error) {
+	ll := *l
+	if ll.Resolver == nil {
+		ll.Resolver = DirResolver(dir)
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.EqualFold(filepath.Ext(path), ".d2w") {
+			return nil
+		}
+		rel, relErr := filepath.Rel(dir, path)
+		if relErr != nil {
+			rel = path
+		}
+		src, readErr := os.ReadFile(path)
+		if readErr != nil {
+			return readErr
+		}
+		files = append(files, rel)
+		diags = append(diags, ll.LintSource(filepath.ToSlash(rel), string(src))...)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(files)
+	sortDiags(diags)
+	return files, diags, nil
+}
+
+// DirResolver returns an include resolver rooted at dir with the same
+// traversal protection as the gateway's macro loader.
+func DirResolver(dir string) core.IncludeResolver {
+	return func(name string) (string, error) {
+		clean := filepath.ToSlash(filepath.Clean("/" + name))
+		rel := strings.TrimPrefix(clean, "/")
+		if rel == "" || strings.Contains(rel, "..") {
+			return "", fmt.Errorf("include %q escapes the macro directory", name)
+		}
+		src, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(rel)))
+		if err != nil {
+			return "", err
+		}
+		return string(src), nil
+	}
+}
+
+// Record exports findings to the process metrics registry as
+// db2www_macrolint_findings_total{analyzer,severity} — the counter the
+// gateway's preflight and lint-on-load paths feed.
+func Record(diags []Diagnostic) {
+	for _, d := range diags {
+		obs.Default.Counter("db2www_macrolint_findings_total",
+			"macro lint findings, by analyzer and severity",
+			"analyzer", d.Analyzer, "severity", d.Severity.String()).Inc()
+	}
+}

@@ -1,0 +1,371 @@
+package macrolint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"db2www/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/lint/golden")
+
+func lintDirPath(t testing.TB) string {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", "lint")
+}
+
+func macrosDirPath(t testing.TB) string {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", "macros")
+}
+
+// expectation pins the load-bearing properties of one seeded-defect
+// finding: which analyzer fired, how severely, and where.
+type expectation struct {
+	analyzer string
+	severity Severity
+	line     int
+}
+
+// seededDefects maps every corpus macro to the findings its defects must
+// produce. The golden files additionally pin the full rendered output.
+var seededDefects = map[string][]expectation{
+	"taint_injection.d2w": {{"taint", SevError, 7}},
+	"cycle.d2w":           {{"cycle", SevError, 6}, {"cycle", SevError, 8}},
+	"undefined.d2w":       {{"undefined", SevWarn, 6}, {"unused", SevInfo, 7}},
+	"exec_missing.d2w":    {{"sections", SevError, 10}, {"sections", SevWarn, 6}},
+	"report_cols.d2w":     {{"sqlreport", SevWarn, 11}, {"sqlreport", SevWarn, 11}},
+	"sqlsyntax.d2w":       {{"sqlreport", SevWarn, 7}},
+	"unterminated.d2w":    {{"template", SevWarn, 7}},
+	"include_missing.d2w": {{"include", SevError, 5}},
+	"include_cycle.d2w":   {{"include", SevError, 5}},
+}
+
+func TestSeededDefects(t *testing.T) {
+	dir := lintDirPath(t)
+	for file, wants := range seededDefects {
+		diags, err := New().LintFile(filepath.Join(dir, file))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, want := range wants {
+			found := false
+			for _, d := range diags {
+				if d.Analyzer == want.analyzer && d.Severity == want.severity && d.Line == want.line {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no %s finding with severity %s at line %d; got:\n%s",
+					file, want.analyzer, want.severity, want.line, renderText(diags))
+			}
+		}
+	}
+}
+
+func renderText(diags []Diagnostic) string {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, diags); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}
+
+// TestGoldenCorpus pins the full text rendering of every corpus macro.
+// Regenerate with: go test ./internal/macrolint -run Golden -update
+func TestGoldenCorpus(t *testing.T) {
+	dir := lintDirPath(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".d2w") {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			diags, err := New().LintFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderText(diags)
+			goldenPath := filepath.Join(dir, "golden", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCleanCorpus asserts zero error-severity findings over the known
+// good macros — the analyzers must not false-positive on the paper's own
+// examples (indirect-taint warnings on Appendix A are expected and
+// deliberate).
+func TestCleanCorpus(t *testing.T) {
+	files, diags, err := New().LintDir(macrosDirPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no macros found")
+	}
+	for _, d := range diags {
+		if d.Severity == SevError {
+			t.Errorf("false positive on clean corpus: %s", d)
+		}
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	l := New()
+	if err := l.Configure("taint,cycle", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Enabled("taint") || !l.Enabled("cycle") || l.Enabled("unused") {
+		t.Fatal("enable list must switch to allow-list mode")
+	}
+	if err := l.Configure("", "cycle"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Enabled("cycle") {
+		t.Fatal("disable must remove from the enabled set")
+	}
+	if err := New().Configure("nosuch", ""); err == nil {
+		t.Fatal("unknown analyzer must be rejected")
+	}
+	// A disabled analyzer stays silent.
+	l = New()
+	if err := l.Configure("", "taint"); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := l.LintFile(filepath.Join(lintDirPath(t), "taint_injection.d2w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "taint" {
+			t.Fatalf("disabled analyzer reported: %s", d)
+		}
+	}
+}
+
+func TestParseFailureIsFinding(t *testing.T) {
+	diags := New().LintSource("broken.d2w", "%HTML_INPUT{oops")
+	if len(diags) != 1 || diags[0].Analyzer != "parse" || diags[0].Severity != SevError {
+		t.Fatalf("got %v", diags)
+	}
+	if diags[0].Line == 0 {
+		t.Fatal("parse finding must carry the source line")
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	diags, err := New().LintFile(filepath.Join(lintDirPath(t), "taint_injection.d2w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	first := decoded[0]
+	for _, key := range []string{"analyzer", "severity", "file", "message"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("missing key %q in %v", key, first)
+		}
+	}
+	// An empty run must encode as [], not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty run = %q", buf.String())
+	}
+}
+
+func TestSARIFFormat(t *testing.T) {
+	diags, err := New().LintFile(filepath.Join(lintDirPath(t), "taint_injection.d2w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = %+v", log)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "macrocheck" || len(run.Tool.Driver.Rules) != len(Analyzers()) {
+		t.Fatalf("driver = %+v", run.Tool.Driver)
+	}
+	foundTaint := false
+	for _, r := range run.Results {
+		if r.RuleID == "taint" && r.Level == "error" {
+			foundTaint = true
+			loc := r.Locations[0].PhysicalLocation
+			if loc.ArtifactLocation.URI == "" || loc.Region == nil || loc.Region.StartLine != 7 {
+				t.Fatalf("taint location = %+v", loc)
+			}
+		}
+	}
+	if !foundTaint {
+		t.Fatal("no taint error in SARIF results")
+	}
+}
+
+func TestRecordExportsMetrics(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "taint", Severity: SevError},
+		{Analyzer: "taint", Severity: SevError},
+		{Analyzer: "unused", Severity: SevInfo},
+	}
+	c := obs.Default.Counter("db2www_macrolint_findings_total",
+		"macro lint findings, by analyzer and severity",
+		"analyzer", "taint", "severity", "error")
+	before := c.Value()
+	Record(diags)
+	if got := c.Value() - before; got != 2 {
+		t.Fatalf("taint/error delta = %d, want 2", got)
+	}
+}
+
+func TestLintDirAttribution(t *testing.T) {
+	_, diags, err := New().LintDir(lintDirPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasErrors(diags) == false {
+		t.Fatal("seeded corpus must produce errors")
+	}
+	for _, d := range diags {
+		if filepath.IsAbs(d.File) {
+			t.Fatalf("finding attributed to absolute path: %s", d)
+		}
+	}
+}
+
+// TestDynamicRefs covers the nested late-evaluated $(A$(B)) form: the
+// outer reference cannot be resolved statically and must not produce
+// undefined-variable noise, while the inner reference still counts.
+func TestDynamicRefs(t *testing.T) {
+	src := `%define{
+B = "X"
+X = "hello"
+%}
+%HTML_INPUT{<P>$(A$(B))</P>%}
+`
+	diags := New().LintSource("dyn.d2w", src)
+	for _, d := range diags {
+		if d.Analyzer == "undefined" {
+			t.Fatalf("dynamic reference produced: %s", d)
+		}
+	}
+	// B is used (inside the dynamic body); X is only reachable
+	// dynamically, so the unused analyzer may flag it — but B must not
+	// be flagged.
+	for _, d := range diags {
+		if d.Analyzer == "unused" && strings.Contains(d.Message, `"B"`) {
+			t.Fatalf("inner dynamic reference not counted as use: %s", d)
+		}
+	}
+}
+
+func TestUnterminatedPosition(t *testing.T) {
+	src := "%HTML_INPUT{line one\nsecond $(broken here\n%}"
+	diags := New().LintSource("u.d2w", src)
+	for _, d := range diags {
+		if d.Analyzer == "template" {
+			if d.Line != 2 || d.Col != 8 {
+				t.Fatalf("position = %d:%d, want 2:8", d.Line, d.Col)
+			}
+			return
+		}
+	}
+	t.Fatalf("no template finding in:\n%s", renderText(diags))
+}
+
+func FuzzLint(f *testing.F) {
+	dir := lintDirPath(f)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".d2w") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("%define A = \"$(A)\"\n%HTML_INPUT{$(A$(B$(C)))%}")
+	f.Add("%SQL{SELECT $(X%}")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Linting arbitrary input must never panic; findings (including
+		// parse findings) are the only acceptable outcome.
+		l := New()
+		l.Resolver = func(name string) (string, error) {
+			return "", fmt.Errorf("no includes under fuzzing")
+		}
+		l.LintSource("fuzz.d2w", src)
+	})
+}

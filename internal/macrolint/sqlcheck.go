@@ -1,0 +1,193 @@
+package macrolint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"db2www/internal/core"
+	"db2www/internal/sqldb"
+)
+
+// resolveStatic expands a value template using only request-independent
+// definitions: simple and self-conditional defines, and %LIST variables
+// whose every assignment and separator resolve. Form inputs, system
+// variables, test-conditional defines, and %EXEC variables depend on the
+// request or the environment, so any reference to them fails resolution.
+func resolveStatic(e *env, text string, visiting map[string]bool) (string, bool) {
+	refs, unterminated := core.ParseTemplate(text)
+	if len(unterminated) > 0 {
+		return "", false
+	}
+	var b strings.Builder
+	last := 0
+	for _, r := range refs {
+		if r.Offset < last {
+			continue // inner ref of a dynamic outer one, already rejected below
+		}
+		if r.Dynamic || r.Prefix != "" {
+			return "", false
+		}
+		val, ok := resolveStaticVar(e, r.Name, visiting)
+		if !ok {
+			return "", false
+		}
+		b.WriteString(text[last:r.Offset])
+		b.WriteString(val)
+		last = r.End
+	}
+	b.WriteString(text[last:])
+	// $$(name) escapes emit literal $(name) text; SQL containing one is
+	// not meaningfully parseable.
+	if strings.Contains(b.String(), "$$(") {
+		return "", false
+	}
+	return b.String(), true
+}
+
+func resolveStaticVar(e *env, name string, visiting map[string]bool) (string, bool) {
+	if e.inputs[name] || core.IsSystemVariable(name) || visiting[name] {
+		return "", false
+	}
+	v, ok := e.vars[name]
+	if !ok {
+		return "", false
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+	var vals []string
+	for _, st := range v.effective() {
+		switch st.Kind {
+		case core.DefSimple, core.DefCondSelf:
+			val, ok := resolveStatic(e, st.Value, visiting)
+			if !ok {
+				return "", false
+			}
+			vals = append(vals, val)
+		default:
+			return "", false
+		}
+	}
+	if len(vals) == 0 {
+		return "", false
+	}
+	if v.list {
+		sep, ok := resolveStatic(e, v.sep, visiting)
+		if !ok {
+			return "", false
+		}
+		return strings.Join(vals, sep), true
+	}
+	return vals[len(vals)-1], true
+}
+
+// selectShape extracts the checkable shape of a SELECT list: the number
+// of projected columns and the names a report can reference via
+// $(V.name). Ok is false when the list cannot be pinned down (SELECT *,
+// t.*, or a UNION whose arms could disagree is left to the executor).
+func selectShape(stmt sqldb.Stmt) (count int, names map[string]bool, ok bool) {
+	sel, isSel := stmt.(*sqldb.SelectStmt)
+	if !isSel || sel.Star || len(sel.Unions) > 0 {
+		return 0, nil, false
+	}
+	names = map[string]bool{}
+	for _, item := range sel.Items {
+		if item.TableStar != "" {
+			return 0, nil, false
+		}
+		switch {
+		case item.Alias != "":
+			names[strings.ToLower(item.Alias)] = true
+		default:
+			if cr, isCol := item.Expr.(*sqldb.ColumnRef); isCol {
+				names[strings.ToLower(cr.Column)] = true
+			}
+			// An unaliased expression still occupies a position, so the
+			// count check stays valid; it just has no referenceable name.
+		}
+	}
+	return len(sel.Items), names, true
+}
+
+// reportColRef decodes the report-variable forms that address a result
+// column: Vi / Ni (1-based position) and V.col / N.col (by name).
+func reportColRef(name string) (idx int, col string, ok bool) {
+	if len(name) < 2 || (name[0] != 'V' && name[0] != 'N') {
+		return 0, "", false
+	}
+	rest := name[1:]
+	if rest[0] == '.' {
+		return 0, rest[1:], len(rest) > 1
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, "", false
+	}
+	return n, "", true
+}
+
+// runSQLReport validates what can be proven about a SQL section without
+// running it: when the command resolves statically it must parse, and
+// when the SELECT list is known, every $(Vi)/$(V.col) reference in the
+// report and message blocks must address a real column.
+func runSQLReport(p *pass) {
+	e := p.env
+	for _, t := range e.templates {
+		if t.kind != tplSQL || t.sec == nil {
+			continue
+		}
+		cmd, static := resolveStatic(e, t.text, map[string]bool{})
+		if !static {
+			continue // request-dependent SQL; nothing provable here
+		}
+		stmt, err := sqldb.Parse(cmd)
+		if err != nil {
+			p.reportAt(t, 0, Diagnostic{
+				Analyzer: "sqlreport",
+				Severity: SevWarn,
+				Message:  fmt.Sprintf("SQL command of %s does not parse: %v", t.where, err),
+			})
+			continue
+		}
+		count, names, ok := selectShape(stmt)
+		if !ok {
+			continue
+		}
+		secName := t.owner
+		if secName == "" {
+			secName = "(unnamed)"
+		}
+		for _, rt := range e.templates {
+			if rt.sec != t.sec || (rt.kind != tplReport && rt.kind != tplMessage) {
+				continue
+			}
+			refs, _ := core.ParseTemplate(rt.text)
+			for _, r := range refs {
+				if r.Dynamic {
+					continue
+				}
+				idx, col, isCol := reportColRef(r.Name)
+				if !isCol {
+					continue
+				}
+				switch {
+				case col != "" && !names[strings.ToLower(col)]:
+					p.reportAt(rt, r.Offset, Diagnostic{
+						Analyzer: "sqlreport",
+						Severity: SevWarn,
+						Message: fmt.Sprintf("$(%s) names column %q, which the SELECT list of section %s does not produce",
+							r.Name, col, secName),
+						Fix: "use a column from the SELECT list, or alias one to this name",
+					})
+				case idx > count:
+					p.reportAt(rt, r.Offset, Diagnostic{
+						Analyzer: "sqlreport",
+						Severity: SevWarn,
+						Message: fmt.Sprintf("$(%s) addresses column %d, but the SELECT list of section %s has only %d column(s)",
+							r.Name, idx, secName, count),
+					})
+				}
+			}
+		}
+	}
+}

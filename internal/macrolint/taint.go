@@ -1,0 +1,141 @@
+package macrolint
+
+import (
+	"fmt"
+	"strings"
+
+	"db2www/internal/core"
+)
+
+// Taint levels. Direct means the value is attacker-controlled at the
+// reference itself: a form input, or a name no definition binds (the
+// request URL can supply any such variable). Indirect means attacker
+// data arrives through a chain of lazy %DEFINE expansions — one step
+// removed, and in idiomatic macros (the paper's Appendix A builds WHERE
+// clauses exactly this way) often deliberate, so it warns rather than
+// errors.
+type taintLevel int
+
+const (
+	taintNone taintLevel = iota
+	taintIndirect
+	taintDirect
+)
+
+// taintInfo records how attacker-controlled data reaches a variable.
+type taintInfo struct {
+	level  taintLevel
+	chain  []string // dereference chain, variable to origin
+	origin string   // human-readable description of the source
+}
+
+var cleanTaint = &taintInfo{level: taintNone}
+
+// taintOf computes (and memoizes) the taint of one variable name.
+// Cycles are left to the cycle analyzer: a name already on the visiting
+// path contributes no taint.
+func taintOf(e *env, name string, visiting map[string]bool) *taintInfo {
+	if t, ok := e.taint[name]; ok {
+		return t
+	}
+	if visiting[name] {
+		return cleanTaint
+	}
+	t := cleanTaint
+	switch {
+	case e.inputs[name]:
+		t = &taintInfo{level: taintDirect, chain: []string{name},
+			origin: fmt.Sprintf("form input %q", name)}
+	case core.IsSystemVariable(name) || engineReadVars[name]:
+		// Report/message variables carry database values, not request
+		// input, and engine-read names are operator configuration.
+	case !e.defined(name):
+		t = &taintInfo{level: taintDirect, chain: []string{name},
+			origin: fmt.Sprintf("%q has no definition, so only the request can supply it", name)}
+	default:
+		visiting[name] = true
+		v := e.vars[name]
+		var worst *taintInfo
+		scan := func(text string) {
+			refs, _ := core.ParseTemplate(text)
+			for _, r := range refs {
+				if r.Dynamic || r.Prefix == "@sq:" {
+					continue // @sq: doubles quotes — the sanitizer
+				}
+				sub := taintOf(e, r.Name, visiting)
+				if sub.level != taintNone && (worst == nil || sub.level > worst.level) {
+					worst = sub
+				}
+			}
+		}
+		for _, st := range v.effective() {
+			if st.Kind == core.DefExec {
+				continue // the variable holds command output, not request data
+			}
+			scan(st.Value)
+			if st.Kind == core.DefCondTest {
+				scan(st.Value2)
+			}
+		}
+		scan(v.sep)
+		delete(visiting, name)
+		if worst != nil {
+			// Any hop through a definition demotes to indirect: the macro
+			// author interposed a template, which is the Appendix A idiom.
+			t = &taintInfo{level: taintIndirect,
+				chain:  append([]string{name}, worst.chain...),
+				origin: worst.origin}
+		}
+	}
+	e.taint[name] = t
+	return t
+}
+
+// runTaint flags attacker-controlled data flowing into an injection
+// sink: the %SQL command template or a %DEFINE ... %EXEC command. The
+// $(@sq:name) transform (single-quote doubling) is the sanctioned
+// sanitizer and stops the flow; @html: and @url: do not help SQL and are
+// ignored.
+func runTaint(p *pass) {
+	e := p.env
+	e.taint = map[string]*taintInfo{}
+	for _, t := range e.templates {
+		if t.kind != tplSQL && t.kind != tplExecCmd {
+			continue
+		}
+		refs, _ := core.ParseTemplate(t.text)
+		for _, r := range refs {
+			if r.Dynamic || r.Prefix == "@sq:" {
+				continue
+			}
+			ti := taintOf(e, r.Name, map[string]bool{})
+			if ti.level == taintNone {
+				continue
+			}
+			d := Diagnostic{Analyzer: "taint"}
+			sink := "the SQL command of " + t.where
+			if t.kind == tplExecCmd {
+				sink = "the " + t.where
+			}
+			switch ti.level {
+			case taintDirect:
+				d.Severity = SevError
+				d.Message = fmt.Sprintf("%s is interpolated into %s without $(@sq:) quoting — SQL injection",
+					ti.origin, sink)
+				if t.kind == tplSQL {
+					d.Fix = fmt.Sprintf("replace $(%s) with $(@sq:%s)", r.Raw, r.Name)
+				} else {
+					d.Message = fmt.Sprintf("%s is interpolated into %s — command injection", ti.origin, sink)
+					d.Fix = "do not interpolate request data into %EXEC commands"
+				}
+			case taintIndirect:
+				d.Severity = SevWarn
+				d.Message = fmt.Sprintf("%s reaches %s through the definition chain %s; the interpolation is unquoted",
+					ti.origin, sink, strings.Join(ti.chain, " <- "))
+				d.Fix = fmt.Sprintf("quote the input where it enters the chain: $(@sq:%s)", ti.chain[len(ti.chain)-1])
+			}
+			d.Line, d.Col = t.pos(r.Offset)
+			p.report(d)
+		}
+	}
+}
