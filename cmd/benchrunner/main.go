@@ -1,6 +1,6 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's
 // per-experiment index: the reproductions of the paper's figures and
-// worked examples (E1–E12) and the design-choice ablations (A1–A7).
+// worked examples (E1–E12) and the design-choice ablations (A1–A8).
 //
 //	benchrunner                  run everything at default scale
 //	benchrunner -exp e7,e8       run selected experiments
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a7) or all")
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a8) or all")
 		rows         = flag.Int("rows", 500, "urldb dataset rows")
 		requests     = flag.Int("requests", 200, "requests per measurement")
 		seed         = flag.Int64("seed", 1, "dataset seed")
@@ -56,9 +56,10 @@ func main() {
 		"e10": experiments.E10, "e11": experiments.E11, "e12": experiments.E12,
 		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
 		"a5": experiments.A5, "a6": experiments.A6, "a7": experiments.A7,
+		"a8": experiments.A8,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7"}
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8"}
 
 	var selected []string
 	if *exp == "all" {
@@ -93,7 +94,7 @@ func main() {
 	}
 
 	// jsonResults accumulates the machine-readable rows experiments expose
-	// (currently A6 and A7); keyed by experiment id.
+	// (currently A6, A7, and A8); keyed by experiment id.
 	jsonResults := map[string]any{}
 	// The obs registry accumulates across every experiment in the run;
 	// the delta over the whole batch lands in the JSON envelope so a CI
@@ -122,6 +123,17 @@ func main() {
 				}
 				experiments.PrintA7(w, r)
 				jsonResults["a7"] = r
+				return nil
+			}
+		}
+		if id == "a8" && *jsonPath != "" {
+			run = func(w io.Writer, cfg experiments.Config) error {
+				r, err := experiments.RunA8(cfg)
+				if err != nil {
+					return err
+				}
+				experiments.PrintA8(w, r)
+				jsonResults["a8"] = r
 				return nil
 			}
 		}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"db2www/internal/core"
+	"db2www/internal/flight"
 	"db2www/internal/gateway"
 	"db2www/internal/macrolint"
 	"db2www/internal/obs"
@@ -51,6 +52,12 @@ func main() {
 		qcacheOn    = flag.Bool("qcache", false, "cache %EXEC_SQL query results (LRU, table-version invalidation)")
 		qcacheBytes = flag.Int64("qcache-bytes", 64<<20, "query cache byte budget")
 		qcacheTTL   = flag.Duration("qcache-ttl", 0, "query cache entry lifetime (0 = no TTL, rely on invalidation)")
+
+		flightOn     = flag.Bool("flight", true, "flight recorder: per-request records with tail-based sampling, SLO burn rates, /debug/flight")
+		flightDir    = flag.String("flight-dir", "", "persist kept flight records (rotating JSONL) and anomaly pprof snapshots here")
+		flightSample = flag.Float64("flight-sample", 0.01, "keep probability for healthy requests (errors and slow requests are always kept)")
+		sloTarget    = flag.Float64("slo-target", 0.999, "availability SLO: fraction of requests that must not be 5xx")
+		sloLatency   = flag.Duration("slo-latency", 250*time.Millisecond, "latency SLO threshold: requests over it count against the latency budget")
 
 		version          = flag.Bool("version", false, "print build information and exit")
 		slowlogPath      = flag.String("slowlog", "", "write slow-request lines (trace, spans, SQL) to this file; \"-\" for stderr")
@@ -87,6 +94,30 @@ func main() {
 		}
 		h.SlowLog = obs.NewSlowLog(out, *slowlogThreshold)
 	}
+	var rec *flight.Recorder
+	if *flightOn {
+		var err error
+		rec, err = flight.New(flight.Config{
+			SampleRate: *flightSample,
+			// The "slow" cut-off is shared with the slow-query log: one
+			// definition of slow across the whole observability stack.
+			SlowThreshold: *slowlogThreshold,
+			Dir:           *flightDir,
+			SLO: flight.SLOConfig{
+				AvailabilityTarget: *sloTarget,
+				LatencyThreshold:   *sloLatency,
+			},
+			Metrics: obs.Default,
+		})
+		if err != nil {
+			log.Fatalf("gatewayd: flight recorder: %v", err)
+		}
+		defer rec.Close()
+		h.Flight = rec
+		rec.SLO().ExportTo(obs.Default)
+	}
+	obs.RegisterRuntimeMetrics(obs.Default)
+	obs.RegisterBuildInfo(obs.Default)
 	var app *gateway.App
 	if *cgiProg != "" {
 		h.CGIProgram = *cgiProg
@@ -188,6 +219,10 @@ func main() {
 	al := gateway.NewAccessLog(h, logOut)
 	var root http.Handler = al
 	al.AddStatusSection("Build info", obs.BuildKV)
+	if rec != nil {
+		al.Handle("/debug/flight", rec.Handler())
+		al.AddStatusSection("SLO burn rates", rec.SLO().StatusRows)
+	}
 	if ring != nil {
 		al.AddStatusSection("Recent traces", ring.StatusRows)
 	}
@@ -253,6 +288,10 @@ func main() {
 
 	fmt.Printf("gatewayd: serving macros from %s on %s\n", *macros, *addr)
 	fmt.Printf("gatewayd: metrics at /metrics, status at /server-status\n")
+	if rec != nil {
+		fmt.Printf("gatewayd: flight records at /debug/flight (sample %g, slow >= %s)\n",
+			*flightSample, rec.SlowThreshold())
+	}
 	fmt.Printf("gatewayd: try http://localhost%s/cgi-bin/db2www/urlquery.d2w/input\n",
 		ensureColon(*addr))
 	log.Fatal(http.ListenAndServe(*addr, root))

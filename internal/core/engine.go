@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"db2www/internal/cgi"
+	"db2www/internal/flight"
 	"db2www/internal/obs"
 )
 
@@ -161,8 +162,9 @@ func (e *Engine) RunContext(ctx context.Context, m *Macro, mode Mode, inputs *cg
 	}
 	vt := NewVarTable(m.Name, inputs)
 	vt.engine = e
+	vt.journal = flight.JournalFrom(ctx)
 	run := &macroRun{engine: e, macro: m, vt: vt, out: w,
-		ctx: ctx, trace: obs.TraceFrom(ctx)}
+		ctx: ctx, trace: obs.TraceFrom(ctx), journal: vt.journal}
 	defer run.cleanup()
 
 	for _, sec := range m.Sections {
@@ -197,6 +199,7 @@ type macroRun struct {
 	out      io.Writer
 	ctx      context.Context
 	trace    *obs.Trace
+	journal  *flight.Journal
 	conn     DBConn
 	txnOpen  bool
 	finished bool
@@ -434,15 +437,36 @@ func (r *macroRun) execSQLSection(sec *SQLSection) error {
 	}
 	execSpan := r.trace.Start("sql-exec:" + secName)
 	var start time.Time
-	if obs.Enabled() {
+	if obs.Enabled() || r.journal != nil {
 		start = time.Now()
 	}
 	info := obs.ExecInfo{}
 	res, execErr := r.executeStatement(conn, sqlStr, &info)
+	var elapsed time.Duration
 	if !start.IsZero() {
+		elapsed = time.Since(start)
+	}
+	if obs.Enabled() && !start.IsZero() {
 		obs.Default.Histogram("db2www_sql_exec_seconds",
 			"macro %SQL section execution latency (substitution excluded)",
-			nil, "section", secName).Observe(time.Since(start).Seconds())
+			nil, "section", secName).Observe(elapsed.Seconds())
+	}
+	if r.journal != nil {
+		entry := flight.SQLExec{
+			Section:   secName,
+			SQL:       obs.TruncateSQL(sqlStr, 500),
+			DurMicros: elapsed.Microseconds(),
+			Cache:     info.CacheState,
+			Dedup:     info.Dedup,
+			Kind:      info.StmtKind,
+			DBMicros:  info.DBMicros,
+		}
+		if execErr != nil {
+			entry.Err = execErr.Error()
+		} else {
+			entry.Rows = len(res.Rows)
+		}
+		r.journal.SQL(entry)
 	}
 	if execErr != nil {
 		if execSpan != nil {

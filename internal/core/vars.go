@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"db2www/internal/cgi"
+	"db2www/internal/flight"
 )
 
 // varDef is the engine-internal state of one macro-defined variable.
@@ -30,6 +31,11 @@ type VarTable struct {
 	execOutputs map[string]string
 	engine      *Engine // for %EXEC command execution; may be nil
 	macro       string  // macro name for error messages
+	// journal, when non-nil, receives every variable dereference for the
+	// request's flight record. Scope (per-row report) hits are not
+	// journalled: they are data plumbing, not macro logic, and would
+	// swamp the journal on large reports.
+	journal *flight.Journal
 }
 
 // NewVarTable creates a table over the given HTML input variables.
@@ -214,11 +220,15 @@ func (vt *VarTable) deref(name string, visiting map[string]bool) (string, bool, 
 		}
 	}
 	if v, ok := vt.execOutputs[name]; ok {
+		vt.journal.Var(name, len(visiting), "exec", v == "")
 		return v, v == "", nil
 	}
 	if visiting[name] {
 		return "", false, errAt(vt.macro, 0, "circular reference involving variable %q", name)
 	}
+	// depth is how many dereferences deep this resolution sits: 0 when the
+	// name was referenced directly from a template, +1 per chained $(...).
+	depth := len(visiting)
 	visiting[name] = true
 	defer delete(visiting, name)
 
@@ -230,6 +240,9 @@ func (vt *VarTable) deref(name string, visiting map[string]bool) (string, bool, 
 	if vals := vt.inputs.GetAll(name); len(vals) > 0 {
 		if len(vals) == 1 {
 			v, _, err := vt.expand(vals[0], visiting)
+			if err == nil {
+				vt.journal.Var(name, depth, "input", v == "")
+			}
 			return v, v == "", err
 		}
 		// Multiply-assigned input variable: a list variable with comma
@@ -253,15 +266,20 @@ func (vt *VarTable) deref(name string, visiting map[string]bool) (string, bool, 
 			}
 		}
 		v := strings.Join(parts, sep)
+		vt.journal.Var(name, depth, "input", v == "")
 		return v, v == "", nil
 	}
 
 	// 3. Macro definitions.
 	if def == nil {
+		vt.journal.Var(name, depth, "undefined", true)
 		return "", true, nil
 	}
 	if def.exec {
 		v, err := vt.runExec(def, visiting)
+		if err == nil {
+			vt.journal.Var(name, depth, "exec", v == "")
+		}
 		return v, v == "", err
 	}
 	if def.list {
@@ -283,13 +301,18 @@ func (vt *VarTable) deref(name string, visiting map[string]bool) (string, bool, 
 			}
 		}
 		v := strings.Join(parts, sep)
+		vt.journal.Var(name, depth, "list", v == "")
 		return v, v == "", nil
 	}
 	if len(def.assigns) == 0 {
 		// Declared (%LIST removed or bare) but never assigned.
+		vt.journal.Var(name, depth, "define", true)
 		return "", true, nil
 	}
 	v, err := vt.evalAssign(def.assigns[len(def.assigns)-1], visiting)
+	if err == nil {
+		vt.journal.Var(name, depth, "define", v == "")
+	}
 	return v, v == "", err
 }
 

@@ -1,0 +1,162 @@
+package flight
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// anomalyConfig mirrors the Recorder's trigger knobs; see Config.
+type anomalyConfig struct {
+	Dir           string
+	BurnThreshold float64
+	Burst5xx      int
+	BurstWindow   time.Duration
+	MinInterval   time.Duration
+	Metrics       *obs.Registry
+}
+
+// anomaly watches the request stream for two distress signals — a
+// fast-window burn rate over threshold, or a burst of 5xx — and
+// captures one goroutine+heap pprof snapshot into the flight dir when
+// either trips, rate-limited so a sustained incident yields a snapshot
+// per interval, not per request.
+type anomaly struct {
+	cfg anomalyConfig
+
+	mu          sync.Mutex
+	now         func() time.Time
+	recent5xx   []time.Time // within cfg.BurstWindow of the newest
+	lastCapture time.Time
+
+	// capture is swappable in tests; the default writes pprof profiles.
+	capture func(reason string, t time.Time)
+
+	mCaptures *obs.Counter
+}
+
+func newAnomaly(cfg anomalyConfig) *anomaly {
+	if cfg.BurnThreshold <= 0 {
+		cfg.BurnThreshold = 10
+	}
+	if cfg.Burst5xx <= 0 {
+		cfg.Burst5xx = 10
+	}
+	if cfg.BurstWindow <= 0 {
+		cfg.BurstWindow = 10 * time.Second
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 5 * time.Minute
+	}
+	a := &anomaly{cfg: cfg, now: time.Now}
+	a.capture = a.writeProfiles
+	if cfg.Metrics != nil {
+		a.mCaptures = cfg.Metrics.Counter("db2www_flight_pprof_captures_total", "anomaly-triggered pprof captures")
+	}
+	return a
+}
+
+// note ingests one finished request and fires a capture if a trigger
+// condition holds. Called on the request path, so the hot (healthy)
+// case is a status check and nothing else.
+func (a *anomaly) note(status int, macro string, slo *SLO) {
+	if a == nil || status < 500 {
+		return
+	}
+	a.mu.Lock()
+	nw := a.now()
+	cutoff := nw.Add(-a.cfg.BurstWindow)
+	keep := a.recent5xx[:0]
+	for _, t := range a.recent5xx {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	a.recent5xx = append(keep, nw)
+	burst := len(a.recent5xx) >= a.cfg.Burst5xx
+	a.mu.Unlock()
+
+	reason := ""
+	if burst {
+		reason = fmt.Sprintf("5xx-burst:%d-in-%s", a.cfg.Burst5xx, a.cfg.BurstWindow)
+	} else if burn := slo.Burn(macro); burn >= a.cfg.BurnThreshold {
+		reason = fmt.Sprintf("burn-rate:%.1f", burn)
+	}
+	if reason == "" {
+		return
+	}
+
+	a.mu.Lock()
+	if !a.lastCapture.IsZero() && nw.Sub(a.lastCapture) < a.cfg.MinInterval {
+		a.mu.Unlock()
+		return
+	}
+	a.lastCapture = nw
+	capture := a.capture
+	a.mu.Unlock()
+
+	if a.mCaptures != nil {
+		a.mCaptures.Inc()
+	}
+	capture(reason, nw)
+}
+
+// writeProfiles dumps goroutine and heap profiles into the flight dir.
+// No dir, no capture — the trigger still counts, so the metric shows
+// the anomaly even when persistence is off.
+func (a *anomaly) writeProfiles(reason string, t time.Time) {
+	if a.cfg.Dir == "" {
+		return
+	}
+	stamp := t.UTC().Format("20060102T150405")
+	for _, name := range []string{"goroutine", "heap"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		path := filepath.Join(a.cfg.Dir, fmt.Sprintf("pprof-%s-%s.pb.gz", name, stamp))
+		f, err := os.Create(path)
+		if err != nil {
+			continue
+		}
+		_ = p.WriteTo(f, 0)
+		f.Close()
+	}
+	// A tiny sidecar notes why the snapshot exists.
+	_ = os.WriteFile(filepath.Join(a.cfg.Dir, fmt.Sprintf("pprof-%s.reason", stamp)),
+		[]byte(reason+"\n"), 0o644)
+}
+
+// setClock and setCapture are test hooks.
+func (a *anomaly) setClock(now func() time.Time) {
+	a.mu.Lock()
+	a.now = now
+	a.mu.Unlock()
+}
+
+func (a *anomaly) setCapture(fn func(reason string, t time.Time)) {
+	a.mu.Lock()
+	a.capture = fn
+	a.mu.Unlock()
+}
+
+// TestHookAnomaly exposes the recorder's anomaly clock/capture hooks to
+// tests in other packages (the gateway integration test injects a
+// burst and asserts a capture fired) without exporting the trigger
+// itself.
+func (r *Recorder) TestHookAnomaly(now func() time.Time, capture func(reason string, t time.Time)) {
+	if r == nil {
+		return
+	}
+	if now != nil {
+		r.anomaly.setClock(now)
+	}
+	if capture != nil {
+		r.anomaly.setCapture(capture)
+	}
+}

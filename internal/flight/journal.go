@@ -1,0 +1,137 @@
+package flight
+
+import (
+	"context"
+	"sync"
+)
+
+// Journal bounds: a hostile or pathological macro cannot grow a request's
+// journal without limit — beyond these, further distinct variables are
+// counted in VarsDropped and further SQL entries are dropped on the floor
+// (the spans still show they ran).
+const (
+	maxVarEntries = 128
+	maxSQLEntries = 64
+)
+
+// Journal is the per-request execution journal: the engine appends
+// variable evaluations and %SQL section executions while the request
+// runs, and the recorder snapshots it when deciding retention. All
+// methods are safe for concurrent use and no-op on a nil journal, so the
+// engine records unconditionally — tail-based sampling means the journal
+// must exist before anyone knows whether the request is worth keeping.
+type Journal struct {
+	mu          sync.Mutex
+	macro       string
+	macroCached bool
+	vars        map[string]*VarEval
+	varOrder    []string
+	varsDropped int
+	sql         []SQLExec
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// SetMacro records which macro the request resolved to and whether the
+// parsed-macro cache served it.
+func (j *Journal) SetMacro(name string, cached bool) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.macro, j.macroCached = name, cached
+	j.mu.Unlock()
+}
+
+// Macro returns the recorded macro name and cache state.
+func (j *Journal) Macro() (string, bool) {
+	if j == nil {
+		return "", false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.macro, j.macroCached
+}
+
+// Var records one variable evaluation: name, the dereference depth it was
+// reached at (0 = referenced directly from a template text), where it
+// resolved, and whether it evaluated to null. Evaluations aggregate per
+// name — count and max depth — so per-row report loops stay bounded.
+func (j *Journal) Var(name string, depth int, source string, null bool) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.vars[name]
+	if !ok {
+		if len(j.vars) >= maxVarEntries {
+			j.varsDropped++
+			return
+		}
+		if j.vars == nil {
+			j.vars = map[string]*VarEval{}
+		}
+		e = &VarEval{Name: name}
+		j.vars[name] = e
+		j.varOrder = append(j.varOrder, name)
+	}
+	e.Count++
+	if depth > e.MaxDepth {
+		e.MaxDepth = depth
+	}
+	e.Source = source
+	e.Null = null
+}
+
+// SQL records one %SQL section execution.
+func (j *Journal) SQL(e SQLExec) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if len(j.sql) < maxSQLEntries {
+		j.sql = append(j.sql, e)
+	}
+	j.mu.Unlock()
+}
+
+// varSnapshot copies the aggregated evaluations in first-seen order.
+func (j *Journal) varSnapshot() ([]VarEval, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.varOrder) == 0 {
+		return nil, j.varsDropped
+	}
+	out := make([]VarEval, 0, len(j.varOrder))
+	for _, name := range j.varOrder {
+		out = append(out, *j.vars[name])
+	}
+	return out, j.varsDropped
+}
+
+// sqlSnapshot copies the SQL entries in execution order.
+func (j *Journal) sqlSnapshot() []SQLExec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]SQLExec(nil), j.sql...)
+}
+
+type ctxKey int
+
+const journalKey ctxKey = iota
+
+// WithJournal attaches a journal to a request context.
+func WithJournal(ctx context.Context, j *Journal) context.Context {
+	return context.WithValue(ctx, journalKey, j)
+}
+
+// JournalFrom returns the context's journal, or nil.
+func JournalFrom(ctx context.Context) *Journal {
+	if ctx == nil {
+		return nil
+	}
+	j, _ := ctx.Value(journalKey).(*Journal)
+	return j
+}

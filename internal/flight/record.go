@@ -1,0 +1,153 @@
+// Package flight is the gateway's flight recorder: a per-request
+// forensic record of everything the engine did — the span waterfall from
+// the request trace, an execution journal of variable evaluations with
+// dereference depth, the fully-substituted SQL of every %SQL section with
+// row counts and cache decisions — retained through a tail-based sampler
+// (every error and slow request is kept, the healthy tail is sampled)
+// into a bounded in-memory ring and an optional rotating JSONL sink.
+//
+// Where internal/obs answers "is p99 up?", this package answers "which
+// macro, which %SQL section, and which variable chain did it": aggregate
+// metrics say that something regressed, a kept flight record shows the
+// one request that did. On top of the recorder sits an SLO engine
+// (multi-window burn rates per macro) and an anomaly trigger that
+// captures pprof snapshots when a burn-rate threshold trips or a 5xx
+// burst lands.
+//
+// The package depends only on internal/obs and the standard library, and
+// every entry point is nil-safe so instrumented code never branches on
+// "is the flight recorder on".
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// Retention decisions, in the order the sampler checks them. A record is
+// never silently absent: the access log carries the decision for every
+// request, so a missing /debug/flight record is distinguishable from a
+// dropped one.
+const (
+	KeptError   = "kept:error"   // 5xx response: always retained
+	KeptSlow    = "kept:slow"    // total over the slow threshold: always retained
+	KeptSampled = "kept:sampled" // healthy request inside the sample rate
+	Dropped     = "dropped"      // healthy request outside the sample rate
+)
+
+// Record is one request's flight record — the unit /debug/flight serves
+// and the JSONL sink persists. Durations are microseconds so the JSON is
+// compact and grep-friendly.
+type Record struct {
+	TraceID     string    `json:"trace_id"`
+	Time        time.Time `json:"time"`
+	Method      string    `json:"method"`
+	Path        string    `json:"path"`
+	Macro       string    `json:"macro,omitempty"`
+	MacroCached bool      `json:"macro_cached,omitempty"`
+	Status      int       `json:"status"`
+	TotalMicros int64     `json:"total_micros"`
+	Decision    string    `json:"decision"`
+	Spans       []SpanRec `json:"spans,omitempty"`
+	Vars        []VarEval `json:"vars,omitempty"`
+	// VarsDropped counts distinct variable names the journal refused to
+	// track once its table filled; the vars list is complete when zero.
+	VarsDropped int       `json:"vars_dropped,omitempty"`
+	SQL         []SQLExec `json:"sql,omitempty"`
+}
+
+// SpanRec is one trace span flattened for JSON — the waterfall row.
+type SpanRec struct {
+	Name        string `json:"name"`
+	StartMicros int64  `json:"start_micros"`
+	DurMicros   int64  `json:"dur_micros"`
+	Note        string `json:"note,omitempty"`
+}
+
+// VarEval aggregates every evaluation of one variable during the
+// request: how many times it was dereferenced, the deepest chain it was
+// reached through (0 = referenced directly from a template), where it
+// resolved, and whether its last evaluation was null.
+type VarEval struct {
+	Name     string `json:"name"`
+	Source   string `json:"source"` // input, define, list, exec, undefined
+	Count    int    `json:"count"`
+	MaxDepth int    `json:"max_depth"`
+	Null     bool   `json:"null"`
+}
+
+// SQLExec is one %SQL section execution: the section name, the
+// fully-substituted statement, and how every layer below handled it.
+type SQLExec struct {
+	Section   string `json:"section"`
+	SQL       string `json:"sql"`
+	Rows      int    `json:"rows"`
+	DurMicros int64  `json:"dur_micros"`
+	// Cache is the query-result cache's decision: hit, miss, or bypass
+	// ("" when no cache is wired).
+	Cache string `json:"cache,omitempty"`
+	// Dedup marks a single-flight follower: this execution waited on an
+	// identical in-flight query instead of running its own.
+	Dedup bool `json:"dedup,omitempty"`
+	// Kind is the embedded engine's statement classification
+	// (select/write/ddl) and DBMicros the time spent inside it, so engine
+	// time separates from driver and cache overhead.
+	Kind     string `json:"kind,omitempty"`
+	DBMicros int64  `json:"db_micros,omitempty"`
+	Err      string `json:"error,omitempty"`
+}
+
+// buildRecord assembles a Record from the finished trace and the
+// request's journal (either may be nil).
+func buildRecord(tr *obs.Trace, j *Journal) *Record {
+	rec := &Record{}
+	if tr != nil {
+		rec.TraceID = tr.ID
+		rec.Time = tr.Begun
+		rec.Method = tr.Method
+		rec.Path = tr.Path
+		rec.Status = tr.Status()
+		rec.TotalMicros = tr.Total().Microseconds()
+		spans := tr.Spans()
+		rec.Spans = make([]SpanRec, len(spans))
+		for i, sp := range spans {
+			rec.Spans[i] = SpanRec{
+				Name:        sp.Name,
+				StartMicros: sp.Start.Microseconds(),
+				DurMicros:   sp.Dur.Microseconds(),
+				Note:        sp.Note,
+			}
+		}
+	}
+	if j != nil {
+		rec.Macro, rec.MacroCached = j.Macro()
+		rec.Vars, rec.VarsDropped = j.varSnapshot()
+		rec.SQL = j.sqlSnapshot()
+	}
+	return rec
+}
+
+// ReadJSONL decodes a stream of newline-delimited records — the sink's
+// on-disk format. Decoding stops at the first malformed line (a torn
+// final line after a crash is expected; everything before it is intact).
+func ReadJSONL(r io.Reader) ([]*Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []*Record
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec := &Record{}
+		if err := json.Unmarshal(line, rec); err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}

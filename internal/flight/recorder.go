@@ -1,0 +1,344 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// Config configures a Recorder.
+type Config struct {
+	// SampleRate is the keep probability for healthy requests, in [0, 1].
+	SampleRate float64
+	// SlowThreshold marks requests slow (always kept). Shared with the
+	// slow-query log in the gateway wiring. 0 means the default (200ms);
+	// negative keeps every request.
+	SlowThreshold time.Duration
+	// RingSize bounds the in-memory record ring. 0 means the default (256).
+	RingSize int
+	// Dir, when non-empty, enables the JSONL sink (and pprof captures)
+	// under this directory.
+	Dir string
+	// MaxFileBytes rotates flight.jsonl when it grows past this size.
+	// 0 means the default (8 MiB).
+	MaxFileBytes int64
+	// SLO configures the burn-rate engine.
+	SLO SLOConfig
+	// BurnThreshold is the 5m availability burn rate that trips a pprof
+	// capture. 0 means the default (10 — the classic fast-burn page).
+	BurnThreshold float64
+	// Burst5xx trips a capture when this many 5xx land within
+	// BurstWindow. 0 means the default (10 in 10s).
+	Burst5xx    int
+	BurstWindow time.Duration
+	// PprofMinInterval rate-limits captures. 0 means the default (5m).
+	PprofMinInterval time.Duration
+	// Metrics, when non-nil, receives db2www_flight_* counters.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 200 * time.Millisecond
+	} else if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 256
+	}
+	if c.MaxFileBytes <= 0 {
+		c.MaxFileBytes = 8 << 20
+	}
+	return c
+}
+
+// Recorder owns the retention pipeline: sampler → ring → JSONL sink,
+// feeding the SLO engine and the anomaly trigger with every request
+// (kept or not — sampling applies to records, objectives see all
+// traffic). A nil *Recorder no-ops everywhere, so disabled wiring costs
+// one nil check.
+type Recorder struct {
+	sampler Sampler
+	slo     *SLO
+	anomaly *anomaly
+
+	mu   sync.Mutex
+	ring []*Record // newest at ring[next-1]
+	next int
+	full bool
+	sink *jsonlSink
+
+	mKept    func(reason string) // nil when Metrics unset
+	mDropped *obs.Counter
+	mSinkErr *obs.Counter
+}
+
+// New builds a Recorder. If cfg.Dir is set it is created and the JSONL
+// sink opened; a sink that cannot open is an error (better to fail the
+// flag than silently record nothing).
+func New(cfg Config) (*Recorder, error) {
+	cfg = cfg.withDefaults()
+	r := &Recorder{
+		sampler: Sampler{Rate: cfg.SampleRate, SlowThreshold: cfg.SlowThreshold},
+		slo:     NewSLO(cfg.SLO),
+		ring:    make([]*Record, cfg.RingSize),
+	}
+	r.anomaly = newAnomaly(anomalyConfig{
+		Dir:           cfg.Dir,
+		BurnThreshold: cfg.BurnThreshold,
+		Burst5xx:      cfg.Burst5xx,
+		BurstWindow:   cfg.BurstWindow,
+		MinInterval:   cfg.PprofMinInterval,
+		Metrics:       cfg.Metrics,
+	})
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("flight: create dir: %w", err)
+		}
+		sink, err := newJSONLSink(filepath.Join(cfg.Dir, "flight.jsonl"), cfg.MaxFileBytes, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		r.sink = sink
+	}
+	if reg := cfg.Metrics; reg != nil {
+		const keptHelp = "flight records retained, by decision reason"
+		kept := map[string]*obs.Counter{
+			KeptError:   reg.Counter("db2www_flight_kept_total", keptHelp, "reason", "error"),
+			KeptSlow:    reg.Counter("db2www_flight_kept_total", keptHelp, "reason", "slow"),
+			KeptSampled: reg.Counter("db2www_flight_kept_total", keptHelp, "reason", "sampled"),
+		}
+		r.mKept = func(reason string) {
+			if c := kept[reason]; c != nil {
+				c.Inc()
+			}
+		}
+		r.mDropped = reg.Counter("db2www_flight_dropped_total", "flight records dropped by the tail sampler")
+	}
+	return r, nil
+}
+
+// SLO exposes the recorder's burn-rate engine for /metrics export and
+// the /server-status section.
+func (r *Recorder) SLO() *SLO {
+	if r == nil {
+		return nil
+	}
+	return r.slo
+}
+
+// SlowThreshold reports the shared slow cut-off the sampler uses.
+func (r *Recorder) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.sampler.SlowThreshold
+}
+
+// Observe ingests one finished request: feeds the SLO windows and the
+// anomaly trigger, runs the tail sampler, and — when kept — assembles
+// the record into the ring and the sink. Returns the retention decision
+// (Dropped for a nil recorder), which the gateway puts in the access
+// log so every request's fate is joinable.
+func (r *Recorder) Observe(tr *obs.Trace, j *Journal) string {
+	if r == nil {
+		return Dropped
+	}
+	var (
+		traceID string
+		status  int
+		total   time.Duration
+	)
+	if tr != nil {
+		traceID, status, total = tr.ID, tr.Status(), tr.Total()
+	}
+	macro, _ := j.Macro()
+	r.slo.Observe(macro, status, total)
+	r.anomaly.note(status, macro, r.slo)
+
+	decision := r.sampler.Decide(status, total, traceID)
+	if decision == Dropped {
+		if r.mDropped != nil {
+			r.mDropped.Inc()
+		}
+		return decision
+	}
+	rec := buildRecord(tr, j)
+	rec.Decision = decision
+	if r.mKept != nil {
+		r.mKept(decision)
+	}
+
+	r.mu.Lock()
+	r.ring[r.next] = rec
+	r.next++
+	if r.next == len(r.ring) {
+		r.next, r.full = 0, true
+	}
+	sink := r.sink
+	r.mu.Unlock()
+
+	sink.write(rec)
+	return decision
+}
+
+// Records returns up to n kept records, newest first. n <= 0 means all.
+func (r *Recorder) Records(n int) []*Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*Record, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.ring[((r.next-i)+len(r.ring))%len(r.ring)])
+	}
+	return out
+}
+
+// Get returns the kept record for a trace ID, or nil.
+func (r *Recorder) Get(traceID string) *Record {
+	if r == nil || traceID == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.ring)
+	}
+	// Newest first, so a recycled trace ID resolves to its latest use.
+	for i := 1; i <= size; i++ {
+		if rec := r.ring[((r.next-i)+len(r.ring))%len(r.ring)]; rec != nil && rec.TraceID == traceID {
+			return rec
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the JSONL sink. The recorder stays usable
+// (ring only) after Close.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	sink := r.sink
+	r.sink = nil
+	r.mu.Unlock()
+	return sink.close()
+}
+
+// jsonlSink appends records to <path> and rotates it to <path>.1 when
+// it exceeds maxBytes — close, rename, reopen, so a crash at any point
+// leaves either the old complete file or a fresh one, never a torn
+// rename. One level of rotation: flight.jsonl + flight.jsonl.1 bound
+// disk to ~2× the cap.
+type jsonlSink struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+	enc      *json.Encoder
+
+	mRotations *obs.Counter
+	mErrors    *obs.Counter
+}
+
+func newJSONLSink(path string, maxBytes int64, reg *obs.Registry) (*jsonlSink, error) {
+	s := &jsonlSink{path: path, maxBytes: maxBytes}
+	if reg != nil {
+		s.mRotations = reg.Counter("db2www_flight_rotations_total", "flight JSONL sink rotations")
+		s.mErrors = reg.Counter("db2www_flight_sink_errors_total", "flight JSONL sink write/rotate errors")
+	}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *jsonlSink) open() error {
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("flight: open sink: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("flight: stat sink: %w", err)
+	}
+	s.f, s.size, s.enc = f, st.Size(), json.NewEncoder(f)
+	return nil
+}
+
+// write appends one record; errors are counted, not returned — losing a
+// flight record must never fail the request it describes.
+func (s *jsonlSink) write(rec *Record) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return
+	}
+	before := s.size
+	if err := s.enc.Encode(rec); err != nil {
+		if s.mErrors != nil {
+			s.mErrors.Inc()
+		}
+		return
+	}
+	if st, err := s.f.Stat(); err == nil {
+		s.size = st.Size()
+	} else {
+		s.size = before + 1 // keep growing so rotation still triggers eventually
+	}
+	if s.size >= s.maxBytes {
+		s.rotateLocked()
+	}
+}
+
+func (s *jsonlSink) rotateLocked() {
+	s.f.Close()
+	s.f, s.enc = nil, nil
+	if err := os.Rename(s.path, s.path+".1"); err != nil {
+		if s.mErrors != nil {
+			s.mErrors.Inc()
+		}
+		// fall through: reopen (appending to the oversized file) beats
+		// dropping all future records.
+	} else if s.mRotations != nil {
+		s.mRotations.Inc()
+	}
+	if err := s.open(); err != nil && s.mErrors != nil {
+		s.mErrors.Inc()
+	}
+}
+
+func (s *jsonlSink) close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f, s.enc = nil, nil
+	return err
+}

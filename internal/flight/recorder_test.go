@@ -1,0 +1,323 @@
+package flight
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// finishedTrace builds a trace the way the gateway does: spans, then
+// Finish with status and total.
+func finishedTrace(id string, status int, total time.Duration) *obs.Trace {
+	tr := obs.NewTrace(id)
+	tr.Method, tr.Path = "GET", "/cgi-bin/db2www/q.d2w/report"
+	tr.Add("parse", 0, time.Millisecond, "cache=hit")
+	tr.Add("sql-exec:(unnamed)", time.Millisecond, 2*time.Millisecond, "rows=3")
+	tr.Finish(status, total)
+	return tr
+}
+
+func testJournal() *Journal {
+	j := NewJournal()
+	j.SetMacro("q.d2w", true)
+	j.Var("SEARCH", 0, "input", false)
+	j.Var("WHERE", 1, "define", false)
+	j.SQL(SQLExec{Section: "(unnamed)", SQL: "SELECT 1", Rows: 3, Cache: "miss", Kind: "select"})
+	return j
+}
+
+func TestRecorderObserveAndRing(t *testing.T) {
+	r, err := New(Config{SampleRate: 0, SlowThreshold: time.Second, RingSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Observe(finishedTrace("ok", 200, time.Millisecond), NewJournal()); d != Dropped {
+		t.Fatalf("healthy at rate 0: %q", d)
+	}
+	if d := r.Observe(finishedTrace("err", 500, time.Millisecond), testJournal()); d != KeptError {
+		t.Fatalf("5xx: %q", d)
+	}
+	if d := r.Observe(finishedTrace("slow", 200, 2*time.Second), testJournal()); d != KeptSlow {
+		t.Fatalf("slow: %q", d)
+	}
+
+	recs := r.Records(0)
+	if len(recs) != 2 {
+		t.Fatalf("ring holds %d records, want 2", len(recs))
+	}
+	if recs[0].TraceID != "slow" || recs[1].TraceID != "err" {
+		t.Errorf("order = %s, %s; want newest first", recs[0].TraceID, recs[1].TraceID)
+	}
+
+	rec := r.Get("err")
+	if rec == nil {
+		t.Fatal("Get(err) = nil")
+	}
+	if rec.Decision != KeptError || rec.Status != 500 || rec.Macro != "q.d2w" || !rec.MacroCached {
+		t.Errorf("record = %+v", rec)
+	}
+	if len(rec.Spans) != 2 || rec.Spans[0].Name != "parse" {
+		t.Errorf("spans = %+v", rec.Spans)
+	}
+	if len(rec.Vars) != 2 || rec.Vars[1].Name != "WHERE" || rec.Vars[1].MaxDepth != 1 {
+		t.Errorf("vars = %+v", rec.Vars)
+	}
+	if len(rec.SQL) != 1 || rec.SQL[0].SQL != "SELECT 1" || rec.SQL[0].Cache != "miss" {
+		t.Errorf("sql = %+v", rec.SQL)
+	}
+	if r.Get("ok") != nil {
+		t.Error("dropped record retrievable")
+	}
+
+	// Ring wraps: 4 more kept records push "err" out.
+	for i := 0; i < 4; i++ {
+		r.Observe(finishedTrace(fmt.Sprintf("e%d", i), 500, time.Millisecond), nil)
+	}
+	if r.Get("err") != nil {
+		t.Error("ring did not evict the oldest record")
+	}
+	if got := len(r.Records(2)); got != 2 {
+		t.Errorf("Records(2) = %d records", got)
+	}
+}
+
+func TestRecorderJSONLRoundTripAndTornLine(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Config{SlowThreshold: time.Second, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(finishedTrace("a", 500, time.Millisecond), testJournal())
+	r.Observe(finishedTrace("b", 503, time.Millisecond), testJournal())
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "flight.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(f)
+	f.Close()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("ReadJSONL = %d records, err %v", len(recs), err)
+	}
+	got := recs[0]
+	if got.TraceID != "a" || got.Status != 500 || got.Decision != KeptError ||
+		got.Macro != "q.d2w" || len(got.Spans) != 2 || len(got.Vars) != 2 || len(got.SQL) != 1 {
+		t.Errorf("decoded record = %+v", got)
+	}
+	if got.SQL[0].Kind != "select" || got.SQL[0].Rows != 3 {
+		t.Errorf("decoded sql = %+v", got.SQL[0])
+	}
+
+	// A torn final line (crash mid-write) must not lose the intact prefix.
+	if err := os.WriteFile(path+".torn", append(mustRead(t, path), []byte(`{"trace_id":"half`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.Open(path + ".torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadJSONL(f)
+	f.Close()
+	if len(recs) != 2 {
+		t.Errorf("torn file decoded %d records, want the 2 intact ones (err %v)", len(recs), err)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRecorderRotation(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	r, err := New(Config{SlowThreshold: time.Second, Dir: dir, MaxFileBytes: 256, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(finishedTrace(fmt.Sprintf("t%d", i), 500, time.Millisecond), testJournal())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flight.jsonl.1")); err != nil {
+		t.Fatalf("rotated file missing: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap["db2www_flight_rotations_total"] < 1 {
+		t.Errorf("rotations counter = %v", snap["db2www_flight_rotations_total"])
+	}
+	if snap[`db2www_flight_kept_total{reason="error"}`] != 10 {
+		t.Errorf("kept counter = %v", snap[`db2www_flight_kept_total{reason="error"}`])
+	}
+	// Every record survives across the live file and the rotation (the
+	// live file may be empty if the last write itself rotated).
+	total := 0
+	for _, name := range []string{"flight.jsonl", "flight.jsonl.1"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		recs, err := ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s decode: %v", name, err)
+		}
+		total += len(recs)
+	}
+	// One level of rotation bounds disk, so only the newest records are
+	// guaranteed retained; the rotated file must hold at least one.
+	if total == 0 {
+		t.Error("no records survived rotation")
+	}
+}
+
+// TestRecorderConcurrentStress drives Observe (forcing rotation) from
+// many goroutines; run under -race this pins the recorder's locking.
+func TestRecorderConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Config{SampleRate: 0.5, SlowThreshold: time.Second, RingSize: 32,
+		Dir: dir, MaxFileBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				status := 200
+				if i%3 == 0 {
+					status = 500
+				}
+				id := fmt.Sprintf("g%d-%d", g, i)
+				r.Observe(finishedTrace(id, status, time.Millisecond), testJournal())
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Records(10)
+				r.Get("g0-0")
+				r.SLO().Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Records(0)) == 0 {
+		t.Error("stress left an empty ring")
+	}
+}
+
+// TestRecorderNilNoOps: a nil recorder is the disabled path — every
+// entry point must be safe and cost nothing.
+func TestRecorderNilNoOps(t *testing.T) {
+	var r *Recorder
+	if d := r.Observe(finishedTrace("x", 500, time.Second), testJournal()); d != Dropped {
+		t.Errorf("nil Observe = %q", d)
+	}
+	if r.Records(5) != nil || r.Get("x") != nil || r.SLO() != nil || r.Close() != nil {
+		t.Error("nil recorder leaked state")
+	}
+	if r.SlowThreshold() != 0 {
+		t.Error("nil SlowThreshold != 0")
+	}
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil Handler status = %d", rec.Code)
+	}
+	// Nil journal methods are equally inert.
+	var j *Journal
+	j.SetMacro("m", true)
+	j.Var("x", 0, "input", false)
+	j.SQL(SQLExec{})
+	if name, _ := j.Macro(); name != "" {
+		t.Error("nil journal returned a macro")
+	}
+}
+
+func TestRecorderHandler(t *testing.T) {
+	r, err := New(Config{SlowThreshold: time.Second, RingSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(finishedTrace("want-me", 500, time.Millisecond), testJournal())
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 {
+		t.Fatalf("list status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"count": 1`, `"trace_id": "want-me"`, `"decision": "kept:error"`, `"macro": "q.d2w"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("list missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight?trace=want-me", nil))
+	if rec.Code != 200 {
+		t.Fatalf("detail status = %d", rec.Code)
+	}
+	body = rec.Body.String()
+	for _, want := range []string{`"name": "SEARCH"`, `"sql": "SELECT 1"`, `"name": "parse"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("detail missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight?trace=nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("missing-trace status = %d, want 404", rec.Code)
+	}
+}
+
+// TestJournalBounds: the var table caps distinct names (counting the
+// overflow) and the SQL list caps entries.
+func TestJournalBounds(t *testing.T) {
+	j := NewJournal()
+	for i := 0; i < maxVarEntries+10; i++ {
+		j.Var(fmt.Sprintf("v%d", i), 0, "input", false)
+	}
+	vars, dropped := j.varSnapshot()
+	if len(vars) != maxVarEntries || dropped != 10 {
+		t.Errorf("vars = %d, dropped = %d", len(vars), dropped)
+	}
+	// Re-evaluating a known name aggregates instead of dropping.
+	j.Var("v0", 3, "input", true)
+	vars, _ = j.varSnapshot()
+	if vars[0].Count != 2 || vars[0].MaxDepth != 3 || !vars[0].Null {
+		t.Errorf("aggregate = %+v", vars[0])
+	}
+	for i := 0; i < maxSQLEntries+5; i++ {
+		j.SQL(SQLExec{Section: "s"})
+	}
+	if got := len(j.sqlSnapshot()); got != maxSQLEntries {
+		t.Errorf("sql entries = %d, want %d", got, maxSQLEntries)
+	}
+}

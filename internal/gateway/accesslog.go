@@ -46,6 +46,7 @@ type AccessLog struct {
 	paths      map[string]int64
 	otherPaths int64
 	sections   []statusSection
+	routes     map[string]http.Handler
 }
 
 // statusSection is one caller-registered block on the status page.
@@ -65,6 +66,18 @@ func (l *AccessLog) AddStatusSection(title string, items func() [][2]string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sections = append(l.sections, statusSection{title: title, items: items})
+}
+
+// Handle mounts an extra endpoint (e.g. /debug/flight) on the
+// middleware, beside /server-status and /metrics. Such requests are
+// served directly and do not reach the wrapped handler or the log.
+func (l *AccessLog) Handle(path string, h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.routes == nil {
+		l.routes = map[string]http.Handler{}
+	}
+	l.routes[path] = h
 }
 
 // NewAccessLog wraps next, writing one Common Log Format line per request
@@ -124,6 +137,17 @@ func (l *AccessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		reg.ServeHTTP(w, r)
 		return
 	}
+	l.mu.Lock()
+	route := l.routes[r.URL.Path]
+	l.mu.Unlock()
+	if route != nil {
+		route.ServeHTTP(w, r)
+		return
+	}
+	// The carrier lets the inner handler report the trace ID and flight
+	// decision back to this middleware for the log line.
+	li := &logInfo{}
+	r = r.WithContext(withLogInfo(r.Context(), li))
 	cw := &countingWriter{ResponseWriter: w}
 	l.next.ServeHTTP(cw, r)
 	if cw.status == 0 {
@@ -143,9 +167,15 @@ func (l *AccessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	// NCSA Common Log Format:
 	// host ident authuser [date] "request" status bytes
-	line := fmt.Sprintf("%s - %s [%s] \"%s %s %s\" %d %d\n",
+	// — plus, when the flight recorder handled the request, a trace=/
+	// flight= suffix so the line joins against /debug/flight records.
+	suffix := ""
+	if traceID, decision := li.get(); traceID != "" {
+		suffix = fmt.Sprintf(" trace=%s flight=%s", traceID, decision)
+	}
+	line := fmt.Sprintf("%s - %s [%s] \"%s %s %s\" %d %d%s\n",
 		host, user, l.Now().Format("02/Jan/2006:15:04:05 -0700"),
-		r.Method, r.URL.RequestURI(), r.Proto, cw.status, cw.bytes)
+		r.Method, r.URL.RequestURI(), r.Proto, cw.status, cw.bytes, suffix)
 
 	maxPaths := l.MaxPaths
 	if maxPaths <= 0 {

@@ -12,6 +12,7 @@ import (
 
 	"db2www/internal/cgi"
 	"db2www/internal/core"
+	"db2www/internal/flight"
 	"db2www/internal/macrolint"
 	"db2www/internal/obs"
 )
@@ -101,6 +102,11 @@ func (a *App) ServeCGIContext(ctx context.Context, req *cgi.Request) (*cgi.Respo
 		}
 		parseSpan.EndNote(note)
 	}
+	// The app is the authority on which macro a request resolved to; the
+	// flight record and the SLO windows attribute by this name (set even
+	// on a failed load, so error bursts land on the macro that caused
+	// them).
+	flight.JournalFrom(ctx).SetMacro(macroName, cached)
 	if err != nil {
 		if status == 404 {
 			return errorPageTrace(404, "Macro not found", err.Error(), tr), nil

@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"db2www/internal/flight"
+	"db2www/internal/obs"
+)
+
+// brokenMacro fails at run time (unknown table), inducing a 500 through
+// the full request path rather than a synthetic error.
+const brokenMacro = `%SQL{
+SELECT nothing FROM no_such_table
+%}
+%HTML_REPORT{
+%EXEC_SQL
+%}
+`
+
+const reportURL = "http://server/cgi-bin/db2www/urlquery.d2w/report?SEARCH=ib&USE_URL=yes&USE_TITLE=yes&DBFIELDS=title"
+
+// TestFlightEndToEnd is the acceptance walk for the flight recorder: at
+// sample rate 0.01 an induced slow request and an induced 5xx are both
+// retained, /debug/flight serves them by trace ID with the span
+// waterfall, the variable journal, and the substituted SQL, the access
+// log carries the retention decision, and the SLO burn rates reach
+// /metrics and /server-status.
+func TestFlightEndToEnd(t *testing.T) {
+	h, app := newTestStack(t)
+	if err := os.WriteFile(filepath.Join(app.MacroDir, "broken.d2w"), []byte(brokenMacro), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rec, err := flight.New(flight.Config{
+		SampleRate:    0.01,
+		SlowThreshold: time.Nanosecond, // every completed request counts as slow
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Flight = rec
+	rec.SLO().ExportTo(reg)
+
+	var logBuf syncWriter
+	al := NewAccessLog(h, &logBuf)
+	al.Metrics = reg
+	al.Handle("/debug/flight", rec.Handler())
+	al.AddStatusSection("SLO burn rates", rec.SLO().StatusRows)
+
+	// Induced slow: a healthy report request over the (tiny) threshold.
+	req := httptest.NewRequest("GET", reportURL, nil)
+	req.Header.Set("X-Trace-Id", "f-slow")
+	w := httptest.NewRecorder()
+	al.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("report status = %d, body: %s", w.Code, w.Body.String())
+	}
+
+	// Induced 5xx: the broken macro fails during %EXEC_SQL.
+	req = httptest.NewRequest("GET", "http://server/cgi-bin/db2www/broken.d2w/report", nil)
+	req.Header.Set("X-Trace-Id", "f-err")
+	w = httptest.NewRecorder()
+	al.ServeHTTP(w, req)
+	if w.Code != 500 {
+		t.Fatalf("broken macro status = %d, want 500", w.Code)
+	}
+
+	// Detail by trace ID: span waterfall + variable journal + substituted
+	// SQL, all on the one record.
+	w = httptest.NewRecorder()
+	al.ServeHTTP(w, httptest.NewRequest("GET", "http://server/debug/flight?trace=f-slow", nil))
+	if w.Code != 200 {
+		t.Fatalf("/debug/flight?trace=f-slow status = %d", w.Code)
+	}
+	detail := w.Body.String()
+	for _, want := range []string{
+		`"decision": "kept:slow"`,
+		`"macro": "urlquery.d2w"`,
+		`"name": "parse"`, // span waterfall
+		`"name": "sql-exec:(unnamed)"`,
+		`"name": "SEARCH"`, // variable journal
+		`"source": "input"`,
+		`"sql": "SELECT url`, // substituted SQL, not the template
+		`"rows":`,
+	} {
+		if !strings.Contains(detail, want) {
+			t.Errorf("detail missing %q:\n%s", want, detail)
+		}
+	}
+	if strings.Contains(detail, "$(FIELDLIST)") {
+		t.Error("record carries template SQL, want the substituted statement")
+	}
+
+	w = httptest.NewRecorder()
+	al.ServeHTTP(w, httptest.NewRequest("GET", "http://server/debug/flight?trace=f-err", nil))
+	errDetail := w.Body.String()
+	for _, want := range []string{`"decision": "kept:error"`, `"macro": "broken.d2w"`, `"status": 500`} {
+		if !strings.Contains(errDetail, want) {
+			t.Errorf("error detail missing %q:\n%s", want, errDetail)
+		}
+	}
+
+	// List view holds both records.
+	w = httptest.NewRecorder()
+	al.ServeHTTP(w, httptest.NewRequest("GET", "http://server/debug/flight", nil))
+	if list := w.Body.String(); !strings.Contains(list, `"count": 2`) {
+		t.Errorf("list = %s, want 2 records", list)
+	}
+
+	// The access log joins against /debug/flight by trace ID + decision.
+	logged := logBuf.String()
+	for _, want := range []string{"trace=f-slow flight=kept:slow", "trace=f-err flight=kept:error"} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("access log missing %q:\n%s", want, logged)
+		}
+	}
+
+	// Burn-rate gauges reach the Prometheus exposition, per macro.
+	w = httptest.NewRecorder()
+	al.ServeHTTP(w, httptest.NewRequest("GET", "http://server/metrics", nil))
+	metrics := w.Body.String()
+	for _, want := range []string{
+		"# TYPE db2www_slo_burn_rate gauge",
+		`db2www_slo_burn_rate{macro="urlquery.d2w",slo="availability",window="5m"}`,
+		`db2www_slo_burn_rate{macro="broken.d2w",slo="availability",window="5m"}`,
+		`db2www_flight_kept_total{reason="error"} 1`,
+		`db2www_flight_kept_total{reason="slow"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// And the human-readable section on /server-status.
+	w = httptest.NewRecorder()
+	al.ServeHTTP(w, httptest.NewRequest("GET", "http://server/server-status", nil))
+	status := w.Body.String()
+	for _, want := range []string{"SLO burn rates", "urlquery.d2w", "broken.d2w"} {
+		if !strings.Contains(status, want) {
+			t.Errorf("/server-status missing %q", want)
+		}
+	}
+}
+
+// TestFlightDisabledPathUnchanged: without a recorder the handler wires
+// no journal, and the access-log line stays pure Common Log Format.
+func TestFlightDisabledPathUnchanged(t *testing.T) {
+	h, _ := newTestStack(t)
+	var logBuf syncWriter
+	al := NewAccessLog(h, &logBuf)
+
+	req := httptest.NewRequest("GET", reportURL, nil)
+	req.Header.Set("X-Trace-Id", "off")
+	w := httptest.NewRecorder()
+	al.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if logged := logBuf.String(); strings.Contains(logged, "flight=") || strings.Contains(logged, "trace=") {
+		t.Errorf("flight-off log line gained a suffix:\n%s", logged)
+	}
+}
+
+// TestFlightHealthySampledOut: at rate 0 with a high slow threshold a
+// healthy request is observed (SLO sees it) but not retained.
+func TestFlightHealthySampledOut(t *testing.T) {
+	h, _ := newTestStack(t)
+	rec, err := flight.New(flight.Config{SampleRate: 0, SlowThreshold: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Flight = rec
+	var logBuf syncWriter
+	al := NewAccessLog(h, &logBuf)
+
+	req := httptest.NewRequest("GET", reportURL, nil)
+	req.Header.Set("X-Trace-Id", "healthy")
+	w := httptest.NewRecorder()
+	al.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if rec.Get("healthy") != nil {
+		t.Error("dropped request retained")
+	}
+	if !strings.Contains(logBuf.String(), "trace=healthy flight=dropped") {
+		t.Errorf("access log missing the dropped decision:\n%s", logBuf.String())
+	}
+	// The SLO still saw the full traffic stream.
+	if snap := rec.SLO().Snapshot(); len(snap) != 1 || snap[0].Requests5m != 1 {
+		t.Errorf("SLO snapshot = %+v, want the one request", snap)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"db2www/internal/cgi"
+	"db2www/internal/flight"
 	"db2www/internal/obs"
 )
 
@@ -52,6 +53,10 @@ type Handler struct {
 	// SlowLog, when non-nil, records requests over its threshold with
 	// their per-phase span breakdown and substituted SQL.
 	SlowLog *obs.SlowLog
+	// Flight, when non-nil, gives every request an execution journal and
+	// feeds the finished request through the flight recorder's tail
+	// sampler, SLO windows, and anomaly trigger.
+	Flight *flight.Recorder
 	// Logf receives server-side error detail (with the trace ID) that is
 	// deliberately kept out of client responses. Defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -92,7 +97,15 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewTrace(id)
 	tr.Method, tr.Path = r.Method, r.URL.Path
 	w.Header().Set("X-Trace-Id", id)
-	r = r.WithContext(obs.WithTrace(r.Context(), tr))
+	ctx := obs.WithTrace(r.Context(), tr)
+	var journal *flight.Journal
+	if h.Flight != nil {
+		// The journal must exist before anyone knows whether the request
+		// will be kept — that is what tail-based sampling means.
+		journal = flight.NewJournal()
+		ctx = flight.WithJournal(ctx, journal)
+	}
+	r = r.WithContext(ctx)
 
 	mInFlight.Add(1)
 	defer mInFlight.Add(-1)
@@ -110,6 +123,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	mRequestSeconds.Observe(total.Seconds())
 	h.TraceRing.Add(tr)
 	h.SlowLog.Record(tr)
+	if h.Flight != nil {
+		decision := h.Flight.Observe(tr, journal)
+		// Hand the decision to the access-log middleware (when present)
+		// so the log line can be joined against /debug/flight.
+		logInfoFrom(ctx).set(tr.ID, decision)
+	}
 }
 
 // route dispatches between CGI, static files, and 404.

@@ -1,0 +1,52 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+)
+
+// logInfo is a mutable carrier the AccessLog middleware plants in the
+// request context and the Handler fills after the flight recorder has
+// decided the request's fate. It exists because the access-log line is
+// written by the outer middleware, but the trace ID and retention
+// decision are only known to the inner handler — the carrier moves them
+// outward without widening any interface.
+type logInfo struct {
+	mu       sync.Mutex
+	traceID  string
+	decision string
+}
+
+func (li *logInfo) set(traceID, decision string) {
+	if li == nil {
+		return
+	}
+	li.mu.Lock()
+	li.traceID, li.decision = traceID, decision
+	li.mu.Unlock()
+}
+
+func (li *logInfo) get() (traceID, decision string) {
+	if li == nil {
+		return "", ""
+	}
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.traceID, li.decision
+}
+
+type logInfoKey struct{}
+
+func withLogInfo(ctx context.Context, li *logInfo) context.Context {
+	return context.WithValue(ctx, logInfoKey{}, li)
+}
+
+// logInfoFrom returns the context's carrier, or nil when the handler
+// runs without the AccessLog middleware.
+func logInfoFrom(ctx context.Context) *logInfo {
+	if ctx == nil {
+		return nil
+	}
+	li, _ := ctx.Value(logInfoKey{}).(*logInfo)
+	return li
+}

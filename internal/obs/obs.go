@@ -54,6 +54,7 @@ type metricKind int
 const (
 	kindCounter metricKind = iota
 	kindGauge
+	kindFloatGauge
 	kindHistogram
 )
 
@@ -61,7 +62,7 @@ func (k metricKind) String() string {
 	switch k {
 	case kindCounter:
 		return "counter"
-	case kindGauge:
+	case kindGauge, kindFloatGauge:
 		return "gauge"
 	default:
 		return "histogram"
@@ -91,6 +92,16 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a float-valued gauge (burn rates, ratios). Stored as
+// float64 bits in an atomic word.
+type FloatGauge struct{ v atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
 // Histogram is a fixed-bucket latency/size distribution. Buckets are
 // upper bounds in ascending order; observations land in the first bucket
@@ -127,6 +138,7 @@ type series struct {
 	labels string // rendered `{k="v",...}` or ""
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	h      *Histogram
 }
 
@@ -144,6 +156,9 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -208,6 +223,8 @@ func (r *Registry) get(name, help string, kind metricKind, bounds []float64, lab
 			s.c = &Counter{}
 		case kindGauge:
 			s.g = &Gauge{}
+		case kindFloatGauge:
+			s.fg = &FloatGauge{}
 		case kindHistogram:
 			s.h = &Histogram{bounds: f.bounds,
 				counts: make([]atomic.Int64, len(f.bounds)+1)}
@@ -228,6 +245,37 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	return r.get(name, help, kindGauge, nil, labels).g
 }
 
+// FloatGauge returns (creating if absent) the float gauge for name and
+// labels. Rendered as TYPE gauge; a name is either integer- or
+// float-gauged, never both.
+func (r *Registry) FloatGauge(name, help string, labels ...string) *FloatGauge {
+	return r.get(name, help, kindFloatGauge, nil, labels).fg
+}
+
+// OnScrape registers a hook run before every render (WritePrometheus,
+// Snapshot, ServeHTTP). Hooks refresh lazily-computed gauges — runtime
+// stats, burn rates — so their cost is paid per scrape, not per
+// request. Hooks run outside the registry lock and may create or set
+// any metric.
+func (r *Registry) OnScrape(fn func()) {
+	if fn == nil {
+		return
+	}
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// runScrapeHooks runs registered hooks serially; the hookMu is held
+// across the calls so concurrent scrapes don't interleave refreshes.
+func (r *Registry) runScrapeHooks() {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	for _, fn := range r.hooks {
+		fn()
+	}
+}
+
 // Histogram returns (creating if absent) the histogram for name and
 // labels. buckets applies only on first creation of the family; nil
 // means LatencyBuckets.
@@ -242,6 +290,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 // (the format scrapers and promtool accept), families and series in
 // sorted order so output is stable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapeHooks()
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -291,6 +340,9 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 	case kindGauge:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.g.Value())
 		return err
+	case kindFloatGauge:
+		_, err := fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.fg.Value())
+		return err
 	}
 	// Histogram: cumulative buckets, then sum and count. The le label is
 	// appended to any existing labels.
@@ -333,6 +385,7 @@ func formatBound(b float64) string {
 // (buckets are omitted to keep deltas small). benchrunner diffs two
 // snapshots to report what a run did to the process-wide metrics.
 func (r *Registry) Snapshot() map[string]float64 {
+	r.runScrapeHooks()
 	out := map[string]float64{}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -343,6 +396,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 				out[f.name+s.labels] = float64(s.c.Value())
 			case kindGauge:
 				out[f.name+s.labels] = float64(s.g.Value())
+			case kindFloatGauge:
+				out[f.name+s.labels] = s.fg.Value()
 			case kindHistogram:
 				out[f.name+"_sum"+s.labels] = s.h.Sum()
 				out[f.name+"_count"+s.labels] = float64(s.h.Count())

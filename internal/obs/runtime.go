@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// gcPauseBuckets covers GC stop-the-world pauses: 10µs to 100ms.
+var gcPauseBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+}
+
+// RegisterRuntimeMetrics registers a scrape hook exporting Go runtime
+// health on reg: goroutine count, heap bytes, a GC pause histogram, and
+// process uptime. Everything refreshes lazily at scrape time — between
+// scrapes the runtime is not touched.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	start := time.Now()
+	goroutines := reg.Gauge("go_goroutines", "number of goroutines")
+	heapAlloc := reg.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects")
+	heapSys := reg.Gauge("go_heap_sys_bytes", "bytes of heap memory obtained from the OS")
+	gcPause := reg.Histogram("go_gc_pause_seconds", "GC stop-the-world pause durations", gcPauseBuckets)
+	uptime := reg.FloatGauge("db2www_uptime_seconds", "seconds since the process registered runtime metrics")
+
+	// lastGC tracks which GC cycles have already been fed into the pause
+	// histogram; the hook runs under the registry's hook lock, so plain
+	// state is fine.
+	var lastGC uint32
+	reg.OnScrape(func() {
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		// PauseNs is a circular buffer of the last 256 pauses; pause for
+		// cycle k lands at PauseNs[(k+255)%256]. Feed each new cycle once.
+		from := lastGC
+		if ms.NumGC > from+256 {
+			from = ms.NumGC - 256 // older pauses were overwritten
+		}
+		for k := from + 1; k <= ms.NumGC; k++ {
+			gcPause.Observe(float64(ms.PauseNs[(k+255)%256]) / 1e9)
+		}
+		lastGC = ms.NumGC
+		uptime.Set(time.Since(start).Seconds())
+	})
+}
+
+// RegisterBuildInfo registers the constant db2www_build_info gauge: value
+// 1, identity in the labels, so dashboards can correlate regressions
+// with deploys by joining on version.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	bi := ReadBuildInfo()
+	version := bi.Revision
+	if len(version) > 12 {
+		version = version[:12]
+	}
+	if bi.Modified {
+		version += "+dirty"
+	}
+	reg.Gauge("db2www_build_info", "build identity; constant 1, identity in labels",
+		"version", version, "go", bi.GoVersion).Set(1)
+}

@@ -180,11 +180,21 @@ func TraceFrom(ctx context.Context) *Trace {
 }
 
 // ExecInfo is an out-parameter the engine threads to the database layer
-// for one statement execution: the query cache fills in how it handled
-// the statement so the engine's sql-exec span can say "cache=hit".
+// for one statement execution: each layer below fills in how it handled
+// the statement so the engine's sql-exec span and the flight journal can
+// say "cache=hit" or "dedup follower".
 type ExecInfo struct {
 	// CacheState is "", "hit", "miss", or "bypass".
 	CacheState string
+	// Dedup marks a single-flight follower: the query cache coalesced
+	// this execution onto an identical in-flight query.
+	Dedup bool
+	// StmtKind is the embedded engine's classification: "select",
+	// "write", or "ddl" ("" when the statement never reached it).
+	StmtKind string
+	// DBMicros is time spent inside the embedded engine, excluding
+	// driver and cache overhead.
+	DBMicros int64
 }
 
 // WithExecInfo attaches a statement-scoped ExecInfo carrier.

@@ -125,6 +125,18 @@ func (c *Cache) SetClock(now func() time.Time) {
 func (c *Cache) Do(key string, src VersionSource,
 	analyze func() (tables []string, cacheable bool),
 	compute func() (*core.SQLResult, error)) (*core.SQLResult, error) {
+	res, _, err := c.DoTracked(key, src, analyze, compute)
+	return res, err
+}
+
+// DoTracked is Do, additionally reporting whether this caller was a
+// single-flight follower — it waited on another caller's execution of
+// the same key at least once. The flight recorder marks such statements
+// dedup so a request's journal shows which of its queries were
+// coalesced.
+func (c *Cache) DoTracked(key string, src VersionSource,
+	analyze func() (tables []string, cacheable bool),
+	compute func() (*core.SQLResult, error)) (*core.SQLResult, bool, error) {
 
 	waited := false
 	for {
@@ -137,7 +149,7 @@ func (c *Cache) Do(key string, src VersionSource,
 				mDedups.Inc()
 			}
 			c.mu.Unlock()
-			return res, nil
+			return res, waited, nil
 		}
 		f, inFlight := c.flights[key]
 		if inFlight {
@@ -162,7 +174,7 @@ func (c *Cache) Do(key string, src VersionSource,
 		delete(c.flights, key)
 		c.mu.Unlock()
 		close(f.done)
-		return res, err
+		return res, waited, err
 	}
 }
 

@@ -107,7 +107,7 @@ func (c *cachingConn) ExecuteContext(ctx context.Context, sql string) (*core.SQL
 		return c.execInner(ctx, sql)
 	}
 	computed := false
-	res, err := c.cache.Do(c.keyPrefix+sql, c.db,
+	res, waited, err := c.cache.DoTracked(c.keyPrefix+sql, c.db,
 		func() ([]string, bool) { return sqldb.AnalyzeQuery(sql) },
 		func() (*core.SQLResult, error) {
 			computed = true
@@ -119,6 +119,7 @@ func (c *cachingConn) ExecuteContext(ctx context.Context, sql string) (*core.SQL
 		} else {
 			info.CacheState = "miss"
 		}
+		info.Dedup = waited
 	}
 	return res, err
 }

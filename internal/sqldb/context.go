@@ -1,0 +1,58 @@
+package sqldb
+
+import (
+	"context"
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// StatementKind classifies a parsed statement the way the execution
+// dispatch does: "select", "write" (data-changing, version-bumping),
+// "ddl" (index DDL), or "txn" (transaction control).
+func StatementKind(st Stmt) string {
+	switch st.(type) {
+	case *SelectStmt:
+		return "select"
+	case *InsertStmt, *UpdateStmt, *DeleteStmt,
+		*CreateTableStmt, *AlterTableStmt, *DropTableStmt:
+		return "write"
+	case *CreateIndexStmt, *DropIndexStmt:
+		return "ddl"
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return "txn"
+	default:
+		return ""
+	}
+}
+
+// ExecContext is Exec carrying the request context: when the context
+// holds an obs.ExecInfo carrier, the engine reports the statement's
+// classification and the time spent inside the embedded engine, so a
+// flight record can separate database time from cache and driver
+// overhead above it.
+func (s *Session) ExecContext(ctx context.Context, sql string, params ...Value) (*Result, error) {
+	if s.closed {
+		return nil, &Error{Code: CodeInvalidTxnState, Message: "session is closed"}
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmtContext(ctx, st, params...)
+}
+
+// ExecStmtContext is ExecStmt with the context's ExecInfo carrier
+// filled. The timing is taken only when a carrier is present — the
+// plain path stays clock-free.
+func (s *Session) ExecStmtContext(ctx context.Context, st Stmt, params ...Value) (*Result, error) {
+	info := obs.ExecInfoFrom(ctx)
+	if info == nil {
+		return s.ExecStmt(st, params...)
+	}
+	info.StmtKind = StatementKind(st)
+	start := time.Now()
+	res, err := s.ExecStmt(st, params...)
+	info.DBMicros = time.Since(start).Microseconds()
+	return res, err
+}

@@ -118,7 +118,7 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []driver.Name
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.sess.Exec(query, params...)
+	res, err := c.sess.ExecContext(ctx, query, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +134,7 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.sess.Exec(query, params...)
+	res, err := c.sess.ExecContext(ctx, query, params...)
 	if err != nil {
 		return nil, err
 	}
