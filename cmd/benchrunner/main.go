@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a8) or all")
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a9) or all")
 		rows         = flag.Int("rows", 500, "urldb dataset rows")
 		requests     = flag.Int("requests", 200, "requests per measurement")
 		seed         = flag.Int64("seed", 1, "dataset seed")
@@ -56,10 +56,10 @@ func main() {
 		"e10": experiments.E10, "e11": experiments.E11, "e12": experiments.E12,
 		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
 		"a5": experiments.A5, "a6": experiments.A6, "a7": experiments.A7,
-		"a8": experiments.A8,
+		"a8": experiments.A8, "a9": experiments.A9,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8"}
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8", "a9"}
 
 	var selected []string
 	if *exp == "all" {
@@ -134,6 +134,17 @@ func main() {
 				}
 				experiments.PrintA8(w, r)
 				jsonResults["a8"] = r
+				return nil
+			}
+		}
+		if id == "a9" && *jsonPath != "" {
+			run = func(w io.Writer, cfg experiments.Config) error {
+				r, err := experiments.RunA9(cfg)
+				if err != nil {
+					return err
+				}
+				experiments.PrintA9(w, r)
+				jsonResults["a9"] = r
 				return nil
 			}
 		}

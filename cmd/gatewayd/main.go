@@ -49,6 +49,9 @@ func main() {
 		save     = flag.String("save", "", "dump the database to this file on SIGINT/SIGTERM")
 		logPath  = flag.String("accesslog", "", "write NCSA Common Log Format lines to this file; also enables /server-status")
 
+		isolation      = flag.String("isolation", "snapshot", "concurrency control: snapshot (MVCC, readers never block) or serial (global-write-lock baseline)")
+		vacuumInterval = flag.Duration("vacuum-interval", 5*time.Second, "background version-chain vacuum period (0 disables)")
+
 		qcacheOn    = flag.Bool("qcache", false, "cache %EXEC_SQL query results (LRU, table-version invalidation)")
 		qcacheBytes = flag.Int64("qcache-bytes", 64<<20, "query cache byte budget")
 		qcacheTTL   = flag.Duration("qcache-ttl", 0, "query cache entry lifetime (0 = no TTL, rely on invalidation)")
@@ -119,6 +122,7 @@ func main() {
 	obs.RegisterRuntimeMetrics(obs.Default)
 	obs.RegisterBuildInfo(obs.Default)
 	var app *gateway.App
+	var engineDB *sqldb.Database
 	if *cgiProg != "" {
 		h.CGIProgram = *cgiProg
 		h.CGIEnv = []string{
@@ -142,6 +146,13 @@ func main() {
 		}
 	} else {
 		db := sqldb.NewDatabase(*database)
+		switch *isolation {
+		case "snapshot":
+		case "serial":
+			db.SetSerialMode(true)
+		default:
+			log.Fatalf("gatewayd: -isolation wants snapshot or serial, got %q", *isolation)
+		}
 		if *load != "" {
 			if err := sqldb.RestoreFromFile(db, *load); err != nil {
 				log.Fatalf("restoring %s: %v", *load, err)
@@ -150,6 +161,14 @@ func main() {
 			log.Fatalf("loading dataset: %v", err)
 		}
 		sqldriver.Register(*database, db)
+		engineDB = db
+		if *vacuumInterval > 0 {
+			go func() {
+				for range time.Tick(*vacuumInterval) {
+					db.Vacuum()
+				}
+			}()
+		}
 		if *save != "" {
 			saveOnSignal(db, *save)
 		}
@@ -255,6 +274,22 @@ func main() {
 				)
 			}
 			return rows
+		})
+	}
+	if engineDB != nil {
+		mode := *isolation
+		al.AddStatusSection("Transactions", func() [][2]string {
+			st := engineDB.TxnStats()
+			return [][2]string{
+				{"Isolation", mode},
+				{"Active snapshots", strconv.Itoa(st.ActiveSnapshots)},
+				{"Oldest snapshot", strconv.FormatUint(st.OldestSnapshot, 10)},
+				{"Commit sequence", strconv.FormatUint(st.CommitSeq, 10)},
+				{"Commits", strconv.FormatUint(st.Commits, 10)},
+				{"Rollbacks", strconv.FormatUint(st.Rollbacks, 10)},
+				{"Conflicts", strconv.FormatUint(st.Conflicts, 10)},
+				{"Vacuumed versions", strconv.FormatUint(st.VacuumedRows, 10)},
+			}
 		})
 	}
 	if qc != nil {

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db2www/internal/sqldb"
+)
+
+// MVCCAblation is A9's machine-readable result: a mixed read/write
+// workload against the embedded engine under the global-write-lock
+// baseline (the pre-MVCC design, -isolation=serial) versus snapshot
+// isolation. Writers are explicit transactions that hold their
+// transaction open across simulated request work — the gateway's
+// -txn single mode does exactly this for the duration of a report —
+// so the baseline's readers stall behind every writer while MVCC's
+// readers resolve against their snapshot and never block.
+type MVCCAblation struct {
+	Rows         int `json:"rows"`
+	Readers      int `json:"readers"`
+	Writers      int `json:"writers"`
+	Rounds       int `json:"rounds"`
+	WindowMillis int `json:"window_millis"`
+	HoldMicros   int `json:"hold_micros"`
+
+	SerialOpsPerSec    float64 `json:"serial_ops_per_sec"`
+	MVCCOpsPerSec      float64 `json:"mvcc_ops_per_sec"`
+	SerialReadsPerSec  float64 `json:"serial_reads_per_sec"`
+	MVCCReadsPerSec    float64 `json:"mvcc_reads_per_sec"`
+	SerialWritesPerSec float64 `json:"serial_writes_per_sec"`
+	MVCCWritesPerSec   float64 `json:"mvcc_writes_per_sec"`
+
+	// Worst single point-read latency observed in each mode: the
+	// reader-blocking signal. Serial readers eat whole writer holds;
+	// MVCC readers should never wait on one.
+	SerialReadMaxMicros float64 `json:"serial_read_max_micros"`
+	MVCCReadMaxMicros   float64 `json:"mvcc_read_max_micros"`
+
+	Conflicts uint64  `json:"conflicts"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// a9MinSpeedup is the acceptance bound: MVCC must deliver at least this
+// multiple of the write-lock baseline's mixed throughput.
+const a9MinSpeedup = 2.0
+
+// a9Hold is how long each writer transaction stays open after its
+// UPDATE, simulating the macro-rendering work a gateway request does
+// mid-transaction. It is the window serial-mode readers stall through.
+const a9Hold = 150 * time.Microsecond
+
+// runA9Window drives readers+writers against db for the window and
+// returns completed reads, writes, and the worst single read latency.
+func runA9Window(db *sqldb.Database, readers, writers, rows int, window time.Duration) (int64, int64, time.Duration, error) {
+	var reads, writes atomic.Int64
+	var maxRead atomic.Int64
+	stop := make(chan struct{})
+	errCh := make(chan error, readers+writers)
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(row int) {
+			defer wg.Done()
+			s := sqldb.NewSession(db)
+			defer s.Close()
+			sql := fmt.Sprintf("UPDATE acct SET bal = bal + 1 WHERE id = %d", row)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.BeginTxn(); err != nil {
+					errCh <- err
+					return
+				}
+				_, err := s.Exec(sql)
+				if err == nil {
+					time.Sleep(a9Hold) // simulated request work inside the txn
+					err = s.Commit()
+				}
+				if err != nil {
+					s.Rollback()
+					if !sqldb.IsSerializationFailure(err) {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				writes.Add(1)
+			}
+		}(w%rows + 1)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(row int) {
+			defer wg.Done()
+			s := sqldb.NewSession(db)
+			defer s.Close()
+			sql := fmt.Sprintf("SELECT bal FROM acct WHERE id = %d", row)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if _, err := s.Exec(sql); err != nil {
+					errCh <- err
+					return
+				}
+				lat := int64(time.Since(start))
+				for {
+					cur := maxRead.Load()
+					if lat <= cur || maxRead.CompareAndSwap(cur, lat) {
+						break
+					}
+				}
+				reads.Add(1)
+			}
+		}(r%rows + 1)
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, 0, 0, err
+	default:
+	}
+	return reads.Load(), writes.Load(), time.Duration(maxRead.Load()), nil
+}
+
+// RunA9 measures mixed read/write throughput with the write-lock
+// baseline and with MVCC, in interleaved fixed-length windows; each
+// side keeps its best window.
+func RunA9(cfg Config) (*MVCCAblation, error) {
+	cfg = cfg.withDefaults()
+	const (
+		rows    = 64
+		readers = 4
+		writers = 2
+		rounds  = 3
+		window  = 200 * time.Millisecond
+	)
+	db := sqldb.NewDatabase("A9")
+	s := sqldb.NewSession(db)
+	if _, err := s.Exec("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)"); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= rows; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO acct VALUES (%d, 0)", i)); err != nil {
+			return nil, err
+		}
+	}
+	s.Close()
+
+	out := &MVCCAblation{
+		Rows: rows, Readers: readers, Writers: writers, Rounds: rounds,
+		WindowMillis: int(window / time.Millisecond),
+		HoldMicros:   int(a9Hold / time.Microsecond),
+	}
+	secs := window.Seconds()
+	for round := 0; round < rounds; round++ {
+		for _, serial := range []bool{true, false} {
+			db.SetSerialMode(serial)
+			reads, writes, maxRead, err := runA9Window(db, readers, writers, rows, window)
+			if err != nil {
+				return nil, fmt.Errorf("A9: %v", err)
+			}
+			ops := float64(reads+writes) / secs
+			if serial {
+				if ops > out.SerialOpsPerSec {
+					out.SerialOpsPerSec = ops
+					out.SerialReadsPerSec = float64(reads) / secs
+					out.SerialWritesPerSec = float64(writes) / secs
+					out.SerialReadMaxMicros = float64(maxRead) / float64(time.Microsecond)
+				}
+			} else {
+				if ops > out.MVCCOpsPerSec {
+					out.MVCCOpsPerSec = ops
+					out.MVCCReadsPerSec = float64(reads) / secs
+					out.MVCCWritesPerSec = float64(writes) / secs
+					out.MVCCReadMaxMicros = float64(maxRead) / float64(time.Microsecond)
+				}
+			}
+		}
+	}
+	db.SetSerialMode(false)
+	db.Vacuum()
+	out.Conflicts = db.TxnStats().Conflicts
+	if out.SerialOpsPerSec > 0 {
+		out.Speedup = out.MVCCOpsPerSec / out.SerialOpsPerSec
+	}
+	return out, nil
+}
+
+// PrintA9 renders an MVCCAblation in the benchrunner table style.
+func PrintA9(w io.Writer, r *MVCCAblation) {
+	section(w, "A9 — global write lock vs MVCC snapshot isolation (mixed read/write)")
+	fmt.Fprintf(w, "rows: %d, readers: %d, writers: %d (txn holds %dµs), %dms windows × %d rounds (best kept)\n",
+		r.Rows, r.Readers, r.Writers, r.HoldMicros, r.WindowMillis, r.Rounds)
+	fmt.Fprintf(w, "%10s %12s %12s %12s %16s\n", "mode", "ops/s", "reads/s", "writes/s", "worst read")
+	fmt.Fprintf(w, "%10s %12.0f %12.0f %12.0f %15.0fµ\n", "serial",
+		r.SerialOpsPerSec, r.SerialReadsPerSec, r.SerialWritesPerSec, r.SerialReadMaxMicros)
+	fmt.Fprintf(w, "%10s %12.0f %12.0f %12.0f %15.0fµ\n", "mvcc",
+		r.MVCCOpsPerSec, r.MVCCReadsPerSec, r.MVCCWritesPerSec, r.MVCCReadMaxMicros)
+	fmt.Fprintf(w, "speedup: %.1fx (gate ≥ %.1fx), conflicts: %d\n",
+		r.Speedup, a9MinSpeedup, r.Conflicts)
+}
+
+// A9 runs RunA9, prints the result, and fails when MVCC does not clear
+// the throughput gate over the write-lock baseline.
+func A9(w io.Writer, cfg Config) error {
+	r, err := RunA9(cfg)
+	if err != nil {
+		return err
+	}
+	PrintA9(w, r)
+	if r.Speedup < a9MinSpeedup {
+		return fmt.Errorf("A9: MVCC speedup %.2fx below the %.1fx gate", r.Speedup, a9MinSpeedup)
+	}
+	return nil
+}

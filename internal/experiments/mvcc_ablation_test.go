@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestA9MVCCAblation runs the concurrency-control ablation and checks
+// the result's shape plus the headline claim: MVCC's mixed throughput
+// beats the global-write-lock baseline. The full 2x gate is enforced by
+// A9/benchrunner; the unit test requires only a clear win so CI noise
+// can't flake it.
+func TestA9MVCCAblation(t *testing.T) {
+	r, err := RunA9(Config{})
+	if err != nil {
+		t.Fatalf("A9: %v", err)
+	}
+	if r.SerialOpsPerSec <= 0 || r.MVCCOpsPerSec <= 0 {
+		t.Fatalf("throughput not populated: %+v", r)
+	}
+	if r.SerialReadsPerSec <= 0 || r.MVCCReadsPerSec <= 0 {
+		t.Fatalf("read throughput not populated: %+v", r)
+	}
+	if r.Speedup < 1.2 {
+		t.Fatalf("MVCC speedup %.2fx — readers are still blocking on writers", r.Speedup)
+	}
+	// Serial readers stall through writer transaction holds; MVCC
+	// readers must not. The worst serial read should therefore dwarf a
+	// single hold window.
+	if r.SerialReadMaxMicros < float64(r.HoldMicros) {
+		t.Fatalf("worst serial read %.0fµs under a %dµs writer hold — baseline is not blocking readers",
+			r.SerialReadMaxMicros, r.HoldMicros)
+	}
+	var buf bytes.Buffer
+	PrintA9(&buf, r)
+	for _, want := range []string{"MVCC", "serial", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("PrintA9 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

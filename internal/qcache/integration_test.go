@@ -296,3 +296,90 @@ SELECT url, title FROM urldb ORDER BY url
 		t.Fatalf("property test exercised no hits or no invalidations: %+v", st)
 	}
 }
+
+// TestInvalidationContractUnderMVCC pins the version-counter contract the
+// cache depends on, now that bumps happen at commit time:
+//
+//  1. an open transaction's uncommitted writes do not invalidate (they
+//     are invisible, so cached results are still correct);
+//  2. commit invalidates atomically with visibility;
+//  3. a rolled-back transaction invalidates only tables it wrote —
+//     cached results over tables it merely read stay live.
+func TestInvalidationContractUnderMVCC(t *testing.T) {
+	db := newStressDB(t, "QCONTRACT")
+	s := sqldb.NewSession(db)
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE log (n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := qcache.New(1<<20, 0)
+	provider := qcache.Wrap(gateway.NewSQLProvider(), cache)
+	conn, err := provider.Connect("QCONTRACT", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	read := func() string {
+		t.Helper()
+		res, err := conn.Execute("SELECT v FROM kv WHERE k = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].S
+	}
+	hits := func() int64 { return cache.Stats().Hits }
+
+	read() // populate
+	h0 := hits()
+	if read(); hits() != h0+1 {
+		t.Fatalf("warm read missed the cache")
+	}
+
+	// (1) Uncommitted writes don't invalidate.
+	if err := s.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE kv SET v = 99 WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	h1 := hits()
+	if got := read(); got != "0" {
+		t.Fatalf("read %q while writer txn open, want cached 0", got)
+	}
+	if hits() != h1+1 {
+		t.Fatalf("open transaction invalidated the cache before commit")
+	}
+
+	// (2) Commit invalidates.
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(); got != "99" {
+		t.Fatalf("read %q after commit, want 99", got)
+	}
+
+	// (3) Rollback of a transaction that read kv but wrote only log
+	// leaves kv's cached entry live.
+	read() // re-populate after the commit's invalidation
+	if err := s.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("SELECT COUNT(*) FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO log VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := hits()
+	if got := read(); got != "99" {
+		t.Fatalf("read %q after unrelated rollback, want 99", got)
+	}
+	if hits() != h2+1 {
+		t.Fatalf("rollback of a read-only access invalidated kv's cache entry")
+	}
+}

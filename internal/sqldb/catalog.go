@@ -2,8 +2,11 @@ package sqldb
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+
+	"db2www/internal/sqldb/mvcc"
 )
 
 // Column describes one column of a table.
@@ -16,26 +19,81 @@ type Column struct {
 	HasDefault bool
 }
 
-// storedRow is one physical row. Row IDs are unique per table for the
-// table's lifetime and never reused, which keeps index posting lists and
-// the undo log unambiguous.
-type storedRow struct {
-	id   int64
+// rowVersion is one version of a row's values. Chains run newest-first:
+// head is the most recent version (possibly pending), prev the one it
+// superseded. Chain links and vals are guarded by the table latch; the
+// visibility metadata is stamped by commit without the latch, which is
+// why it lives in atomics (mvcc.Meta).
+type rowVersion struct {
+	meta mvcc.Meta
 	vals []Value
+	prev *rowVersion
 }
 
-// Table is an in-memory heap of rows plus its secondary indexes.
+// storedRow is one logical row: a stable ID plus its version chain. Row
+// IDs are unique per table for the table's lifetime and never reused,
+// which keeps index posting lists unambiguous.
+type storedRow struct {
+	id   int64
+	head *rowVersion
+}
+
+// visibleVersion resolves the row against a snapshot: the newest version
+// visible to txn at snap, or nil when the row does not exist for that
+// reader. The caller holds the table latch (shared is enough).
+func (r *storedRow) visibleVersion(txn *mvcc.Txn, snap uint64) *rowVersion {
+	for v := r.head; v != nil; v = v.prev {
+		if v.meta.Visible(txn, snap) {
+			return v
+		}
+	}
+	return nil
+}
+
+// unlink removes version v from the chain, returning false when v was
+// already gone (vacuum may race an abort to the same garbage; both run
+// under the exclusive table latch, so the bool keeps index posting
+// removal exactly-once). Caller holds the exclusive table latch.
+func (r *storedRow) unlink(v *rowVersion) bool {
+	if r.head == v {
+		r.head = v.prev
+		return true
+	}
+	for c := r.head; c != nil; c = c.prev {
+		if c.prev == v {
+			c.prev = v.prev
+			return true
+		}
+	}
+	return false
+}
+
+// Table is an in-memory heap of versioned rows plus its secondary
+// indexes. The latch guards the heap slices, chain links, and index
+// structures; statements hold it only for short scan or apply phases,
+// never across expression evaluation.
 type Table struct {
 	Name    string
 	Columns []Column
+
+	mu      sync.RWMutex
 	rows    []*storedRow
 	byID    map[int64]*storedRow
 	nextID  int64
 	indexes []*Index
+
+	// pending counts uncommitted version creations plus delete intents
+	// on this table. ALTER TABLE refuses to rewrite row layouts while
+	// another transaction's pending versions are present.
+	pending atomic.Int64
 }
 
-// Index is a single-column secondary index backed by a B-tree. NULL keys
-// are kept out of the tree (and out of uniqueness checking, per SQL).
+// Index is a single-column secondary index backed by a B-tree. Postings
+// are a multiset over versions: every version of a row contributes its
+// key, so index scans over-approximate any snapshot's row set and the
+// caller re-applies the full WHERE clause. NULL keys stay out of the
+// tree (and out of uniqueness checking, per SQL), counted per row so
+// version add/remove stays balanced.
 type Index struct {
 	Name   string
 	Table  string
@@ -43,7 +101,7 @@ type Index struct {
 	Unique bool
 	colPos int
 	tree   *btree
-	nulls  map[int64]struct{}
+	nulls  map[int64]int
 }
 
 // colIndex returns the position of name in the table's columns, or -1.
@@ -66,124 +124,197 @@ func (t *Table) ColumnNames() []string {
 	return names
 }
 
-// RowCount returns the number of live rows.
-func (t *Table) RowCount() int { return len(t.rows) }
-
-// insertRow appends a fully-coerced row, maintaining indexes. It returns
-// the new row ID.
-func (t *Table) insertRow(vals []Value) (int64, error) {
-	// Uniqueness checks first so a violation leaves no trace.
-	for _, idx := range t.indexes {
-		if !idx.Unique {
-			continue
-		}
-		key := vals[idx.colPos]
-		if key.IsNull() {
-			continue
-		}
-		if post := idx.tree.lookup(key); len(post) > 0 {
-			return 0, &Error{Code: CodeUniqueViolation,
-				Message: fmt.Sprintf("duplicate key value %q violates unique index %q",
-					key.String(), idx.Name)}
+// RowCount returns the number of rows visible to a fresh snapshot
+// (committed, not deleted). Pending versions do not count.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, r := range t.rows {
+		if r.visibleVersion(nil, ^uint64(0)) != nil {
+			n++
 		}
 	}
+	return n
+}
+
+// appendRow allocates a new row whose initial version is pending in
+// txn, maintaining indexes. Caller holds the exclusive table latch and
+// has already checked uniqueness.
+func (t *Table) appendRow(vals []Value, txn *mvcc.Txn) *storedRow {
 	t.nextID++
-	row := &storedRow{id: t.nextID, vals: vals}
+	v := &rowVersion{vals: vals}
+	v.meta.InitPending(txn)
+	row := &storedRow{id: t.nextID, head: v}
 	t.rows = append(t.rows, row)
 	t.byID[row.id] = row
-	for _, idx := range t.indexes {
-		idx.add(row)
+	for _, ix := range t.indexes {
+		ix.addVersion(row.id, v)
 	}
-	return row.id, nil
+	return row
 }
 
-// reinsertRow restores a previously deleted row with its original ID
-// (transaction rollback path).
-func (t *Table) reinsertRow(id int64, vals []Value) {
-	row := &storedRow{id: id, vals: vals}
-	t.rows = append(t.rows, row)
-	t.byID[id] = row
-	if id > t.nextID {
-		t.nextID = id
-	}
-	for _, idx := range t.indexes {
-		idx.add(row)
-	}
-	// Keep heap order stable by row ID so rollback restores scan order.
-	sort.Slice(t.rows, func(i, j int) bool { return t.rows[i].id < t.rows[j].id })
-}
-
-// deleteRowByID removes a row, maintaining indexes. It returns the removed
-// values for undo logging.
-func (t *Table) deleteRowByID(id int64) ([]Value, bool) {
-	row, ok := t.byID[id]
-	if !ok {
-		return nil, false
-	}
-	delete(t.byID, id)
-	for i, r := range t.rows {
-		if r.id == id {
-			t.rows = append(t.rows[:i:i], t.rows[i+1:]...)
-			break
-		}
-	}
-	for _, idx := range t.indexes {
-		idx.remove(row)
-	}
-	return row.vals, true
-}
-
-// updateRowByID replaces a row's values, maintaining indexes. It returns
-// the old values for undo logging.
-func (t *Table) updateRowByID(id int64, vals []Value) ([]Value, error) {
-	row, ok := t.byID[id]
-	if !ok {
-		return nil, errInternal(fmt.Sprintf("update of missing row %d", id))
-	}
-	for _, idx := range t.indexes {
-		if !idx.Unique {
-			continue
-		}
-		newKey := vals[idx.colPos]
-		if newKey.IsNull() || IdentityEqual(newKey, row.vals[idx.colPos]) {
-			continue
-		}
-		if post := idx.tree.lookup(newKey); len(post) > 0 {
-			return nil, &Error{Code: CodeUniqueViolation,
-				Message: fmt.Sprintf("duplicate key value %q violates unique index %q",
-					newKey.String(), idx.Name)}
-		}
-	}
-	old := row.vals
-	for _, idx := range t.indexes {
-		idx.remove(row)
-	}
-	row.vals = vals
-	for _, idx := range t.indexes {
-		idx.add(row)
-	}
-	return old, nil
-}
-
-func (ix *Index) add(row *storedRow) {
-	key := row.vals[ix.colPos]
-	if key.IsNull() {
-		ix.nulls[row.id] = struct{}{}
+// removeRows drops fully-dead rows (empty chains) from the heap,
+// preserving ID order. Caller holds the exclusive table latch; all
+// index postings were removed when the last version was unlinked.
+func (t *Table) removeRows(dead map[int64]bool) {
+	if len(dead) == 0 {
 		return
 	}
-	ix.tree.insert(key, row.id)
+	kept := t.rows[:0]
+	for _, r := range t.rows {
+		if dead[r.id] && r.head == nil {
+			delete(t.byID, r.id)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(t.rows); i++ {
+		t.rows[i] = nil
+	}
+	t.rows = kept
 }
 
-func (ix *Index) remove(row *storedRow) {
-	key := row.vals[ix.colPos]
+func (ix *Index) addVersion(rowID int64, v *rowVersion) {
+	key := v.vals[ix.colPos]
 	if key.IsNull() {
-		delete(ix.nulls, row.id)
+		ix.nulls[rowID]++
 		return
 	}
-	ix.tree.delete(key, row.id)
+	ix.tree.insert(key, rowID)
 }
 
-// buildIndex creates an Index over an existing table's rows.
+func (ix *Index) removeVersion(rowID int64, v *rowVersion) {
+	key := v.vals[ix.colPos]
+	if key.IsNull() {
+		if n := ix.nulls[rowID] - 1; n <= 0 {
+			delete(ix.nulls, rowID)
+		} else {
+			ix.nulls[rowID] = n
+		}
+		return
+	}
+	ix.tree.delete(key, rowID)
+}
+
+// keyCurrently reports whether the row currently claims key at column
+// pos for uniqueness purposes: some version that is (or may yet become)
+// the row's live state carries the key. The second result distinguishes
+// a claim held only by another transaction's uncommitted write, which
+// callers surface as a retryable conflict rather than a hard violation.
+// Caller holds the table latch.
+func (r *storedRow) keyCurrently(pos int, key Value, txn *mvcc.Txn) (claimed, pendingOther bool) {
+	for v := r.head; v != nil; v = v.prev {
+		if c := v.meta.Creator(); c != nil {
+			if c.Aborted() {
+				continue
+			}
+			if d := v.meta.Deleter(); d == c {
+				continue // created and superseded by the same txn
+			}
+			if IdentityEqual(v.vals[pos], key) {
+				return true, c != txn
+			}
+			continue
+		}
+		// Newest committed version decides; older history is irrelevant.
+		if v.meta.End() != 0 {
+			return false, false
+		}
+		if d := v.meta.Deleter(); d != nil && !d.Aborted() {
+			if d == txn {
+				return false, false // we deleted it; the key frees on commit
+			}
+			if IdentityEqual(v.vals[pos], key) {
+				// A concurrent delete might abort and keep the claim.
+				return true, true
+			}
+			return false, false
+		}
+		return IdentityEqual(v.vals[pos], key), false
+	}
+	return false, false
+}
+
+// checkUnique verifies key can be written at ix's column without
+// violating uniqueness, ignoring selfID's own row. Caller holds the
+// exclusive table latch.
+func (t *Table) checkUnique(ix *Index, key Value, selfID int64, txn *mvcc.Txn) error {
+	if key.IsNull() {
+		return nil
+	}
+	for _, id := range ix.tree.lookup(key) {
+		if id == selfID {
+			continue
+		}
+		row, ok := t.byID[id]
+		if !ok {
+			continue
+		}
+		claimed, pendingOther := row.keyCurrently(ix.colPos, key, txn)
+		if !claimed {
+			continue
+		}
+		if pendingOther {
+			return errConflict(fmt.Sprintf(
+				"key %q of unique index %q is claimed by a concurrent uncommitted transaction",
+				key.String(), ix.Name))
+		}
+		return &Error{Code: CodeUniqueViolation,
+			Message: fmt.Sprintf("duplicate key value %q violates unique index %q",
+				key.String(), ix.Name)}
+	}
+	return nil
+}
+
+// writeCheck resolves the version a write by txn would supersede,
+// enforcing first-committer-wins: a row whose newest live state is a
+// concurrent transaction's pending write, or a commit after txn's
+// snapshot, is a serialization conflict. A (nil, nil) result means the
+// row is no longer a target (e.g. txn already deleted it) and the write
+// silently skips it. Caller holds the exclusive table latch.
+func (t *Table) writeCheck(row *storedRow, txn *mvcc.Txn, snap uint64) (*rowVersion, error) {
+	for v := row.head; v != nil; v = v.prev {
+		if c := v.meta.Creator(); c != nil {
+			if c.Aborted() {
+				continue
+			}
+			if c != txn {
+				return nil, errConflict(fmt.Sprintf(
+					"row in table %q was written by a concurrent transaction", t.Name))
+			}
+			if v.meta.Deleter() == txn {
+				return nil, nil
+			}
+			return v, nil
+		}
+		if v.meta.Begin() > snap {
+			return nil, errConflict(fmt.Sprintf(
+				"row in table %q was modified after this transaction's snapshot", t.Name))
+		}
+		if d := v.meta.Deleter(); d != nil && !d.Aborted() {
+			if d == txn {
+				return nil, nil
+			}
+			return nil, errConflict(fmt.Sprintf(
+				"row in table %q is being deleted by a concurrent transaction", t.Name))
+		}
+		if e := v.meta.End(); e != 0 {
+			if e > snap {
+				return nil, errConflict(fmt.Sprintf(
+					"row in table %q was deleted after this transaction's snapshot", t.Name))
+			}
+			return nil, nil
+		}
+		return v, nil
+	}
+	return nil, nil
+}
+
+// buildIndex creates an Index over an existing table's rows, adding one
+// posting per version. Unique validation considers only each row's
+// current claim (newest committed live version or a pending write); a
+// clash involving an uncommitted version reports a retryable conflict.
 func buildIndex(t *Table, name, column string, unique bool) (*Index, error) {
 	pos := t.colIndex(column)
 	if pos < 0 {
@@ -196,24 +327,63 @@ func buildIndex(t *Table, name, column string, unique bool) (*Index, error) {
 		Unique: unique,
 		colPos: pos,
 		tree:   newBTree(),
-		nulls:  map[int64]struct{}{},
+		nulls:  map[int64]int{},
 	}
+	claims := map[string]bool{}
 	for _, row := range t.rows {
-		key := row.vals[pos]
-		if key.IsNull() {
-			ix.nulls[row.id] = struct{}{}
+		for v := row.head; v != nil; v = v.prev {
+			if c := v.meta.Creator(); c != nil && c.Aborted() {
+				continue
+			}
+			ix.addVersion(row.id, v)
+		}
+		if !unique {
 			continue
 		}
-		if unique {
-			if post := ix.tree.lookup(key); len(post) > 0 {
-				return nil, &Error{Code: CodeUniqueViolation,
-					Message: fmt.Sprintf("cannot create unique index %q: duplicate key %q",
-						name, key.String())}
-			}
+		cur := row.currentClaimVersion()
+		if cur == nil {
+			continue
 		}
-		ix.tree.insert(key, row.id)
+		key := cur.vals[pos]
+		if key.IsNull() {
+			continue
+		}
+		k := identityKey([]Value{key})
+		if claims[k] {
+			if cur.meta.Creator() != nil {
+				return nil, errConflict(fmt.Sprintf(
+					"cannot create unique index %q: key %q is claimed by an uncommitted transaction",
+					name, key.String()))
+			}
+			return nil, &Error{Code: CodeUniqueViolation,
+				Message: fmt.Sprintf("cannot create unique index %q: duplicate key %q",
+					name, key.String())}
+		}
+		claims[k] = true
 	}
 	return ix, nil
+}
+
+// currentClaimVersion returns the version that holds the row's current
+// (or prospective) state: a live pending write, else the newest
+// committed live version. Nil when the row is dead or dying.
+func (r *storedRow) currentClaimVersion() *rowVersion {
+	for v := r.head; v != nil; v = v.prev {
+		if c := v.meta.Creator(); c != nil {
+			if c.Aborted() || v.meta.Deleter() == c {
+				continue
+			}
+			return v
+		}
+		if v.meta.End() != 0 {
+			return nil
+		}
+		if d := v.meta.Deleter(); d != nil && !d.Aborted() {
+			return nil
+		}
+		return v
+	}
+	return nil
 }
 
 // indexOn returns the first index whose key column is at position pos,

@@ -2,16 +2,39 @@ package sqldb
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"db2www/internal/sqldb/mvcc"
 )
 
 // Database is one named in-memory database: a catalog of tables and
-// indexes guarded by a readers-writer lock. SELECT statements take the
-// read lock; DML, DDL, and explicit transactions take the write lock.
-// This matches the CGI deployment model of the paper, where every request
-// is a short-lived process whose statements serialise at the DBMS.
+// indexes plus the MVCC transaction manager that orders commits.
+//
+// Concurrency model (snapshot isolation):
+//
+//   - db.mu guards only the catalog maps. Every statement holds it
+//     shared for its duration; DDL holds it exclusive. Readers and
+//     writers therefore never block each other — only DDL excludes.
+//   - Row data lives in per-table version chains (see catalog.go).
+//     Statements latch a table (Table.mu) only for short scan or apply
+//     phases, never across expression evaluation.
+//   - Every statement resolves rows against a snapshot watermark taken
+//     from the mvcc.Manager. Writes create pending versions visible
+//     only to their transaction; commit stamps them with one new commit
+//     sequence and bumps the per-table version counters (version.go)
+//     inside the same critical section, preserving the result-cache
+//     invalidation contract.
+//   - Write-write conflicts resolve first-committer-wins: the later
+//     writer gets a retryable serialization failure (SQLSTATE 40001).
+//     Auto-commit statements retry internally; explicit transactions
+//     surface the error through sqldriver.
+//
+// Lock order: serialMu → db.mu → Table.mu; db.mu → vt.mu. The mvcc
+// manager's internal mutex nests under everything and takes nothing.
 type Database struct {
 	Name string
 
@@ -30,6 +53,21 @@ type Database struct {
 	// vt holds the per-table version counters behind result-cache
 	// invalidation; see version.go.
 	vt versionTable
+
+	// mvcc orders commits and tracks live snapshots.
+	mvcc *mvcc.Manager
+
+	// serial re-enables the pre-MVCC global-write-lock discipline via
+	// serialMu: explicit transactions and auto-commit writes take it
+	// exclusive (for the whole transaction, resp. statement), reads take
+	// it shared. Kept as the A9 ablation baseline and an escape hatch
+	// (gatewayd -isolation=serial).
+	serial   atomic.Bool
+	serialMu sync.RWMutex
+
+	conflicts   atomic.Uint64
+	vacuumRows  atomic.Uint64
+	stmtRetries atomic.Uint64
 }
 
 // NewDatabase creates an empty database.
@@ -38,6 +76,7 @@ func NewDatabase(name string) *Database {
 		Name:    name,
 		tables:  map[string]*Table{},
 		indexes: map[string]*Index{},
+		mvcc:    mvcc.NewManager(),
 	}
 }
 
@@ -63,6 +102,14 @@ func (db *Database) SetIndexScansEnabled(on bool) {
 	db.noIndexScan = !on
 	db.mu.Unlock()
 }
+
+// SetSerialMode toggles the global-write-lock baseline: when on, writes
+// and explicit transactions serialise behind one lock exactly as the
+// pre-MVCC engine did. Used by the A9 ablation and -isolation=serial.
+func (db *Database) SetSerialMode(on bool) { db.serial.Store(on) }
+
+// SerialMode reports whether the global-write-lock baseline is active.
+func (db *Database) SerialMode() bool { return db.serial.Load() }
 
 // table looks up a table by name, case-insensitively.
 func (db *Database) table(name string) (*Table, error) {
@@ -113,127 +160,297 @@ func sortStrings(s []string) {
 	}
 }
 
-// --- undo log ---
-
-type undoKind int
-
-const (
-	undoInsert undoKind = iota
-	undoUpdate
-	undoDelete
-	undoCreateTable
-	undoDropTable
-	undoCreateIndex
-	undoDropIndex
-	undoAlterTable
-)
-
-type undoRec struct {
-	kind           undoKind
-	table          string
-	rowID          int64
-	oldVals        []Value
-	index          string
-	droppedTable   *Table
-	droppedIndex   *Index
-	droppedIndexes []*Index
-	alterOldName   string // pre-ALTER table name (RENAME undo)
+// TxnStats is a point-in-time summary of transaction activity, shown on
+// the gateway's /server-status "Transactions" section.
+type TxnStats struct {
+	ActiveSnapshots int    // distinct live snapshots (open txns + running statements)
+	OldestSnapshot  uint64 // vacuum watermark
+	CommitSeq       uint64 // last published commit sequence
+	Commits         uint64
+	Rollbacks       uint64 // aborts excluding conflicts
+	Conflicts       uint64 // first-committer-wins losers
+	VacuumedRows    uint64 // row versions reclaimed
 }
 
-// Session is one client connection to a Database. Sessions are not safe
-// for concurrent use; each gateway request (each CGI process in the
-// paper's model) owns one session. In auto-commit mode every statement is
-// its own transaction. BeginTxn switches the session to explicit mode:
-// the session holds the database write lock until Commit or Rollback, so
-// a macro executed in "single transaction" mode is fully isolated.
-type Session struct {
-	db     *Database
-	inTxn  bool
-	undo   []undoRec
-	closed bool
-}
-
-// NewSession opens a session on db.
-func NewSession(db *Database) *Session {
-	return &Session{db: db}
-}
-
-// Close releases the session, rolling back any open transaction.
-func (s *Session) Close() error {
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	if s.inTxn {
-		return s.Rollback()
-	}
-	return nil
-}
-
-// InTxn reports whether an explicit transaction is open.
-func (s *Session) InTxn() bool { return s.inTxn }
-
-func (s *Session) logUndo(r undoRec) {
-	if s.inTxn {
-		s.undo = append(s.undo, r)
+// TxnStats returns current transaction counters and watermarks.
+func (db *Database) TxnStats() TxnStats {
+	conflicts := db.conflicts.Load()
+	return TxnStats{
+		ActiveSnapshots: db.mvcc.ActiveSnapshots(),
+		OldestSnapshot:  db.mvcc.OldestSnapshot(),
+		CommitSeq:       db.mvcc.CommitSeq(),
+		Commits:         db.mvcc.Commits(),
+		Rollbacks:       db.mvcc.Aborts() - conflicts,
+		Conflicts:       conflicts,
+		VacuumedRows:    db.vacuumRows.Load(),
 	}
 }
 
-// BeginTxn starts an explicit transaction, taking the database write lock.
-func (s *Session) BeginTxn() error {
-	if s.closed {
-		return &Error{Code: CodeInvalidTxnState, Message: "session is closed"}
-	}
-	if s.inTxn {
-		return &Error{Code: CodeInvalidTxnState, Message: "transaction already in progress"}
-	}
-	s.db.mu.Lock()
-	s.inTxn = true
-	s.undo = s.undo[:0]
-	return nil
+// view is one statement's read context: the database, the transaction
+// (nil for plain snapshot reads), and the snapshot watermark rows
+// resolve against. All read-path executors hang off view so subqueries
+// inherit the statement's snapshot.
+type view struct {
+	db   *Database
+	txn  *mvcc.Txn
+	snap uint64
 }
 
-// Commit commits the explicit transaction and releases the write lock.
-func (s *Session) Commit() error {
-	if !s.inTxn {
-		return &Error{Code: CodeInvalidTxnState, Message: "no transaction in progress"}
-	}
-	s.undo = s.undo[:0]
-	s.inTxn = false
-	s.db.mu.Unlock()
-	return nil
+// --- transaction state ---
+
+// writeRec is one row-level effect of a transaction: a created version,
+// a delete intent on an existing version, or (for UPDATE) both.
+type writeRec struct {
+	t       *Table
+	row     *storedRow
+	created *rowVersion
+	deleted *rowVersion
 }
 
-// Rollback undoes every statement executed since BeginTxn, in reverse
-// order, then releases the write lock.
-func (s *Session) Rollback() error {
-	if !s.inTxn {
-		return &Error{Code: CodeInvalidTxnState, Message: "no transaction in progress"}
+// txnState carries everything needed to commit or roll back one
+// transaction: its mvcc identity, the row-version write set, and the
+// undo log for DDL (which is not snapshot-isolated: catalog changes
+// apply immediately and are undone structurally on rollback).
+type txnState struct {
+	txn     *mvcc.Txn
+	writes  []writeRec
+	ddlUndo []undoRec
+	ddlBump []string // tables whose results DDL changed; re-bumped at commit/rollback
+	// conflicted records that a statement hit a first-committer-wins
+	// conflict, so the session's eventual Rollback counts as a conflict
+	// abort rather than a voluntary one.
+	conflicted bool
+}
+
+// record appends one row effect and adjusts the table's pending-version
+// count. Caller holds t.mu exclusively (the same latch ALTER TABLE's
+// pending guard reads under), so the count can't tear against DDL.
+func (tx *txnState) record(t *Table, row *storedRow, created, deleted *rowVersion) {
+	tx.writes = append(tx.writes, writeRec{t: t, row: row, created: created, deleted: deleted})
+	var n int64
+	if created != nil {
+		n++
 	}
-	db := s.db
-	for i := len(s.undo) - 1; i >= 0; i-- {
-		r := s.undo[i]
-		switch r.kind {
-		case undoInsert:
-			if t, err := db.table(r.table); err == nil {
-				t.deleteRowByID(r.rowID)
+	if deleted != nil {
+		n++
+	}
+	t.pending.Add(n)
+}
+
+// pendingOn counts this transaction's pending units on t; ALTER TABLE
+// may proceed only when the table's total pending count equals it.
+func (tx *txnState) pendingOn(t *Table) int64 {
+	var n int64
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		if w.t != t {
+			continue
+		}
+		if w.created != nil {
+			n++
+		}
+		if w.deleted != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (tx *txnState) logDDL(r undoRec) {
+	if tx != nil {
+		tx.ddlUndo = append(tx.ddlUndo, r)
+	}
+}
+
+// bumpNames returns the lower-cased names of every table this
+// transaction wrote (write set plus DDL), deduplicated. Tables only
+// read never appear: a rollback must not invalidate cache entries for
+// them.
+func (tx *txnState) bumpNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		ln := strings.ToLower(n)
+		if ln != "" && !seen[ln] {
+			seen[ln] = true
+			names = append(names, ln)
+		}
+	}
+	for i := range tx.writes {
+		add(tx.writes[i].t.Name)
+	}
+	for _, n := range tx.ddlBump {
+		add(n)
+	}
+	return names
+}
+
+// begin starts a transaction state at a fresh snapshot.
+func (db *Database) begin() *txnState {
+	return &txnState{txn: db.mvcc.Begin()}
+}
+
+// commitTxn commits: it stamps every written version with one new
+// commit sequence, bumps the written tables' version counters, and
+// publishes the sequence — all inside vt.mu, the mutex TableVersions
+// readers take. A result cache that brackets a computation with
+// TableVersions therefore can never pair this commit's data with
+// pre-commit versions or vice versa.
+func (db *Database) commitTxn(tx *txnState) {
+	names := tx.bumpNames()
+	if len(tx.writes) == 0 {
+		if len(names) > 0 {
+			db.bumpVersions(names...)
+		}
+		db.mvcc.Finish(tx.txn, true)
+		mTxnCommit.Add(1)
+		return
+	}
+	db.vt.mu.Lock()
+	seq := db.mvcc.NextSeq()
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		if w.created != nil {
+			w.created.meta.StampBegin(seq)
+		}
+		if w.deleted != nil {
+			w.deleted.meta.StampEnd(seq)
+		}
+	}
+	db.bumpLocked(names)
+	db.mvcc.Publish(seq)
+	db.vt.mu.Unlock()
+	db.mvcc.Finish(tx.txn, true)
+	mTxnCommit.Add(1)
+	db.settleCommitted(tx)
+}
+
+// rollbackTxn aborts: one status store hides every pending version and
+// voids every delete intent; the physical garbage is then unlinked.
+// DDL undoes structurally under the exclusive catalog lock. Written
+// tables get a conservative version bump (DDL rewrote them; pure DML
+// garbage costs at most a cache miss) — tables only read do not.
+func (db *Database) rollbackTxn(tx *txnState, conflict bool) {
+	db.mvcc.Finish(tx.txn, false)
+	db.purgeWrites(tx, 0)
+	if len(tx.ddlUndo) > 0 {
+		db.mu.Lock()
+		db.replayDDLUndo(tx.ddlUndo)
+		db.mu.Unlock()
+	}
+	if names := tx.bumpNames(); len(names) > 0 {
+		db.bumpVersions(names...)
+	}
+	if conflict {
+		db.conflicts.Add(1)
+		mTxnConflict.Add(1)
+	} else {
+		mTxnRollback.Add(1)
+	}
+}
+
+// abortStmt physically undoes the write set's tail (one failed
+// statement inside a live transaction), keeping statements atomic.
+func (db *Database) abortStmt(tx *txnState, mark int) {
+	db.purgeWrites(tx, mark)
+	tx.writes = tx.writes[:mark]
+}
+
+// purgeWrites unlinks the row versions of tx.writes[from:]: created
+// versions leave the chains (and index postings), delete intents are
+// voided. Grouped per table so each latch is taken once.
+func (db *Database) purgeWrites(tx *txnState, from int) {
+	if from >= len(tx.writes) {
+		return
+	}
+	byTable := map[*Table][]int{}
+	var order []*Table
+	for i := from; i < len(tx.writes); i++ {
+		t := tx.writes[i].t
+		if _, ok := byTable[t]; !ok {
+			order = append(order, t)
+		}
+		byTable[t] = append(byTable[t], i)
+	}
+	for _, t := range order {
+		t.mu.Lock()
+		dead := map[int64]bool{}
+		for _, i := range byTable[t] {
+			w := &tx.writes[i]
+			if w.deleted != nil {
+				// CAS: after the abort status store another transaction may
+				// have legitimately claimed the version's deleter slot.
+				w.deleted.meta.ClearDeleterIf(tx.txn)
+				t.pending.Add(-1)
 			}
-		case undoUpdate:
-			if t, err := db.table(r.table); err == nil {
-				if row, ok := t.byID[r.rowID]; ok {
+			if w.created != nil {
+				if w.row.unlink(w.created) {
 					for _, ix := range t.indexes {
-						ix.remove(row)
-					}
-					row.vals = r.oldVals
-					for _, ix := range t.indexes {
-						ix.add(row)
+						ix.removeVersion(w.row.id, w.created)
 					}
 				}
+				t.pending.Add(-1)
+				if w.row.head == nil {
+					dead[w.row.id] = true
+				}
 			}
-		case undoDelete:
-			if t, err := db.table(r.table); err == nil {
-				t.reinsertRow(r.rowID, r.oldVals)
+		}
+		t.removeRows(dead)
+		t.mu.Unlock()
+	}
+}
+
+// settleCommitted releases the committed write set's pending counts and
+// opportunistically prunes the written rows' chains below the current
+// watermark, so hot rows don't wait for the background vacuum.
+func (db *Database) settleCommitted(tx *txnState) {
+	wm := db.mvcc.OldestSnapshot()
+	byTable := map[*Table][]int{}
+	var order []*Table
+	for i := range tx.writes {
+		t := tx.writes[i].t
+		if _, ok := byTable[t]; !ok {
+			order = append(order, t)
+		}
+		byTable[t] = append(byTable[t], i)
+	}
+	pruned := 0
+	for _, t := range order {
+		t.mu.Lock()
+		dead := map[int64]bool{}
+		seen := map[*storedRow]bool{}
+		for _, i := range byTable[t] {
+			w := &tx.writes[i]
+			if w.created != nil {
+				t.pending.Add(-1)
 			}
+			if w.deleted != nil {
+				t.pending.Add(-1)
+			}
+			if seen[w.row] {
+				continue
+			}
+			seen[w.row] = true
+			pruned += db.pruneChain(t, w.row, wm)
+			if w.row.head == nil {
+				dead[w.row.id] = true
+			}
+		}
+		t.removeRows(dead)
+		t.mu.Unlock()
+	}
+	if pruned > 0 {
+		db.vacuumRows.Add(uint64(pruned))
+		mVacuumRows.Add(int64(pruned))
+	}
+}
+
+// replayDDLUndo reverses a transaction's catalog changes, newest first.
+// Caller holds db.mu exclusively.
+func (db *Database) replayDDLUndo(undo []undoRec) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		r := undo[i]
+		switch r.kind {
 		case undoCreateTable:
 			delete(db.tables, strings.ToLower(r.table))
 		case undoDropTable:
@@ -271,23 +488,115 @@ func (s *Session) Rollback() error {
 			}
 		}
 	}
-	// Bump every table the transaction touched once more: the undo just
-	// rewrote their contents, and result caches must not trust any entry
-	// recorded against the aborted intermediate state.
-	var touched []string
-	seen := map[string]bool{}
-	for _, r := range s.undo {
-		for _, name := range []string{r.table, r.alterOldName} {
-			if name != "" && !seen[strings.ToLower(name)] {
-				seen[strings.ToLower(name)] = true
-				touched = append(touched, name)
-			}
-		}
+}
+
+// --- DDL undo log ---
+
+type undoKind int
+
+const (
+	undoCreateTable undoKind = iota
+	undoDropTable
+	undoCreateIndex
+	undoDropIndex
+	undoAlterTable
+)
+
+type undoRec struct {
+	kind           undoKind
+	table          string
+	index          string
+	droppedTable   *Table
+	droppedIndex   *Index
+	droppedIndexes []*Index
+	alterOldName   string // pre-ALTER table name (RENAME undo)
+}
+
+// --- sessions ---
+
+// Session is one client connection to a Database. Sessions are not safe
+// for concurrent use; each gateway request (each CGI process in the
+// paper's model) owns one session, but many sessions now run genuinely
+// in parallel. In auto-commit mode every statement is its own
+// transaction (retried internally on serialization conflicts). BeginTxn
+// opens an explicit snapshot-isolation transaction: reads see the
+// snapshot taken at BeginTxn, writes stay private until Commit, and a
+// write-write conflict with a concurrent committer surfaces as a
+// retryable SQLSTATE 40001 error.
+type Session struct {
+	db         *Database
+	tx         *txnState
+	serialHeld bool
+	closed     bool
+}
+
+// NewSession opens a session on db.
+func NewSession(db *Database) *Session {
+	return &Session{db: db}
+}
+
+// Close releases the session, rolling back any open transaction.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
 	}
-	db.bumpVersions(touched...)
-	s.undo = s.undo[:0]
-	s.inTxn = false
-	s.db.mu.Unlock()
+	s.closed = true
+	if s.tx != nil {
+		return s.Rollback()
+	}
+	return nil
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// BeginTxn starts an explicit snapshot-isolation transaction.
+func (s *Session) BeginTxn() error {
+	if s.closed {
+		return &Error{Code: CodeInvalidTxnState, Message: "session is closed"}
+	}
+	if s.tx != nil {
+		return &Error{Code: CodeInvalidTxnState, Message: "transaction already in progress"}
+	}
+	if s.db.serial.Load() {
+		s.db.serialMu.Lock()
+		s.serialHeld = true
+	}
+	s.tx = s.db.begin()
+	return nil
+}
+
+// Commit commits the explicit transaction, making its writes visible
+// atomically and bumping the version counters of written tables.
+func (s *Session) Commit() error {
+	if s.tx == nil {
+		return &Error{Code: CodeInvalidTxnState, Message: "no transaction in progress"}
+	}
+	tx := s.tx
+	s.tx = nil
+	s.db.commitTxn(tx)
+	if s.serialHeld {
+		s.serialHeld = false
+		s.db.serialMu.Unlock()
+	}
+	return nil
+}
+
+// Rollback aborts the explicit transaction. Its row versions vanish
+// atomically; DDL is undone structurally. Version counters bump only
+// for tables the transaction wrote — cached results over tables it
+// merely read stay valid.
+func (s *Session) Rollback() error {
+	if s.tx == nil {
+		return &Error{Code: CodeInvalidTxnState, Message: "no transaction in progress"}
+	}
+	tx := s.tx
+	s.tx = nil
+	s.db.rollbackTxn(tx, tx.conflicted)
+	if s.serialHeld {
+		s.serialHeld = false
+		s.db.serialMu.Unlock()
+	}
 	return nil
 }
 
@@ -323,73 +632,204 @@ func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
 		}
 		return &Result{}, nil
 	case *SelectStmt:
-		lockStart := obsNow()
-		if !s.inTxn {
-			s.db.mu.RLock()
-			defer s.db.mu.RUnlock()
-		}
-		observeLockWait(lockStart)
-		execStart := obsNow()
-		res, err := s.db.execSelect(x, params)
-		observeExec(mExecSelect, execStart)
-		if err == nil {
-			observeRows(res)
-		}
-		return res, err
+		return s.execRead(x, params)
 	case *InsertStmt:
-		return s.execWrite(func() (*Result, error) { return s.execInsert(x, params) }, x.Table)
+		return s.execDML(func(vw view, tx *txnState) (*Result, error) {
+			return vw.execInsert(tx, x, params)
+		}, x.Table)
 	case *UpdateStmt:
-		return s.execWrite(func() (*Result, error) { return s.execUpdate(x, params) }, x.Table)
+		return s.execDML(func(vw view, tx *txnState) (*Result, error) {
+			return vw.execUpdate(tx, x, params)
+		}, x.Table)
 	case *DeleteStmt:
-		return s.execWrite(func() (*Result, error) { return s.execDelete(x, params) }, x.Table)
+		return s.execDML(func(vw view, tx *txnState) (*Result, error) {
+			return vw.execDelete(tx, x, params)
+		}, x.Table)
 	case *CreateTableStmt:
-		return s.execWrite(func() (*Result, error) { return s.execCreateTable(x) }, x.Table)
+		return s.execDDL(true, func(tx *txnState) (*Result, error) {
+			return s.db.execCreateTable(tx, x)
+		}, x.Table)
 	case *AlterTableStmt:
 		// A rename changes what two names resolve to; bump both.
-		return s.execWrite(func() (*Result, error) { return s.execAlterTable(x) }, x.Table, x.RenameTo)
+		return s.execDDL(true, func(tx *txnState) (*Result, error) {
+			return s.db.execAlterTable(tx, x)
+		}, x.Table, x.RenameTo)
 	case *DropTableStmt:
-		return s.execWrite(func() (*Result, error) { return s.execDropTable(x) }, x.Table)
+		return s.execDDL(true, func(tx *txnState) (*Result, error) {
+			return s.db.execDropTable(tx, x)
+		}, x.Table)
 	case *CreateIndexStmt:
 		// Index DDL changes access paths, never results: no version bump.
-		return s.withWriteLock(func() (*Result, error) { return s.execCreateIndex(x) })
+		return s.execDDL(false, func(tx *txnState) (*Result, error) {
+			return s.db.execCreateIndex(tx, x)
+		})
 	case *DropIndexStmt:
-		return s.withWriteLock(func() (*Result, error) { return s.execDropIndex(x) })
+		return s.execDDL(false, func(tx *txnState) (*Result, error) {
+			return s.db.execDropIndex(tx, x)
+		})
 	default:
 		return nil, &Error{Code: CodeFeature,
 			Message: fmt.Sprintf("unsupported statement type %T", st)}
 	}
 }
 
-func (s *Session) withWriteLock(fn func() (*Result, error)) (*Result, error) {
-	lockStart := obsNow()
-	if !s.inTxn {
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
+// reader returns the view a read should resolve against and a release
+// function. Inside a transaction that is the transaction's snapshot;
+// otherwise a fresh snapshot, registered so vacuum can't reclaim
+// versions mid-statement.
+func (s *Session) reader() (view, func()) {
+	if s.tx != nil {
+		return view{db: s.db, txn: s.tx.txn, snap: s.tx.txn.Snapshot()}, func() {}
 	}
+	snap := s.db.mvcc.AcquireSnapshot()
+	return view{db: s.db, snap: snap}, func() { s.db.mvcc.ReleaseSnapshot(snap) }
+}
+
+func (s *Session) execRead(sel *SelectStmt, params []Value) (*Result, error) {
+	db := s.db
+	lockStart := obsNow()
+	if s.tx == nil && db.serial.Load() {
+		db.serialMu.RLock()
+		defer db.serialMu.RUnlock()
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	observeLockWait(lockStart)
+	vw, release := s.reader()
+	defer release()
 	execStart := obsNow()
-	res, err := fn()
-	observeExec(mExecDDL, execStart)
+	res, err := vw.execSelect(sel, params)
+	observeExec(mExecSelect, execStart)
+	if err == nil {
+		observeRows(res)
+	}
 	return res, err
 }
 
-// execWrite runs a data-changing statement under the write lock and bumps
-// the version of every table it names. The bump is unconditional — a
-// failed statement may still have left partial effects in auto-commit
-// mode — and the deferred ordering places it before the lock release, so
-// any session that can observe the write also observes the new version.
-func (s *Session) execWrite(fn func() (*Result, error), tables ...string) (*Result, error) {
-	lockStart := obsNow()
-	if !s.inTxn {
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
+// maxAutoRetries bounds the internal conflict-retry loop for
+// auto-commit statements. Each retry runs on a fresh snapshot, so
+// progress requires only that some committer wins each round.
+const maxAutoRetries = 256
+
+func retryBackoff(attempt int) {
+	if attempt < 4 {
+		runtime.Gosched()
+		return
 	}
-	observeLockWait(lockStart)
-	defer s.db.bumpVersions(tables...)
-	execStart := obsNow()
-	res, err := fn()
-	observeExec(mExecWrite, execStart)
-	return res, err
+	d := time.Duration(attempt) * 20 * time.Microsecond
+	if d > 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// execDML runs a data-changing statement. Inside an explicit
+// transaction the effects stay pending (a failed statement is undone,
+// keeping statements atomic). In auto-commit mode the statement is its
+// own transaction: committed on success, rolled back and retried on a
+// fresh snapshot when it loses a first-committer-wins race.
+func (s *Session) execDML(run func(view, *txnState) (*Result, error), targets ...string) (*Result, error) {
+	db := s.db
+	if s.tx != nil {
+		lockStart := obsNow()
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		observeLockWait(lockStart)
+		tx := s.tx
+		mark := len(tx.writes)
+		execStart := obsNow()
+		res, err := run(view{db: db, txn: tx.txn, snap: tx.txn.Snapshot()}, tx)
+		observeExec(mExecWrite, execStart)
+		if err != nil {
+			db.abortStmt(tx, mark)
+			if IsSerializationFailure(err) {
+				tx.conflicted = true
+			}
+			return nil, err
+		}
+		return res, nil
+	}
+	serial := db.serial.Load()
+	lockStart := obsNow()
+	for attempt := 0; ; attempt++ {
+		if serial {
+			db.serialMu.Lock()
+		}
+		db.mu.RLock()
+		observeLockWait(lockStart)
+		lockStart = time.Time{}
+		tx := db.begin()
+		execStart := obsNow()
+		res, err := run(view{db: db, txn: tx.txn, snap: tx.txn.Snapshot()}, tx)
+		observeExec(mExecWrite, execStart)
+		db.mu.RUnlock()
+		if err == nil {
+			db.commitTxn(tx)
+			if serial {
+				db.serialMu.Unlock()
+			}
+			return res, nil
+		}
+		conflict := IsSerializationFailure(err)
+		db.rollbackTxn(tx, conflict)
+		if serial {
+			db.serialMu.Unlock()
+		}
+		if conflict && attempt < maxAutoRetries {
+			db.stmtRetries.Add(1)
+			retryBackoff(attempt)
+			continue
+		}
+		// Conservative contract (pinned by version tests): a failed
+		// auto-commit write still bumps its target tables — it may have
+		// left partial effects behind in earlier engine generations, and a
+		// spurious bump costs a cache miss, never a stale hit.
+		db.bumpVersions(targets...)
+		return nil, err
+	}
+}
+
+// execDDL runs a catalog-changing statement under the exclusive catalog
+// lock. DDL is not snapshot-isolated: its effects are visible to every
+// session immediately (and version counters bump immediately, so result
+// caches can't serve results for a shape that no longer exists); a
+// transaction's DDL is undone structurally on rollback.
+func (s *Session) execDDL(bump bool, run func(*txnState) (*Result, error), targets ...string) (*Result, error) {
+	db := s.db
+	serial := s.tx == nil && db.serial.Load()
+	for attempt := 0; ; attempt++ {
+		lockStart := obsNow()
+		if serial {
+			db.serialMu.Lock()
+		}
+		db.mu.Lock()
+		observeLockWait(lockStart)
+		execStart := obsNow()
+		res, err := run(s.tx)
+		observeExec(mExecDDL, execStart)
+		if bump {
+			// Unconditional, as in the undo-log engine: even a failed DDL
+			// statement bumps, trading a cache miss for never a stale hit.
+			db.bumpVersions(targets...)
+		}
+		if err == nil && bump && s.tx != nil {
+			s.tx.ddlBump = append(s.tx.ddlBump, targets...)
+		}
+		db.mu.Unlock()
+		if serial {
+			db.serialMu.Unlock()
+		}
+		if err != nil && IsSerializationFailure(err) {
+			if s.tx == nil && attempt < maxAutoRetries {
+				retryBackoff(attempt)
+				continue
+			}
+			if s.tx != nil {
+				s.tx.conflicted = true
+			}
+		}
+		return res, err
+	}
 }
 
 // Query executes a SELECT (or any statement) and returns a row cursor.

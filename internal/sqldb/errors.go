@@ -1,6 +1,9 @@
 package sqldb
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // SQLSTATE-style error codes returned by the engine. The macro engine's
 // %SQL_MESSAGE handling keys off these, and the default DBMS message is
@@ -20,6 +23,7 @@ const (
 	CodeInvalidText      = "22P02" // invalid text representation
 	CodeWrongArity       = "42883" // wrong number of function arguments
 	CodeInvalidTxnState  = "25000" // invalid transaction state
+	CodeSerialization    = "40001" // serialization failure (retryable)
 	CodeInternal         = "XX000" // internal error
 	CodeCardinality      = "21000" // cardinality violation
 	CodeFeature          = "0A000" // feature not supported
@@ -64,4 +68,19 @@ func errUndefinedTable(name string) *Error {
 func errUndefinedColumn(name string) *Error {
 	return &Error{Code: CodeUndefinedColumn,
 		Message: fmt.Sprintf("column %q does not exist", name)}
+}
+
+// errConflict builds a serialization-failure error: a first-committer-wins
+// write-write conflict under snapshot isolation. Safe to retry the whole
+// transaction against a fresh snapshot.
+func errConflict(msg string) *Error {
+	return &Error{Code: CodeSerialization, Message: msg + "; retry transaction"}
+}
+
+// IsSerializationFailure reports whether err is (or wraps) a retryable
+// serialization failure (SQLSTATE 40001). Clients should rerun the whole
+// transaction on a fresh snapshot.
+func IsSerializationFailure(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == CodeSerialization
 }

@@ -30,9 +30,12 @@ type rowSet struct {
 // scanTable produces the rowSet for one base table, optionally routed
 // through an index when the WHERE clause has a usable predicate. `where`
 // may be nil. The full WHERE clause is always re-applied by the caller;
-// index routing is purely a row-set reduction.
-func (db *Database) scanTable(name, alias string, where Expr, params []Value) (*rowSet, error) {
-	t, err := db.table(name)
+// index routing is purely a row-set reduction. Rows resolve against the
+// view's snapshot under a shared table latch held only for the scan —
+// the returned value slices are immutable once committed, so evaluation
+// proceeds latch-free.
+func (vw view) scanTable(name, alias string, where Expr, params []Value) (*rowSet, error) {
+	t, err := vw.db.table(name)
 	if err != nil {
 		return nil, err
 	}
@@ -44,19 +47,26 @@ func (db *Database) scanTable(name, alias string, where Expr, params []Value) (*
 	for _, c := range t.Columns {
 		rs.cols = append(rs.cols, envCol{tbl: qual, name: strings.ToLower(c.Name)})
 	}
-	rows := db.chooseAccessPath(t, qual, where, params)
-	rs.rows = make([][]Value, len(rows))
-	for i, r := range rows {
-		rs.rows[i] = r.vals
+	t.mu.RLock()
+	cands := vw.candidateRows(t, qual, where, params)
+	rs.rows = make([][]Value, 0, len(cands))
+	for _, r := range cands {
+		if v := r.visibleVersion(vw.txn, vw.snap); v != nil {
+			rs.rows = append(rs.rows, v.vals)
+		}
 	}
+	t.mu.RUnlock()
 	return rs, nil
 }
 
-// chooseAccessPath picks between a full heap scan and an index scan based
+// candidateRows picks between a full heap scan and an index scan based
 // on top-level AND conjuncts of the WHERE clause. Returned rows are in
-// row-ID order so results stay deterministic.
-func (db *Database) chooseAccessPath(t *Table, qual string, where Expr, params []Value) []*storedRow {
-	if where == nil || db.noIndexScan {
+// row-ID order so results stay deterministic; they are candidates only
+// (index postings are a multiset over versions), so the caller must
+// resolve snapshot visibility and re-apply the WHERE clause. Caller
+// holds the table latch.
+func (vw view) candidateRows(t *Table, qual string, where Expr, params []Value) []*storedRow {
+	if where == nil || vw.db.noIndexScan {
 		return t.rows
 	}
 	for _, conj := range andConjuncts(where) {
@@ -113,12 +123,20 @@ func columnForQual(t *Table, qual string, c *ColumnRef) int {
 
 // tryIndexScan attempts to satisfy one conjunct with an index. Supported
 // shapes: col = const, const = col, col LIKE 'prefix%', and col
-// range comparisons against constants.
+// range comparisons against constants. Because postings are a multiset
+// over row versions, the same row ID can surface more than once;
+// collect sorts and de-duplicates so each candidate appears exactly
+// once, in row-ID order.
 func tryIndexScan(t *Table, qual string, conj Expr, params []Value) ([]*storedRow, bool) {
 	collect := func(ids []int64) []*storedRow {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		rows := make([]*storedRow, 0, len(ids))
+		last := int64(-1)
 		for _, id := range ids {
+			if id == last {
+				continue
+			}
+			last = id
 			if r, ok := t.byID[id]; ok {
 				rows = append(rows, r)
 			}
@@ -270,9 +288,9 @@ func crossJoin(a, b *rowSet) *rowSet {
 
 // joinOn performs an INNER or LEFT join of a with b on cond. LEFT join
 // emits a NULL-padded row for unmatched left rows.
-func (db *Database) joinOn(a, b *rowSet, cond Expr, kind JoinKind, params []Value) (*rowSet, error) {
+func (vw view) joinOn(a, b *rowSet, cond Expr, kind JoinKind, params []Value) (*rowSet, error) {
 	out := &rowSet{cols: append(append([]envCol{}, a.cols...), b.cols...)}
-	env := &evalEnv{cols: out.cols, params: params, db: db, subCache: map[*Subquery][][]Value{}}
+	env := &evalEnv{cols: out.cols, params: params, vw: &vw, subCache: map[*Subquery][][]Value{}}
 	if cond != nil {
 		if err := bindExpr(cond, env); err != nil {
 			return nil, err
@@ -311,8 +329,8 @@ func (db *Database) joinOn(a, b *rowSet, cond Expr, kind JoinKind, params []Valu
 
 // derivedRowSet materialises a derived table (FROM subquery) under its
 // alias.
-func (db *Database) derivedRowSet(sub *SelectStmt, alias string, params []Value) (*rowSet, error) {
-	res, err := db.execSelect(sub, params)
+func (vw view) derivedRowSet(sub *SelectStmt, alias string, params []Value) (*rowSet, error) {
+	res, err := vw.execSelect(sub, params)
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +344,7 @@ func (db *Database) derivedRowSet(sub *SelectStmt, alias string, params []Value)
 
 // buildFrom assembles the full FROM row set (joins + comma cross joins).
 // `where` enables index routing only for the single-base-table case.
-func (db *Database) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
+func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 	if len(sel.From) == 0 {
 		// SELECT without FROM evaluates expressions over a single empty row.
 		return &rowSet{rows: [][]Value{{}}}, nil
@@ -342,9 +360,9 @@ func (db *Database) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) 
 		var rs *rowSet
 		var err error
 		if tr.Sub != nil {
-			rs, err = db.derivedRowSet(tr.Sub, tr.Alias, params)
+			rs, err = vw.derivedRowSet(tr.Sub, tr.Alias, params)
 		} else {
-			rs, err = db.scanTable(tr.Table, tr.Alias, where, params)
+			rs, err = vw.scanTable(tr.Table, tr.Alias, where, params)
 		}
 		if err != nil {
 			return nil, err
@@ -352,9 +370,9 @@ func (db *Database) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) 
 		for _, jc := range tr.Joins {
 			var right *rowSet
 			if jc.Sub != nil {
-				right, err = db.derivedRowSet(jc.Sub, jc.Alias, params)
+				right, err = vw.derivedRowSet(jc.Sub, jc.Alias, params)
 			} else {
-				right, err = db.scanTable(jc.Table, jc.Alias, nil, params)
+				right, err = vw.scanTable(jc.Table, jc.Alias, nil, params)
 			}
 			if err != nil {
 				return nil, err
@@ -362,7 +380,7 @@ func (db *Database) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) 
 			if jc.Kind == JoinCross {
 				rs = crossJoin(rs, right)
 			} else {
-				rs, err = db.joinOn(rs, right, jc.On, jc.Kind, params)
+				rs, err = vw.joinOn(rs, right, jc.On, jc.Kind, params)
 				if err != nil {
 					return nil, err
 				}
@@ -387,7 +405,7 @@ type projection struct {
 
 // expandProjection resolves *, t.*, and expression items into a concrete
 // column list against the FROM layout.
-func (db *Database) expandProjection(sel *SelectStmt, from *rowSet) (*projection, error) {
+func (vw view) expandProjection(sel *SelectStmt, from *rowSet) (*projection, error) {
 	pr := &projection{}
 	addStarFor := func(qual string) error {
 		matched := false
@@ -396,7 +414,7 @@ func (db *Database) expandProjection(sel *SelectStmt, from *rowSet) (*projection
 				continue
 			}
 			matched = true
-			pr.names = append(pr.names, db.displayColumnName(ec))
+			pr.names = append(pr.names, vw.displayColumnName(ec))
 			pr.exprs = append(pr.exprs, &ColumnRef{Table: ec.tbl, Column: ec.name, slot: i})
 		}
 		if qual != "" && !matched {
@@ -433,14 +451,14 @@ func (db *Database) expandProjection(sel *SelectStmt, from *rowSet) (*projection
 
 // displayColumnName recovers the catalog-cased column name for a layout
 // slot, falling back to the lower-cased layout name.
-func (db *Database) displayColumnName(ec envCol) string {
-	if t, err := db.table(ec.tbl); err == nil {
+func (vw view) displayColumnName(ec envCol) string {
+	if t, err := vw.db.table(ec.tbl); err == nil {
 		if i := t.colIndex(ec.name); i >= 0 {
 			return t.Columns[i].Name
 		}
 	}
 	// The qualifier may be an alias; search all tables for a unique match.
-	for _, t := range db.tables {
+	for _, t := range vw.db.tables {
 		if i := t.colIndex(ec.name); i >= 0 {
 			return t.Columns[i].Name
 		}
@@ -473,20 +491,20 @@ func collectAggregates(pr *projection, sel *SelectStmt) []*FuncCall {
 }
 
 // execSelect dispatches between a single SELECT and a UNION chain.
-func (db *Database) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
+func (vw view) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
 	if len(sel.Unions) == 0 {
-		return db.execSelectSingle(sel, params)
+		return vw.execSelectSingle(sel, params)
 	}
-	return db.execUnion(sel, params)
+	return vw.execUnion(sel, params)
 }
 
-func (db *Database) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error) {
-	from, err := db.buildFrom(sel, params)
+func (vw view) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error) {
+	from, err := vw.buildFrom(sel, params)
 	if err != nil {
 		return nil, err
 	}
 	subCache := map[*Subquery][][]Value{}
-	env := &evalEnv{cols: from.cols, params: params, db: db, subCache: subCache}
+	env := &evalEnv{cols: from.cols, params: params, vw: &vw, subCache: subCache}
 
 	// WHERE filter.
 	rows := from.rows
@@ -509,7 +527,7 @@ func (db *Database) execSelectSingle(sel *SelectStmt, params []Value) (*Result, 
 		rows = kept
 	}
 
-	pr, err := db.expandProjection(sel, from)
+	pr, err := vw.expandProjection(sel, from)
 	if err != nil {
 		return nil, err
 	}
@@ -626,7 +644,7 @@ func (db *Database) execSelectSingle(sel *SelectStmt, params []Value) (*Result, 
 		}
 		for _, k := range order {
 			grp := groups[k]
-			genv := &evalEnv{cols: from.cols, params: params, row: grp.rep, db: db, subCache: subCache}
+			genv := &evalEnv{cols: from.cols, params: params, row: grp.rep, vw: &vw, subCache: subCache}
 			genv.aggs = make([]Value, len(aggs))
 			for i, st := range grp.states {
 				genv.aggs[i] = st.result()
@@ -645,7 +663,7 @@ func (db *Database) execSelectSingle(sel *SelectStmt, params []Value) (*Result, 
 		}
 	} else {
 		for _, r := range rows {
-			outs = append(outs, outRow{env: &evalEnv{cols: from.cols, params: params, row: r, db: db, subCache: subCache}})
+			outs = append(outs, outRow{env: &evalEnv{cols: from.cols, params: params, row: r, vw: &vw, subCache: subCache}})
 		}
 	}
 
@@ -757,10 +775,24 @@ func (db *Database) execSelectSingle(sel *SelectStmt, params []Value) (*Result, 
 	return res, nil
 }
 
-// --- DML execution (session-aware, for undo logging) ---
+// --- DML execution ---
+//
+// Writes run in three phases so no expression evaluates under a table
+// latch (a subquery in a WHERE or SET re-enters the scan path):
+//
+//  1. snapshot: collect target rows and their visible values under the
+//     shared latch;
+//  2. evaluate: run WHERE/SET/VALUES expressions latch-free against the
+//     snapshot copies;
+//  3. apply: under the exclusive latch, writeCheck each target
+//     (first-committer-wins conflict detection), check uniqueness, and
+//     link pending versions into the chains.
+//
+// A row changed between snapshot and apply fails writeCheck and
+// surfaces as a retryable serialization conflict.
 
-func (s *Session) execInsert(ins *InsertStmt, params []Value) (*Result, error) {
-	t, err := s.db.table(ins.Table)
+func (vw view) execInsert(tx *txnState, ins *InsertStmt, params []Value) (*Result, error) {
+	t, err := vw.db.table(ins.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -784,8 +816,11 @@ func (s *Session) execInsert(ins *InsertStmt, params []Value) (*Result, error) {
 			colPos = append(colPos, p)
 		}
 	}
-	env := &evalEnv{params: params, db: s.db, subCache: map[*Subquery][][]Value{}}
-	res := &Result{}
+	env := &evalEnv{params: params, vw: &vw, subCache: map[*Subquery][][]Value{}}
+	// Phase 2 (evaluate) runs first for INSERT: there are no targets to
+	// snapshot, and evaluating every row before the latch keeps the
+	// apply phase latch-free of expressions.
+	planned := make([][]Value, 0, len(ins.Rows))
 	for _, rowExprs := range ins.Rows {
 		if len(rowExprs) != len(colPos) {
 			return nil, &Error{Code: CodeCardinality,
@@ -823,19 +858,54 @@ func (s *Session) execInsert(ins *InsertStmt, params []Value) (*Result, error) {
 						t.Columns[i].Name)}
 			}
 		}
-		id, err := t.insertRow(vals)
-		if err != nil {
-			return nil, err
+		planned = append(planned, vals)
+	}
+	// Phase 3: apply.
+	res := &Result{}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, vals := range planned {
+		for _, ix := range t.indexes {
+			if !ix.Unique {
+				continue
+			}
+			if err := t.checkUnique(ix, vals[ix.colPos], 0, tx.txn); err != nil {
+				return nil, err
+			}
 		}
-		s.logUndo(undoRec{kind: undoInsert, table: t.Name, rowID: id})
+		row := t.appendRow(vals, tx.txn)
+		tx.record(t, row, row.head, nil)
 		res.RowsAffected++
-		res.LastInsertID = id
+		res.LastInsertID = row.id
 	}
 	return res, nil
 }
 
-func (s *Session) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
-	t, err := s.db.table(up.Table)
+// dmlTarget is one snapshot-phase target: a row and the version its
+// values were read from.
+type dmlTarget struct {
+	row  *storedRow
+	vals []Value
+}
+
+// snapshotTargets collects the rows visible to the view that are
+// candidates for a WHERE clause, releasing the latch before any
+// expression runs.
+func (vw view) snapshotTargets(t *Table, qual string, where Expr, params []Value) []dmlTarget {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cands := vw.candidateRows(t, qual, where, params)
+	targets := make([]dmlTarget, 0, len(cands))
+	for _, r := range cands {
+		if v := r.visibleVersion(vw.txn, vw.snap); v != nil {
+			targets = append(targets, dmlTarget{row: r, vals: v.vals})
+		}
+	}
+	return targets
+}
+
+func (vw view) execUpdate(tx *txnState, up *UpdateStmt, params []Value) (*Result, error) {
+	t, err := vw.db.table(up.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -843,7 +913,7 @@ func (s *Session) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
 	if qual == "" {
 		qual = strings.ToLower(t.Name)
 	}
-	env := &evalEnv{params: params, db: s.db, subCache: map[*Subquery][][]Value{}}
+	env := &evalEnv{params: params, vw: &vw, subCache: map[*Subquery][][]Value{}}
 	for _, c := range t.Columns {
 		env.cols = append(env.cols, envCol{tbl: qual, name: strings.ToLower(c.Name)})
 	}
@@ -863,16 +933,14 @@ func (s *Session) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
 			return nil, err
 		}
 	}
-	// Snapshot matching row IDs first, then mutate. The access path
-	// chooser routes indexed predicates (UPDATE ... WHERE pk = ?) through
-	// the index instead of scanning the heap.
-	type pending struct {
-		id   int64
+	// Phases 1+2: snapshot targets, then evaluate WHERE and SET latch-free.
+	type plannedUpdate struct {
+		row  *storedRow
 		vals []Value
 	}
-	var plan []pending
-	for _, row := range append([]*storedRow(nil), s.db.chooseAccessPath(t, qual, up.Where, params)...) {
-		env.row = row.vals
+	var plan []plannedUpdate
+	for _, tgt := range vw.snapshotTargets(t, qual, up.Where, params) {
+		env.row = tgt.vals
 		if up.Where != nil {
 			v, err := eval(up.Where, env)
 			if err != nil {
@@ -883,7 +951,7 @@ func (s *Session) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
 				continue
 			}
 		}
-		newVals := append([]Value(nil), row.vals...)
+		newVals := append([]Value(nil), tgt.vals...)
 		for i, sc := range up.Set {
 			v, err := eval(sc.Value, env)
 			if err != nil {
@@ -900,22 +968,46 @@ func (s *Session) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
 			}
 			newVals[setPos[i]] = cv
 		}
-		plan = append(plan, pending{id: row.id, vals: newVals})
+		plan = append(plan, plannedUpdate{row: tgt.row, vals: newVals})
 	}
+	// Phase 3: apply.
 	res := &Result{}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, p := range plan {
-		old, err := t.updateRowByID(p.id, p.vals)
+		cur, err := t.writeCheck(p.row, tx.txn, vw.snap)
 		if err != nil {
 			return nil, err
 		}
-		s.logUndo(undoRec{kind: undoUpdate, table: t.Name, rowID: p.id, oldVals: old})
+		if cur == nil {
+			continue // no longer a target (e.g. deleted by this txn)
+		}
+		for _, ix := range t.indexes {
+			if !ix.Unique {
+				continue
+			}
+			if IdentityEqual(p.vals[ix.colPos], cur.vals[ix.colPos]) {
+				continue // key unchanged; the row keeps its own claim
+			}
+			if err := t.checkUnique(ix, p.vals[ix.colPos], p.row.id, tx.txn); err != nil {
+				return nil, err
+			}
+		}
+		nv := &rowVersion{vals: p.vals, prev: p.row.head}
+		nv.meta.InitPending(tx.txn)
+		cur.meta.SetDeleter(tx.txn)
+		p.row.head = nv
+		for _, ix := range t.indexes {
+			ix.addVersion(p.row.id, nv)
+		}
+		tx.record(t, p.row, nv, cur)
 		res.RowsAffected++
 	}
 	return res, nil
 }
 
-func (s *Session) execDelete(del *DeleteStmt, params []Value) (*Result, error) {
-	t, err := s.db.table(del.Table)
+func (vw view) execDelete(tx *txnState, del *DeleteStmt, params []Value) (*Result, error) {
+	t, err := vw.db.table(del.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -923,7 +1015,7 @@ func (s *Session) execDelete(del *DeleteStmt, params []Value) (*Result, error) {
 	if qual == "" {
 		qual = strings.ToLower(t.Name)
 	}
-	env := &evalEnv{params: params, db: s.db, subCache: map[*Subquery][][]Value{}}
+	env := &evalEnv{params: params, vw: &vw, subCache: map[*Subquery][][]Value{}}
 	for _, c := range t.Columns {
 		env.cols = append(env.cols, envCol{tbl: qual, name: strings.ToLower(c.Name)})
 	}
@@ -932,10 +1024,10 @@ func (s *Session) execDelete(del *DeleteStmt, params []Value) (*Result, error) {
 			return nil, err
 		}
 	}
-	var ids []int64
-	for _, row := range s.db.chooseAccessPath(t, qual, del.Where, params) {
+	var rows []*storedRow
+	for _, tgt := range vw.snapshotTargets(t, qual, del.Where, params) {
 		if del.Where != nil {
-			env.row = row.vals
+			env.row = tgt.vals
 			v, err := eval(del.Where, env)
 			if err != nil {
 				return nil, err
@@ -945,25 +1037,53 @@ func (s *Session) execDelete(del *DeleteStmt, params []Value) (*Result, error) {
 				continue
 			}
 		}
-		ids = append(ids, row.id)
+		rows = append(rows, tgt.row)
 	}
 	res := &Result{}
-	for _, id := range ids {
-		old, ok := t.deleteRowByID(id)
-		if !ok {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, row := range rows {
+		cur, err := t.writeCheck(row, tx.txn, vw.snap)
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil {
 			continue
 		}
-		s.logUndo(undoRec{kind: undoDelete, table: t.Name, rowID: id, oldVals: old})
+		cur.meta.SetDeleter(tx.txn)
+		tx.record(t, row, nil, cur)
 		res.RowsAffected++
 	}
 	return res, nil
 }
 
 // --- DDL execution ---
+//
+// DDL runs under the exclusive catalog lock and is not snapshot
+// isolated: catalog changes are visible to every session immediately
+// and are undone structurally on rollback. Statements that rewrite row
+// storage (ALTER TABLE) or retire it (DROP TABLE) additionally require
+// that no other transaction holds pending versions on the table,
+// surfacing a retryable conflict otherwise — a committed version chain
+// can be rewritten in place, but an uncommitted writer's versions
+// cannot be restitched safely.
 
-func (s *Session) execCreateTable(ct *CreateTableStmt) (*Result, error) {
+// guardPending enforces the rule above. Caller holds t.mu exclusively.
+func guardPending(t *Table, tx *txnState, what string) error {
+	var own int64
+	if tx != nil {
+		own = tx.pendingOn(t)
+	}
+	if t.pending.Load() != own {
+		return errConflict(fmt.Sprintf(
+			"cannot %s table %q: concurrent transactions have uncommitted changes", what, t.Name))
+	}
+	return nil
+}
+
+func (db *Database) execCreateTable(tx *txnState, ct *CreateTableStmt) (*Result, error) {
 	key := strings.ToLower(ct.Table)
-	if _, exists := s.db.tables[key]; exists {
+	if _, exists := db.tables[key]; exists {
 		if ct.IfNotExists {
 			return &Result{}, nil
 		}
@@ -1000,8 +1120,8 @@ func (s *Session) execCreateTable(ct *CreateTableStmt) (*Result, error) {
 		}
 		t.Columns = append(t.Columns, col)
 	}
-	s.db.tables[key] = t
-	s.logUndo(undoRec{kind: undoCreateTable, table: t.Name})
+	db.tables[key] = t
+	tx.logDDL(undoRec{kind: undoCreateTable, table: t.Name})
 	if pkCol != "" {
 		ixName := strings.ToLower(ct.Table) + "_pkey"
 		ix, err := buildIndex(t, ixName, pkCol, true)
@@ -1009,56 +1129,68 @@ func (s *Session) execCreateTable(ct *CreateTableStmt) (*Result, error) {
 			return nil, err
 		}
 		t.indexes = append(t.indexes, ix)
-		s.db.indexes[strings.ToLower(ixName)] = ix
-		s.logUndo(undoRec{kind: undoCreateIndex, index: ixName})
+		db.indexes[strings.ToLower(ixName)] = ix
+		tx.logDDL(undoRec{kind: undoCreateIndex, index: ixName})
 	}
 	return &Result{}, nil
 }
 
-func (s *Session) execDropTable(dt *DropTableStmt) (*Result, error) {
+func (db *Database) execDropTable(tx *txnState, dt *DropTableStmt) (*Result, error) {
 	key := strings.ToLower(dt.Table)
-	t, exists := s.db.tables[key]
+	t, exists := db.tables[key]
 	if !exists {
 		if dt.IfExists {
 			return &Result{}, nil
 		}
 		return nil, errUndefinedTable(dt.Table)
 	}
+	t.mu.Lock()
+	err := guardPending(t, tx, "drop")
+	t.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	var dropped []*Index
-	for name, ix := range s.db.indexes {
+	for name, ix := range db.indexes {
 		if strings.EqualFold(ix.Table, t.Name) {
 			dropped = append(dropped, ix)
-			delete(s.db.indexes, name)
+			delete(db.indexes, name)
 		}
 	}
-	delete(s.db.tables, key)
-	s.logUndo(undoRec{kind: undoDropTable, table: t.Name, droppedTable: t, droppedIndexes: dropped})
+	delete(db.tables, key)
+	tx.logDDL(undoRec{kind: undoDropTable, table: t.Name, droppedTable: t, droppedIndexes: dropped})
 	return &Result{}, nil
 }
 
-func (s *Session) execCreateIndex(ci *CreateIndexStmt) (*Result, error) {
+func (db *Database) execCreateIndex(tx *txnState, ci *CreateIndexStmt) (*Result, error) {
 	key := strings.ToLower(ci.Name)
-	if _, exists := s.db.indexes[key]; exists {
+	if _, exists := db.indexes[key]; exists {
 		return nil, &Error{Code: CodeDuplicateIndex,
 			Message: fmt.Sprintf("index %q already exists", ci.Name)}
 	}
-	t, err := s.db.table(ci.Table)
+	t, err := db.table(ci.Table)
 	if err != nil {
 		return nil, err
 	}
+	// The exclusive latch keeps a racing commit's chain cleanup out of
+	// the build.
+	t.mu.Lock()
 	ix, err := buildIndex(t, ci.Name, ci.Column, ci.Unique)
+	if err == nil {
+		t.indexes = append(t.indexes, ix)
+	}
+	t.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	t.indexes = append(t.indexes, ix)
-	s.db.indexes[key] = ix
-	s.logUndo(undoRec{kind: undoCreateIndex, index: ci.Name})
+	db.indexes[key] = ix
+	tx.logDDL(undoRec{kind: undoCreateIndex, index: ci.Name})
 	return &Result{}, nil
 }
 
-func (s *Session) execDropIndex(di *DropIndexStmt) (*Result, error) {
+func (db *Database) execDropIndex(tx *txnState, di *DropIndexStmt) (*Result, error) {
 	key := strings.ToLower(di.Name)
-	ix, exists := s.db.indexes[key]
+	ix, exists := db.indexes[key]
 	if !exists {
 		if di.IfExists {
 			return &Result{}, nil
@@ -1066,15 +1198,17 @@ func (s *Session) execDropIndex(di *DropIndexStmt) (*Result, error) {
 		return nil, &Error{Code: CodeUndefinedIndex,
 			Message: fmt.Sprintf("index %q does not exist", di.Name)}
 	}
-	delete(s.db.indexes, key)
-	if t, err := s.db.table(ix.Table); err == nil {
+	delete(db.indexes, key)
+	if t, err := db.table(ix.Table); err == nil {
+		t.mu.Lock()
 		for i, tix := range t.indexes {
 			if tix == ix {
 				t.indexes = append(t.indexes[:i:i], t.indexes[i+1:]...)
 				break
 			}
 		}
+		t.mu.Unlock()
 	}
-	s.logUndo(undoRec{kind: undoDropIndex, index: ix.Name, droppedIndex: ix})
+	tx.logDDL(undoRec{kind: undoDropIndex, index: ix.Name, droppedIndex: ix})
 	return &Result{}, nil
 }

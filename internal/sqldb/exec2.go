@@ -11,11 +11,11 @@ import (
 // operator is UNION ALL; ORDER BY (by output column name or ordinal) and
 // LIMIT/OFFSET then apply to the whole result. Column names come from
 // the first arm, as in SQL.
-func (db *Database) execUnion(sel *SelectStmt, params []Value) (*Result, error) {
+func (vw view) execUnion(sel *SelectStmt, params []Value) (*Result, error) {
 	head := *sel
 	head.Unions = nil
 	head.OrderBy, head.Limit, head.Offset = nil, nil, nil
-	res, err := db.execSelectSingle(&head, params)
+	res, err := vw.execSelectSingle(&head, params)
 	if err != nil {
 		return nil, err
 	}
@@ -24,7 +24,7 @@ func (db *Database) execUnion(sel *SelectStmt, params []Value) (*Result, error) 
 		if !part.All {
 			allAll = false
 		}
-		arm, err := db.execSelectSingle(part.Sel, params)
+		arm, err := vw.execSelectSingle(part.Sel, params)
 		if err != nil {
 			return nil, err
 		}
@@ -149,8 +149,13 @@ func unionOrderColumn(e Expr, cols []string) (int, error) {
 	}
 }
 
-// cloneForUndo deep-copies a table (rows and indexes) so ALTER TABLE can
-// be rolled back wholesale.
+// cloneForUndo deep-copies a table so ALTER TABLE can be rolled back
+// wholesale. Only committed history clones: pending versions belong to
+// the altering transaction itself (the pending guard excludes everyone
+// else) and would be aborted by the same rollback that restores the
+// clone, so they are dropped; delete intents likewise. Committed
+// begin/end stamps copy so restored chains keep their snapshot
+// visibility. Caller holds t.mu exclusively.
 func (t *Table) cloneForUndo() *Table {
 	c := &Table{
 		Name:    t.Name,
@@ -158,10 +163,26 @@ func (t *Table) cloneForUndo() *Table {
 		byID:    make(map[int64]*storedRow, len(t.byID)),
 		nextID:  t.nextID,
 	}
-	c.rows = make([]*storedRow, len(t.rows))
-	for i, r := range t.rows {
-		nr := &storedRow{id: r.id, vals: append([]Value(nil), r.vals...)}
-		c.rows[i] = nr
+	for _, r := range t.rows {
+		nr := &storedRow{id: r.id}
+		var tail *rowVersion
+		for v := r.head; v != nil; v = v.prev {
+			if v.meta.Creator() != nil {
+				continue // pending (or aborted): not part of committed history
+			}
+			nv := &rowVersion{vals: append([]Value(nil), v.vals...)}
+			nv.meta.CopyStampsFrom(&v.meta)
+			if tail == nil {
+				nr.head = nv
+			} else {
+				tail.prev = nv
+			}
+			tail = nv
+		}
+		if nr.head == nil {
+			continue // row existed only as uncommitted versions
+		}
+		c.rows = append(c.rows, nr)
 		c.byID[nr.id] = nr
 	}
 	for _, ix := range t.indexes {
@@ -175,15 +196,32 @@ func (t *Table) cloneForUndo() *Table {
 	return c
 }
 
-// execAlterTable applies ADD COLUMN, DROP COLUMN, or RENAME TO. Rollback
-// restores a pre-image snapshot of the whole table.
-func (s *Session) execAlterTable(at *AlterTableStmt) (*Result, error) {
-	t, err := s.db.table(at.Table)
+// execAlterTable applies ADD COLUMN, DROP COLUMN, or RENAME TO.
+// Column changes rewrite every version of every chain in place, which
+// is only safe while no other transaction holds pending versions on the
+// table (guardPending); the altering transaction's own pending versions
+// rewrite along with the rest. Rollback restores a pre-image snapshot
+// of the committed history.
+func (db *Database) execAlterTable(tx *txnState, at *AlterTableStmt) (*Result, error) {
+	t, err := db.table(at.Table)
 	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := guardPending(t, tx, "alter"); err != nil {
 		return nil, err
 	}
 	snapshot := t.cloneForUndo()
 	oldKey := strings.ToLower(t.Name)
+
+	eachVersion := func(fn func(*rowVersion)) {
+		for _, r := range t.rows {
+			for v := r.head; v != nil; v = v.prev {
+				fn(v)
+			}
+		}
+	}
 
 	switch {
 	case at.AddColumn != nil:
@@ -211,9 +249,9 @@ func (s *Session) execAlterTable(at *AlterTableStmt) (*Result, error) {
 				Message: fmt.Sprintf("cannot add NOT NULL column %q without a default to a non-empty table", cd.Name)}
 		}
 		t.Columns = append(t.Columns, col)
-		for _, r := range t.rows {
-			r.vals = append(r.vals, fill)
-		}
+		eachVersion(func(v *rowVersion) {
+			v.vals = append(v.vals, fill)
+		})
 	case at.DropColumn != "":
 		pos := t.colIndex(at.DropColumn)
 		if pos < 0 {
@@ -227,9 +265,9 @@ func (s *Session) execAlterTable(at *AlterTableStmt) (*Result, error) {
 			}
 		}
 		t.Columns = append(t.Columns[:pos:pos], t.Columns[pos+1:]...)
-		for _, r := range t.rows {
-			r.vals = append(r.vals[:pos:pos], r.vals[pos+1:]...)
-		}
+		eachVersion(func(v *rowVersion) {
+			v.vals = append(v.vals[:pos:pos], v.vals[pos+1:]...)
+		})
 		for _, ix := range t.indexes {
 			if ix.colPos > pos {
 				ix.colPos--
@@ -237,20 +275,20 @@ func (s *Session) execAlterTable(at *AlterTableStmt) (*Result, error) {
 		}
 	case at.RenameTo != "":
 		newKey := strings.ToLower(at.RenameTo)
-		if _, exists := s.db.tables[newKey]; exists && newKey != oldKey {
+		if _, exists := db.tables[newKey]; exists && newKey != oldKey {
 			return nil, &Error{Code: CodeDuplicateTable,
 				Message: fmt.Sprintf("table %q already exists", at.RenameTo)}
 		}
-		delete(s.db.tables, oldKey)
+		delete(db.tables, oldKey)
 		t.Name = at.RenameTo
-		s.db.tables[newKey] = t
+		db.tables[newKey] = t
 		for _, ix := range t.indexes {
 			ix.Table = at.RenameTo
 		}
 	default:
 		return nil, errSyntax("ALTER TABLE requires ADD, DROP, or RENAME")
 	}
-	s.logUndo(undoRec{kind: undoAlterTable, table: t.Name,
+	tx.logDDL(undoRec{kind: undoAlterTable, table: t.Name,
 		alterOldName: snapshot.Name, droppedTable: snapshot})
 	return &Result{}, nil
 }

@@ -18,9 +18,9 @@ type evalEnv struct {
 	row    []Value
 	params []Value
 	aggs   []Value // aggregate results for the current group
-	// db enables subquery evaluation; nil where subqueries are not
-	// permitted (e.g. constant folding for LIMIT).
-	db *Database
+	// vw enables subquery evaluation against the reader's snapshot; nil
+	// where subqueries are not permitted (e.g. constant folding for LIMIT).
+	vw *view
 	// subCache memoises uncorrelated subquery results for one statement
 	// execution. Shared across row environments of the same statement.
 	subCache map[*Subquery][][]Value
@@ -413,7 +413,7 @@ func evalBetween(x *BetweenExpr, env *evalEnv) (Value, error) {
 
 // evalSubquery evaluates (and memoises) an uncorrelated subquery.
 func evalSubquery(sub *Subquery, env *evalEnv) ([][]Value, error) {
-	if env.db == nil {
+	if env.vw == nil {
 		return nil, &Error{Code: CodeFeature,
 			Message: "subqueries are not allowed in this context"}
 	}
@@ -422,7 +422,7 @@ func evalSubquery(sub *Subquery, env *evalEnv) ([][]Value, error) {
 			return rows, nil
 		}
 	}
-	res, err := env.db.execSelect(sub.Sel, env.params)
+	res, err := env.vw.execSelect(sub.Sel, env.params)
 	if err != nil {
 		return nil, err
 	}

@@ -27,26 +27,26 @@ func evalFunc(fc *FuncCall, env *evalEnv) (Value, error) {
 		if len(fc.Args) != 0 {
 			return Null, &Error{Code: CodeWrongArity, Message: fc.Name + " takes no arguments"}
 		}
-		if env.db == nil {
+		if env.vw == nil {
 			return Null, &Error{Code: CodeFeature, Message: fc.Name + " requires a database context"}
 		}
-		return NewString(env.db.now().Format("2006-01-02 15:04:05")), nil
+		return NewString(env.vw.db.now().Format("2006-01-02 15:04:05")), nil
 	case "CURDATE", "CURRENT_DATE":
 		if len(fc.Args) != 0 {
 			return Null, &Error{Code: CodeWrongArity, Message: fc.Name + " takes no arguments"}
 		}
-		if env.db == nil {
+		if env.vw == nil {
 			return Null, &Error{Code: CodeFeature, Message: fc.Name + " requires a database context"}
 		}
-		return NewString(env.db.now().Format("2006-01-02")), nil
+		return NewString(env.vw.db.now().Format("2006-01-02")), nil
 	case "CURTIME", "CURRENT_TIME":
 		if len(fc.Args) != 0 {
 			return Null, &Error{Code: CodeWrongArity, Message: fc.Name + " takes no arguments"}
 		}
-		if env.db == nil {
+		if env.vw == nil {
 			return Null, &Error{Code: CodeFeature, Message: fc.Name + " requires a database context"}
 		}
-		return NewString(env.db.now().Format("15:04:05")), nil
+		return NewString(env.vw.db.now().Format("15:04:05")), nil
 	}
 	args := make([]Value, len(fc.Args))
 	for i, a := range fc.Args {

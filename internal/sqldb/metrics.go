@@ -23,6 +23,18 @@ var (
 		"time spent acquiring the database readers-writer lock", nil)
 	mRowsReturned = obs.Default.Counter("db2www_sqldb_rows_returned_total",
 		"rows returned by SELECT statements")
+
+	// Transaction outcomes under MVCC: auto-commit statements count as
+	// transactions too; "conflict" is a first-committer-wins loser
+	// (SQLSTATE 40001), counted separately from voluntary rollbacks.
+	mTxnCommit = obs.Default.Counter("db2www_sqldb_txn_total",
+		"transactions finished, by outcome", "outcome", "commit")
+	mTxnRollback = obs.Default.Counter("db2www_sqldb_txn_total",
+		"transactions finished, by outcome", "outcome", "rollback")
+	mTxnConflict = obs.Default.Counter("db2www_sqldb_txn_total",
+		"transactions finished, by outcome", "outcome", "conflict")
+	mVacuumRows = obs.Default.Counter("db2www_sqldb_vacuum_rows_total",
+		"row versions reclaimed by vacuum and commit-time pruning")
 )
 
 // obsNow returns the wall clock when observability is enabled, else the

@@ -1,0 +1,269 @@
+// Package mvcc is the transaction-ordering core of the engine's
+// multi-version concurrency control: commit sequencing, live-snapshot
+// registration (which yields the vacuum watermark), and the per-version
+// visibility metadata that row version chains carry.
+//
+// The storage engine above this package keeps the actual version chains
+// (values, chain links, indexes); this package owns the questions that
+// are independent of storage layout: "what can this snapshot see?",
+// "in what order did transactions commit?", and "which versions can no
+// longer be seen by anyone?".
+//
+// The protocol is snapshot isolation with first-committer-wins conflict
+// handling:
+//
+//   - Every transaction (and every auto-commit statement) captures a
+//     snapshot: the commit sequence published at its start. Readers
+//     resolve each row to the newest version whose creating commit is
+//     at or below the snapshot and whose deleting commit (if any) is
+//     above it. Readers therefore never block on writers.
+//   - A version created by an uncommitted transaction carries a pointer
+//     to that transaction instead of a begin stamp; it is visible only
+//     to its creator. Likewise a pending delete carries the deleting
+//     transaction and hides the version only from that transaction.
+//   - Commit stamps every written version with one new commit sequence
+//     and then publishes that sequence. The storage engine runs the
+//     whole step under its version-counter mutex so a result cache that
+//     brackets a computation with table-version reads can never pair
+//     new data with old versions or vice versa.
+//   - Abort marks the transaction aborted, which atomically hides all
+//     of its versions and voids all of its delete intents; the storage
+//     engine then unlinks the garbage.
+package mvcc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Status is a transaction's lifecycle state.
+type Status int32
+
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// Txn is one transaction: an identity, a snapshot, and a status that
+// version visibility checks read without locks.
+type Txn struct {
+	id     uint64
+	snap   uint64
+	status atomic.Int32
+}
+
+// ID returns the transaction's unique identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Snapshot returns the commit sequence the transaction reads at.
+func (t *Txn) Snapshot() uint64 { return t.snap }
+
+// Status returns the transaction's current lifecycle state.
+func (t *Txn) Status() Status { return Status(t.status.Load()) }
+
+// Aborted reports whether the transaction has been aborted.
+func (t *Txn) Aborted() bool { return Status(t.status.Load()) == StatusAborted }
+
+// Manager allocates transactions, orders commits, and tracks which
+// snapshots are still live so vacuum knows what no one can see anymore.
+type Manager struct {
+	// commitSeq is the published commit sequence: the snapshot every new
+	// transaction or statement starts from. It only moves inside the
+	// storage engine's commit critical section, via NextSeq + Publish.
+	commitSeq atomic.Uint64
+	txnSeq    atomic.Uint64
+
+	mu    sync.Mutex
+	snaps map[uint64]int // live snapshot -> reference count
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// NewManager returns an empty manager. Sequence 0 is "before every
+// commit": the initial snapshot, at which nothing is visible.
+func NewManager() *Manager {
+	return &Manager{snaps: map[uint64]int{}}
+}
+
+// Begin starts a transaction at the current commit sequence and
+// registers its snapshot as live.
+func (m *Manager) Begin() *Txn {
+	t := &Txn{id: m.txnSeq.Add(1)}
+	m.mu.Lock()
+	t.snap = m.commitSeq.Load()
+	m.snaps[t.snap]++
+	m.mu.Unlock()
+	return t
+}
+
+// AcquireSnapshot registers the current commit sequence as a live
+// snapshot for a read-only statement and returns it. Pair with
+// ReleaseSnapshot. Registration keeps vacuum from reclaiming versions a
+// multi-scan statement may still resolve.
+func (m *Manager) AcquireSnapshot() uint64 {
+	m.mu.Lock()
+	s := m.commitSeq.Load()
+	m.snaps[s]++
+	m.mu.Unlock()
+	return s
+}
+
+// ReleaseSnapshot drops one reference to a live snapshot.
+func (m *Manager) ReleaseSnapshot(s uint64) {
+	m.mu.Lock()
+	if n := m.snaps[s] - 1; n <= 0 {
+		delete(m.snaps, s)
+	} else {
+		m.snaps[s] = n
+	}
+	m.mu.Unlock()
+}
+
+// Finish moves a transaction out of the active state and releases its
+// snapshot. Aborting makes every version the transaction created
+// invisible and every delete intent void, in one status store.
+func (m *Manager) Finish(t *Txn, committed bool) {
+	if committed {
+		t.status.Store(int32(StatusCommitted))
+		m.commits.Add(1)
+	} else {
+		t.status.Store(int32(StatusAborted))
+		m.aborts.Add(1)
+	}
+	m.ReleaseSnapshot(t.snap)
+}
+
+// CommitSeq returns the currently published commit sequence.
+func (m *Manager) CommitSeq() uint64 { return m.commitSeq.Load() }
+
+// NextSeq returns the sequence the next commit will publish. The caller
+// must hold the storage engine's commit mutex, which serialises the
+// NextSeq → stamp → Publish window.
+func (m *Manager) NextSeq() uint64 { return m.commitSeq.Load() + 1 }
+
+// Publish makes seq the visible commit sequence. All version stamps for
+// seq must be stored before Publish so a reader whose snapshot includes
+// seq observes them.
+func (m *Manager) Publish(seq uint64) { m.commitSeq.Store(seq) }
+
+// ActiveSnapshots returns the number of distinct live snapshots.
+func (m *Manager) ActiveSnapshots() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.snaps)
+}
+
+// OldestSnapshot returns the vacuum watermark: the oldest live
+// snapshot, or the current commit sequence when none are registered.
+// Every version invisible at the watermark is invisible to every
+// present and future reader.
+func (m *Manager) OldestSnapshot() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	min := m.commitSeq.Load()
+	for s := range m.snaps {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Commits returns the number of committed transactions.
+func (m *Manager) Commits() uint64 { return m.commits.Load() }
+
+// Aborts returns the number of aborted transactions.
+func (m *Manager) Aborts() uint64 { return m.aborts.Load() }
+
+// Meta is the visibility metadata one row version carries. A version
+// begins life pending (creator set, begin zero); commit stamps begin
+// and clears creator. Deletion mirrors this: a pending delete sets
+// deleter; the deleting transaction's commit stamps end and clears
+// deleter. All fields are atomics because commit stamps versions while
+// readers concurrently walk chains under a shared latch.
+type Meta struct {
+	begin   atomic.Uint64 // creating commit sequence; 0 while pending
+	end     atomic.Uint64 // deleting commit sequence; 0 while live or pending
+	creator atomic.Pointer[Txn]
+	deleter atomic.Pointer[Txn]
+}
+
+// InitPending marks the version as created by t and not yet committed.
+func (v *Meta) InitPending(t *Txn) { v.creator.Store(t) }
+
+// StampBegin commits the version's creation at seq. The begin store is
+// ordered before the creator clear, so a reader that observes a nil
+// creator always observes the final begin stamp.
+func (v *Meta) StampBegin(seq uint64) {
+	v.begin.Store(seq)
+	v.creator.Store(nil)
+}
+
+// SetDeleter records t's intent to delete (or supersede) the version.
+func (v *Meta) SetDeleter(t *Txn) { v.deleter.Store(t) }
+
+// ClearDeleterIf voids the delete intent if it still belongs to t.
+// The compare-and-swap matters on abort: once t is marked aborted,
+// another transaction may legitimately claim the version.
+func (v *Meta) ClearDeleterIf(t *Txn) bool { return v.deleter.CompareAndSwap(t, nil) }
+
+// StampEnd commits the version's deletion at seq.
+func (v *Meta) StampEnd(seq uint64) {
+	v.end.Store(seq)
+	v.deleter.Store(nil)
+}
+
+// Creator returns the pending creating transaction, or nil once the
+// creation has committed.
+func (v *Meta) Creator() *Txn { return v.creator.Load() }
+
+// Deleter returns the pending deleting transaction, if any.
+func (v *Meta) Deleter() *Txn { return v.deleter.Load() }
+
+// Begin returns the committed creation sequence (0 while pending).
+func (v *Meta) Begin() uint64 { return v.begin.Load() }
+
+// End returns the committed deletion sequence (0 while live).
+func (v *Meta) End() uint64 { return v.end.Load() }
+
+// CopyStampsFrom copies committed begin/end stamps. Pending state
+// (creator/deleter) deliberately does not copy: clones are taken for
+// DDL undo snapshots, which keep only committed history.
+func (v *Meta) CopyStampsFrom(src *Meta) {
+	v.begin.Store(src.begin.Load())
+	v.end.Store(src.end.Load())
+}
+
+// Visible reports whether the version is visible to a reader running as
+// txn (nil for a plain snapshot read) at snapshot snap.
+//
+//   - A pending version is visible only to its creator, and only while
+//     that transaction is not aborted.
+//   - A committed version is visible when its begin is at or below the
+//     snapshot.
+//   - A pending delete hides the version only from the deleting
+//     transaction; everyone else still sees the old state.
+//   - A committed delete hides the version from snapshots at or above
+//     the deleting sequence.
+func (v *Meta) Visible(txn *Txn, snap uint64) bool {
+	if c := v.creator.Load(); c != nil {
+		if c != txn || c.Aborted() {
+			return false
+		}
+	} else {
+		b := v.begin.Load()
+		if b == 0 || b > snap {
+			return false
+		}
+	}
+	if d := v.deleter.Load(); d != nil {
+		if d == txn && !d.Aborted() {
+			return false
+		}
+		return true
+	}
+	e := v.end.Load()
+	return e == 0 || e > snap
+}

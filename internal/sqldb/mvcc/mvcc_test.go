@@ -1,0 +1,225 @@
+package mvcc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestManagerBeginFinishLifecycle(t *testing.T) {
+	m := NewManager()
+	if got := m.CommitSeq(); got != 0 {
+		t.Fatalf("fresh manager CommitSeq = %d, want 0", got)
+	}
+	tx := m.Begin()
+	if tx.Status() != StatusActive {
+		t.Fatalf("new txn status = %v, want StatusActive", tx.Status())
+	}
+	if tx.Snapshot() != 0 {
+		t.Fatalf("first txn snapshot = %d, want 0", tx.Snapshot())
+	}
+	if n := m.ActiveSnapshots(); n != 1 {
+		t.Fatalf("active snapshots = %d, want 1", n)
+	}
+
+	seq := m.NextSeq()
+	if seq != 1 {
+		t.Fatalf("NextSeq = %d, want 1", seq)
+	}
+	m.Publish(seq)
+	m.Finish(tx, true)
+	if tx.Status() != StatusCommitted {
+		t.Fatalf("status after commit = %v, want StatusCommitted", tx.Status())
+	}
+	if got := m.CommitSeq(); got != 1 {
+		t.Fatalf("CommitSeq after publish = %d, want 1", got)
+	}
+	if n := m.ActiveSnapshots(); n != 0 {
+		t.Fatalf("active snapshots after finish = %d, want 0", n)
+	}
+	if m.Commits() != 1 || m.Aborts() != 0 {
+		t.Fatalf("commits/aborts = %d/%d, want 1/0", m.Commits(), m.Aborts())
+	}
+
+	tx2 := m.Begin()
+	if tx2.Snapshot() != 1 {
+		t.Fatalf("second txn snapshot = %d, want 1", tx2.Snapshot())
+	}
+	m.Finish(tx2, false)
+	if !tx2.Aborted() {
+		t.Fatalf("txn not aborted after Finish(false)")
+	}
+	if m.Aborts() != 1 {
+		t.Fatalf("aborts = %d, want 1", m.Aborts())
+	}
+}
+
+func TestOldestSnapshotTracksLiveMinimum(t *testing.T) {
+	m := NewManager()
+	// Advance the clock to 5.
+	for i := 0; i < 5; i++ {
+		m.Publish(m.NextSeq())
+	}
+	if wm := m.OldestSnapshot(); wm != 5 {
+		t.Fatalf("watermark with no live snapshots = %d, want CommitSeq 5", wm)
+	}
+	old := m.Begin() // snap 5
+	m.Publish(m.NextSeq())
+	young := m.Begin() // snap 6
+	if wm := m.OldestSnapshot(); wm != 5 {
+		t.Fatalf("watermark = %d, want 5 (oldest live)", wm)
+	}
+	m.Finish(old, false)
+	if wm := m.OldestSnapshot(); wm != 6 {
+		t.Fatalf("watermark after old txn ended = %d, want 6", wm)
+	}
+	m.Finish(young, true)
+	if wm := m.OldestSnapshot(); wm != m.CommitSeq() {
+		t.Fatalf("watermark = %d, want CommitSeq %d", wm, m.CommitSeq())
+	}
+}
+
+func TestSnapshotRefcounting(t *testing.T) {
+	m := NewManager()
+	m.Publish(m.NextSeq()) // seq 1
+	a := m.AcquireSnapshot()
+	b := m.AcquireSnapshot()
+	if a != 1 || b != 1 {
+		t.Fatalf("snapshots = %d,%d, want 1,1", a, b)
+	}
+	m.Publish(m.NextSeq()) // seq 2
+	m.ReleaseSnapshot(a)
+	if wm := m.OldestSnapshot(); wm != 1 {
+		t.Fatalf("watermark = %d, want 1 (b still holds it)", wm)
+	}
+	m.ReleaseSnapshot(b)
+	if wm := m.OldestSnapshot(); wm != 2 {
+		t.Fatalf("watermark = %d, want 2 after both releases", wm)
+	}
+}
+
+// visible is a test helper reading via a nil-txn snapshot observer.
+func visible(v *Meta, snap uint64) bool { return v.Visible(nil, snap) }
+
+func TestVisibilityPendingAndCommitted(t *testing.T) {
+	m := NewManager()
+	creator := m.Begin()
+	var v Meta
+	v.InitPending(creator)
+
+	if !v.Visible(creator, creator.Snapshot()) {
+		t.Fatalf("pending version invisible to its creator")
+	}
+	other := m.Begin()
+	if v.Visible(other, other.Snapshot()) {
+		t.Fatalf("pending version visible to another txn")
+	}
+	if visible(&v, ^uint64(0)) {
+		t.Fatalf("pending version visible to snapshot observer")
+	}
+
+	// Commit at seq 7: visible at snap>=7, invisible below.
+	v.StampBegin(7)
+	if visible(&v, 6) {
+		t.Fatalf("committed@7 visible at snap 6")
+	}
+	if !visible(&v, 7) {
+		t.Fatalf("committed@7 invisible at snap 7")
+	}
+
+	// Pending delete: hides only from the deleter.
+	deleter := m.Begin()
+	v.SetDeleter(deleter)
+	if v.Visible(deleter, deleter.Snapshot()) {
+		t.Fatalf("delete-pending version visible to its deleter")
+	}
+	if !v.Visible(other, 8) {
+		t.Fatalf("delete-pending version invisible to bystander")
+	}
+
+	// Aborted deleter: intent is void for everyone.
+	m.Finish(deleter, false)
+	if !v.Visible(deleter, 9) {
+		t.Fatalf("version hidden by aborted delete intent")
+	}
+	v.ClearDeleterIf(deleter)
+
+	// Committed delete at seq 9: visible below 9, gone at and above.
+	v.StampEnd(9)
+	if !visible(&v, 8) {
+		t.Fatalf("deleted@9 invisible at snap 8")
+	}
+	if visible(&v, 9) {
+		t.Fatalf("deleted@9 still visible at snap 9")
+	}
+}
+
+func TestVisibilityAbortedCreator(t *testing.T) {
+	m := NewManager()
+	creator := m.Begin()
+	var v Meta
+	v.InitPending(creator)
+	m.Finish(creator, false)
+	if v.Visible(creator, ^uint64(0)) {
+		t.Fatalf("aborted creator still sees its own version")
+	}
+	if visible(&v, ^uint64(0)) {
+		t.Fatalf("version with aborted creator visible to snapshot observer")
+	}
+}
+
+func TestClearDeleterIfIsConditional(t *testing.T) {
+	m := NewManager()
+	d1 := m.Begin()
+	d2 := m.Begin()
+	var v Meta
+	v.StampBegin(1)
+	v.SetDeleter(d1)
+	if v.ClearDeleterIf(d2) {
+		t.Fatalf("ClearDeleterIf cleared someone else's intent")
+	}
+	if v.Deleter() != d1 {
+		t.Fatalf("deleter clobbered")
+	}
+	if !v.ClearDeleterIf(d1) {
+		t.Fatalf("ClearDeleterIf failed for the owning txn")
+	}
+	if v.Deleter() != nil {
+		t.Fatalf("deleter not cleared")
+	}
+}
+
+func TestConcurrentBeginFinishRace(t *testing.T) {
+	m := NewManager()
+	// The storage engine serialises NextSeq → Publish under its own
+	// commit mutex; model that here.
+	var commitMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tx := m.Begin()
+				if tx.Snapshot() > m.CommitSeq() {
+					t.Error("snapshot above commit sequence")
+				}
+				commitMu.Lock()
+				s := m.NextSeq()
+				if s == 0 {
+					t.Error("NextSeq returned 0")
+				}
+				m.Publish(s)
+				commitMu.Unlock()
+				m.Finish(tx, j%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.OldestSnapshot() != m.CommitSeq() {
+		t.Fatalf("live snapshots leaked: watermark %d != commit seq %d",
+			m.OldestSnapshot(), m.CommitSeq())
+	}
+	if m.Commits()+m.Aborts() != 8*200 {
+		t.Fatalf("commits+aborts = %d, want %d", m.Commits()+m.Aborts(), 8*200)
+	}
+}

@@ -17,6 +17,12 @@ import (
 func (db *Database) Dump(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	// One snapshot for the whole dump: committed data only, registered
+	// so vacuum can't reclaim versions between tables. Commits that land
+	// mid-dump are invisible to it, keeping the script transactionally
+	// consistent.
+	snap := db.mvcc.AcquireSnapshot()
+	defer db.mvcc.ReleaseSnapshot(snap)
 	bw := bufio.NewWriter(w)
 	names := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
@@ -25,7 +31,7 @@ func (db *Database) Dump(w io.Writer) error {
 	sortStrings(names)
 	for _, name := range names {
 		t := db.tables[strings.ToLower(name)]
-		if err := dumpTable(bw, t); err != nil {
+		if err := dumpTable(bw, t, snap); err != nil {
 			return err
 		}
 	}
@@ -51,7 +57,7 @@ func (db *Database) Dump(w io.Writer) error {
 	return bw.Flush()
 }
 
-func dumpTable(w io.Writer, t *Table) error {
+func dumpTable(w io.Writer, t *Table, snap uint64) error {
 	var sb strings.Builder
 	sb.WriteString("CREATE TABLE ")
 	sb.WriteString(quoteIdent(t.Name))
@@ -78,23 +84,33 @@ func dumpTable(w io.Writer, t *Table) error {
 	if _, err := io.WriteString(w, sb.String()); err != nil {
 		return err
 	}
+	// Resolve the snapshot's visible rows under the table latch, then
+	// render latch-free (committed value slices are immutable).
+	t.mu.RLock()
+	visible := make([][]Value, 0, len(t.rows))
+	for _, r := range t.rows {
+		if v := r.visibleVersion(nil, snap); v != nil {
+			visible = append(visible, v.vals)
+		}
+	}
+	t.mu.RUnlock()
 	// Batched inserts keep dump files compact and restores fast.
 	const batch = 100
-	for start := 0; start < len(t.rows); start += batch {
+	for start := 0; start < len(visible); start += batch {
 		end := start + batch
-		if end > len(t.rows) {
-			end = len(t.rows)
+		if end > len(visible) {
+			end = len(visible)
 		}
 		var ins strings.Builder
 		ins.WriteString("INSERT INTO ")
 		ins.WriteString(quoteIdent(t.Name))
 		ins.WriteString(" VALUES\n")
-		for i, r := range t.rows[start:end] {
+		for i, vals := range visible[start:end] {
 			if i > 0 {
 				ins.WriteString(",\n")
 			}
 			ins.WriteString("  (")
-			for j, v := range r.vals {
+			for j, v := range vals {
 				if j > 0 {
 					ins.WriteString(", ")
 				}

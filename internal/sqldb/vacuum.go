@@ -1,0 +1,99 @@
+package sqldb
+
+// Vacuum: version-chain garbage collection.
+//
+// A version is garbage when no present or future snapshot can resolve
+// it: its creator aborted, or it is buried beneath a newer committed
+// version whose begin is at or below the oldest live snapshot (the
+// watermark), or it is a deleted version whose end is at or below the
+// watermark. Commit prunes the rows it just wrote inline
+// (settleCommitted); the full-table sweep here is for everything else
+// and runs from gatewayd's background ticker.
+
+// pruneChain truncates r's chain to what some snapshot at or above wm
+// can still see, removing index postings for each dropped version.
+// Caller holds t.mu exclusively. Returns the number of versions
+// dropped; a fully-dead row is left with head == nil for the caller's
+// removeRows pass.
+func (db *Database) pruneChain(t *Table, r *storedRow, wm uint64) int {
+	dropped := 0
+	drop := func(v *rowVersion) {
+		if r.unlink(v) {
+			for _, ix := range t.indexes {
+				ix.removeVersion(r.id, v)
+			}
+			dropped++
+		}
+	}
+	// Pass 1: versions whose creator aborted are invisible to everyone.
+	// (Active or committed creators stay; purgeWrites usually beats us to
+	// these — unlink's exactly-once bool keeps the race benign — but a
+	// session that never rolled back cleanly lands here.)
+	v := r.head
+	for v != nil {
+		next := v.prev
+		if c := v.meta.Creator(); c != nil && c.Aborted() {
+			drop(v)
+		}
+		v = next
+	}
+	// Pass 2: find the anchor — the newest committed version every
+	// reader at or above wm resolves to (begin ≤ wm). Everything beneath
+	// it is unreachable. Pending versions above it must stay.
+	var anchor *rowVersion
+	for v := r.head; v != nil; v = v.prev {
+		if v.meta.Creator() != nil {
+			continue
+		}
+		if b := v.meta.Begin(); b != 0 && b <= wm {
+			anchor = v
+			break
+		}
+	}
+	if anchor == nil {
+		return dropped
+	}
+	for v := anchor.prev; v != nil; {
+		next := v.prev
+		drop(v)
+		v = next
+	}
+	// The anchor itself dies when its deletion is also below the
+	// watermark and no transaction still holds a delete intent on it.
+	if e := anchor.meta.End(); e != 0 && e <= wm && anchor.meta.Deleter() == nil {
+		drop(anchor)
+	}
+	return dropped
+}
+
+// Vacuum sweeps every table, truncating version chains below the oldest
+// live snapshot and compacting away fully-dead rows. It returns the
+// number of row versions reclaimed. Safe to run concurrently with all
+// statement execution; it takes each table latch briefly in turn.
+func (db *Database) Vacuum() int {
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	wm := db.mvcc.OldestSnapshot()
+	total := 0
+	for _, t := range tables {
+		t.mu.Lock()
+		dead := map[int64]bool{}
+		for _, r := range t.rows {
+			total += db.pruneChain(t, r, wm)
+			if r.head == nil {
+				dead[r.id] = true
+			}
+		}
+		t.removeRows(dead)
+		t.mu.Unlock()
+	}
+	if total > 0 {
+		db.vacuumRows.Add(uint64(total))
+		mVacuumRows.Add(int64(total))
+	}
+	return total
+}

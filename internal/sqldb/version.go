@@ -18,17 +18,23 @@ import (
 // Versions are drawn from one database-wide sequence, so a table version
 // never repeats — not even across a DROP and re-CREATE of the same name
 // (per-table counters would restart at 1 and could collide with a stale
-// cached entry). Bumps are deliberately conservative: they happen whether
-// or not the statement succeeds (a multi-row INSERT that fails midway in
-// auto-commit mode keeps its earlier rows) and they survive rollback (the
-// restored data merely looks "newer" than it is, which costs a cache miss,
-// never a stale hit).
+// cached entry).
+//
+// Under MVCC, bumps happen at commit: a transaction's writes are
+// invisible until then, so mid-transaction bumps would only cause
+// spurious misses. The bump runs inside the commit critical section,
+// under vt.mu itself (bumpLocked), between stamping the written
+// versions and publishing the commit sequence — so a cache that
+// brackets a computation with TableVersions reads can never observe the
+// commit's data paired with pre-commit versions or vice versa. Bumps
+// remain conservative where it is cheap to be: a failed auto-commit
+// write still bumps its target tables, DDL bumps even on failure, and a
+// rollback bumps every table the transaction wrote (never tables it
+// only read — see Session.Rollback). A spurious bump costs a cache
+// miss; a missing bump would cost a stale hit.
 //
 // The counters live behind their own mutex, not db.mu, because the cache
-// reads them without holding any engine lock. The bump for a write
-// statement is ordered before the statement's lock release (see
-// Session.execWrite), so any observer that sees the write's effects also
-// sees its version bump.
+// reads them without holding any engine lock.
 type versionTable struct {
 	mu       sync.Mutex
 	seq      uint64
@@ -59,6 +65,12 @@ func (db *Database) TableVersions(names []string) []uint64 {
 func (db *Database) bumpVersions(names ...string) {
 	db.vt.mu.Lock()
 	defer db.vt.mu.Unlock()
+	db.bumpLocked(names)
+}
+
+// bumpLocked advances versions with vt.mu already held; the commit path
+// calls it inside its stamp/publish critical section.
+func (db *Database) bumpLocked(names []string) {
 	if db.vt.versions == nil {
 		db.vt.versions = map[string]uint64{}
 	}

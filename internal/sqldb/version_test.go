@@ -91,24 +91,26 @@ func TestTableVersionAcrossTransactions(t *testing.T) {
 		t.Fatalf("version %d after committed txn, want > %d", v2, v)
 	}
 
-	// Rolled-back transaction: the write bump AND the rollback bump both
-	// advance the version, so no entry recorded against the aborted state
-	// can ever validate.
+	// Open transaction: under MVCC the writes are invisible until commit,
+	// so no bump happens mid-transaction (a bump would only cause
+	// spurious cache misses for data that has not changed).
 	if err := s.BeginTxn(); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Exec("UPDATE kv SET v = 50 WHERE k = 1"); err != nil {
 		t.Fatal(err)
 	}
-	mid := db.TableVersion("kv")
-	if mid <= v2 {
-		t.Fatalf("version %d inside txn, want > %d", mid, v2)
+	if mid := db.TableVersion("kv"); mid != v2 {
+		t.Fatalf("version %d inside txn, want %d (bumps are commit-time)", mid, v2)
 	}
+	// Rollback still bumps the tables the transaction wrote, so any
+	// cache entry recorded while the writes were pending can never
+	// validate against post-rollback state.
 	if err := s.Rollback(); err != nil {
 		t.Fatal(err)
 	}
-	if v3 := db.TableVersion("kv"); v3 <= mid {
-		t.Fatalf("version %d after rollback, want > %d", v3, mid)
+	if v3 := db.TableVersion("kv"); v3 <= v2 {
+		t.Fatalf("version %d after rollback, want > %d", v3, v2)
 	}
 	res, err := s.Exec("SELECT v FROM kv WHERE k = 1")
 	if err != nil {
@@ -116,6 +118,37 @@ func TestTableVersionAcrossTransactions(t *testing.T) {
 	}
 	if res.Rows[0][0].I != 40 {
 		t.Fatalf("v = %d after rollback, want 40", res.Rows[0][0].I)
+	}
+}
+
+func TestRollbackBumpsWrittenTablesOnly(t *testing.T) {
+	db, s := newVersionTestDB(t)
+	if _, err := s.Exec("CREATE TABLE audit (k INTEGER, note VARCHAR(20))"); err != nil {
+		t.Fatal(err)
+	}
+	vKV := db.TableVersion("kv")
+	vAudit := db.TableVersion("audit")
+
+	// The transaction reads kv but writes only audit. Rolling it back
+	// must not invalidate cache entries over kv: nothing about kv's
+	// visible state changed at any point.
+	if err := s.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("SELECT * FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO audit VALUES (1, 'touched')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if nv := db.TableVersion("kv"); nv != vKV {
+		t.Fatalf("kv version %d after rollback of read-only access, want %d", nv, vKV)
+	}
+	if nv := db.TableVersion("audit"); nv <= vAudit {
+		t.Fatalf("audit version %d after rollback of write, want > %d", nv, vAudit)
 	}
 }
 

@@ -56,6 +56,17 @@ func Lookup(name string) (*sqldb.Database, bool) {
 	return db, ok
 }
 
+// IsRetryable reports whether err is a serialization failure (SQLSTATE
+// 40001): the statement or transaction lost a first-committer-wins race
+// under snapshot isolation and will likely succeed if retried from the
+// start on a fresh snapshot. Gateways should replay the transaction
+// rather than surfacing the error to the browser. The check survives
+// wrapping (errors.As) and the database/sql layer, which returns engine
+// errors unmodified.
+func IsRetryable(err error) bool {
+	return sqldb.IsSerializationFailure(err)
+}
+
 // Open is a convenience wrapper around sql.Open that also verifies the
 // database exists.
 func Open(name string) (*sql.DB, error) {

@@ -232,3 +232,92 @@ func TestCountParams(t *testing.T) {
 		}
 	}
 }
+
+// TestConflictSurfacesAsRetryable: a first-committer-wins loser's error
+// crosses the database/sql boundary still recognisable as retryable.
+func TestConflictSurfacesAsRetryable(t *testing.T) {
+	db := openTestDB(t, "TCONFLICT")
+
+	tx1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Exec("UPDATE emp SET salary = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tx2.Exec("UPDATE emp SET salary = 2 WHERE id = 1")
+	if err == nil {
+		t.Fatalf("overlapping write through driver unexpectedly succeeded")
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("IsRetryable(%v) = false, want true", err)
+	}
+	if IsRetryable(nil) {
+		t.Fatalf("IsRetryable(nil) = true")
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var salary float64
+	if err := db.QueryRow("SELECT salary FROM emp WHERE id = 1").Scan(&salary); err != nil {
+		t.Fatal(err)
+	}
+	if salary != 1 {
+		t.Fatalf("salary = %v, want winner's 1", salary)
+	}
+}
+
+// TestRetryLoopThroughDriver: the documented application pattern — replay
+// the transaction while IsRetryable — converges under contention.
+func TestRetryLoopThroughDriver(t *testing.T) {
+	db := openTestDB(t, "TRETRY")
+	db.SetMaxOpenConns(8)
+	const workers, increments = 4, 10
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := 0; j < increments; j++ {
+				for {
+					tx, err := db.Begin()
+					if err != nil {
+						errs <- err
+						return
+					}
+					_, err = tx.Exec("UPDATE emp SET salary = salary + 1 WHERE id = 1")
+					if err == nil {
+						err = tx.Commit()
+					} else {
+						tx.Rollback()
+					}
+					if err == nil {
+						break
+					}
+					if !IsRetryable(err) {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var salary float64
+	if err := db.QueryRow("SELECT salary FROM emp WHERE id = 1").Scan(&salary); err != nil {
+		t.Fatal(err)
+	}
+	if salary != 90000+workers*increments {
+		t.Fatalf("salary = %v, want %d", salary, 90000+workers*increments)
+	}
+}
