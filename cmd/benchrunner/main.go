@@ -1,6 +1,6 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's
 // per-experiment index: the reproductions of the paper's figures and
-// worked examples (E1–E12) and the design-choice ablations (A1–A8).
+// worked examples (E1–E12) and the design-choice ablations (A1–A10).
 //
 //	benchrunner                  run everything at default scale
 //	benchrunner -exp e7,e8       run selected experiments
@@ -21,11 +21,12 @@ import (
 
 	"db2www/internal/experiments"
 	"db2www/internal/obs"
+	"db2www/internal/sqldb"
 )
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a9) or all")
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a10) or all")
 		rows         = flag.Int("rows", 500, "urldb dataset rows")
 		requests     = flag.Int("requests", 200, "requests per measurement")
 		seed         = flag.Int64("seed", 1, "dataset seed")
@@ -56,10 +57,10 @@ func main() {
 		"e10": experiments.E10, "e11": experiments.E11, "e12": experiments.E12,
 		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
 		"a5": experiments.A5, "a6": experiments.A6, "a7": experiments.A7,
-		"a8": experiments.A8, "a9": experiments.A9,
+		"a8": experiments.A8, "a9": experiments.A9, "a10": experiments.A10,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8", "a9"}
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8", "a9", "a10"}
 
 	var selected []string
 	if *exp == "all" {
@@ -94,7 +95,7 @@ func main() {
 	}
 
 	// jsonResults accumulates the machine-readable rows experiments expose
-	// (currently A6, A7, and A8); keyed by experiment id.
+	// (currently A6 through A10); keyed by experiment id.
 	jsonResults := map[string]any{}
 	// The obs registry accumulates across every experiment in the run;
 	// the delta over the whole batch lands in the JSON envelope so a CI
@@ -148,6 +149,17 @@ func main() {
 				return nil
 			}
 		}
+		if id == "a10" && *jsonPath != "" {
+			run = func(w io.Writer, cfg experiments.Config) error {
+				r, err := experiments.RunA10(cfg)
+				if err != nil {
+					return err
+				}
+				experiments.PrintA10(w, r)
+				jsonResults["a10"] = r
+				return nil
+			}
+		}
 		if err := run(os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s FAILED: %v\n", id, err)
 			failed = true
@@ -173,6 +185,9 @@ func writeJSON(path string, cfg experiments.Config, results map[string]any, metr
 		},
 		"results":       results,
 		"metrics_delta": metricsDelta,
+		// The busiest statement shapes the run produced, from the engine's
+		// statement stats registry (digest, calls, p99, rows, ...).
+		"statements": sqldb.Statements.Top(5),
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

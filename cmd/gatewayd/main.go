@@ -284,13 +284,46 @@ func main() {
 				{"Isolation", mode},
 				{"Active snapshots", strconv.Itoa(st.ActiveSnapshots)},
 				{"Oldest snapshot", strconv.FormatUint(st.OldestSnapshot, 10)},
+				{"Oldest snapshot age", st.OldestSnapshotAge.String()},
 				{"Commit sequence", strconv.FormatUint(st.CommitSeq, 10)},
 				{"Commits", strconv.FormatUint(st.Commits, 10)},
 				{"Rollbacks", strconv.FormatUint(st.Rollbacks, 10)},
 				{"Conflicts", strconv.FormatUint(st.Conflicts, 10)},
+				{"Conflict retries", strconv.FormatUint(st.ConflictRetries, 10)},
 				{"Vacuumed versions", strconv.FormatUint(st.VacuumedRows, 10)},
+				{"Vacuum sweeps", strconv.FormatUint(st.VacuumSweeps, 10)},
 			}
 		})
+		al.AddStatusSection("Statements", func() [][2]string {
+			top := engineDB.StatementStats().Top(10)
+			rows := make([][2]string, 0, len(top)+1)
+			rows = append(rows, [2]string{"Tracked digests",
+				strconv.Itoa(engineDB.StatementStats().Len())})
+			for _, st := range top {
+				rows = append(rows, [2]string{
+					st.Digest,
+					fmt.Sprintf("calls=%d p99=%dµs rows=%d hits=%d retries=%d  %s",
+						st.Calls, st.P99Micros, st.Rows, st.CacheHits,
+						st.ConflictRetries, obs.TruncateSQL(st.Statement, 120)),
+				})
+			}
+			return rows
+		})
+		al.AddStatusSection("Storage", func() [][2]string {
+			var rows [][2]string
+			for _, ts := range engineDB.TableStatsSnapshot() {
+				rows = append(rows, [2]string{
+					ts.Name,
+					fmt.Sprintf("rows=%d versions=%d max_chain=%d seq=%d idx=%d read=%d ins=%d upd=%d del=%d retries=%d",
+						ts.Rows, ts.Versions, ts.MaxChain, ts.SeqScans,
+						ts.IndexScans, ts.RowsRead, ts.RowsInserted,
+						ts.RowsUpdated, ts.RowsDeleted, ts.ConflictRetries),
+				})
+			}
+			return rows
+		})
+		al.Handle("/debug/statements", gateway.StatementsHandler(engineDB))
+		sqldb.RegisterMetrics(engineDB)
 	}
 	if qc != nil {
 		al.AddStatusSection("Query cache", func() [][2]string {

@@ -2,9 +2,12 @@
 // the "visual query tool" slot of the paper's Figure 5 development
 // workflow, reduced to a terminal. Statements end with ';'. Meta
 // commands: \d lists tables, \d NAME describes one, \q quits.
+// EXPLAIN [ANALYZE] <stmt> renders the execution plan (see
+// docs/STATEMENTS.md).
 //
 //	sqlsh -dataset urldb:100:1
 //	sqlsh -e "SELECT COUNT(*) FROM urldb"
+//	sqlsh -dataset urldb:100:1 -e "EXPLAIN ANALYZE SELECT * FROM urldb WHERE url LIKE 'http://a%'"
 package main
 
 import (
@@ -79,7 +82,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("sqlsh — embedded SQL shell. Statements end with ';'. \\q quits, \\d lists tables.")
+	fmt.Println("sqlsh — embedded SQL shell. Statements end with ';'. \\q quits, \\d lists tables, EXPLAIN [ANALYZE] shows plans.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

@@ -460,6 +460,7 @@ func (r *macroRun) execSQLSection(sec *SQLSection) error {
 			Dedup:     info.Dedup,
 			Kind:      info.StmtKind,
 			DBMicros:  info.DBMicros,
+			Digest:    info.Digest,
 		}
 		if execErr != nil {
 			entry.Err = execErr.Error()
@@ -479,6 +480,9 @@ func (r *macroRun) execSQLSection(sec *SQLSection) error {
 		note := fmt.Sprintf("rows=%d", len(res.Rows))
 		if info.CacheState != "" {
 			note += " cache=" + info.CacheState
+		}
+		if info.Digest != "" {
+			note += " digest=" + info.Digest
 		}
 		note += fmt.Sprintf(" sql=%q", obs.TruncateSQL(sqlStr, 200))
 		execSpan.EndNote(note)

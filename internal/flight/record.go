@@ -98,7 +98,10 @@ type SQLExec struct {
 	// time separates from driver and cache overhead.
 	Kind     string `json:"kind,omitempty"`
 	DBMicros int64  `json:"db_micros,omitempty"`
-	Err      string `json:"error,omitempty"`
+	// Digest is the engine's normalized-statement digest — the key into
+	// /debug/statements, linking a flight record to its registry row.
+	Digest string `json:"digest,omitempty"`
+	Err    string `json:"error,omitempty"`
 }
 
 // buildRecord assembles a Record from the finished trace and the

@@ -195,6 +195,9 @@ type ExecInfo struct {
 	// DBMicros is time spent inside the embedded engine, excluding
 	// driver and cache overhead.
 	DBMicros int64
+	// Digest is the engine's normalized-statement digest, the key into
+	// the statement stats registry ("" when stats were not recorded).
+	Digest string
 }
 
 // WithExecInfo attaches a statement-scoped ExecInfo carrier.

@@ -3,6 +3,7 @@ package qcache_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,7 @@ func TestNoStaleReadAfterCommittedWrite(t *testing.T) {
 		readers = 4
 	)
 	var committedFloor atomic.Int64
+	var readIters atomic.Int64
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 
@@ -70,6 +72,16 @@ func TestNoStaleReadAfterCommittedWrite(t *testing.T) {
 			// The write is committed once Execute returns (auto-commit
 			// mode); only now may readers demand to see it.
 			committedFloor.Store(int64(i))
+			// Force genuine interleaving: on GOMAXPROCS=1 the writer can
+			// otherwise retire every write inside one scheduler quantum, so
+			// no read ever observes an intermediate version and the
+			// invalidation assertion below is vacuous. Wait (bounded, in
+			// case the readers died) until some reader finishes an
+			// iteration started after this commit.
+			waitFor := readIters.Load() + 1
+			for spin := 0; readIters.Load() < waitFor && spin < 100_000; spin++ {
+				runtime.Gosched()
+			}
 		}
 	}()
 
@@ -104,6 +116,10 @@ func TestNoStaleReadAfterCommittedWrite(t *testing.T) {
 					t.Errorf("stale read: v = %d after write %d committed", got, floor)
 					return
 				}
+				readIters.Add(1)
+				// Yield so the writer (and the other readers) interleave
+				// per iteration instead of per scheduler quantum.
+				runtime.Gosched()
 			}
 		}()
 	}

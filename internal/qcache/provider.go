@@ -113,9 +113,18 @@ func (c *cachingConn) ExecuteContext(ctx context.Context, sql string) (*core.SQL
 			computed = true
 			return c.execInner(ctx, sql)
 		})
+	hit := err == nil && !computed
+	if hit {
+		// The engine never saw this execution; credit the statement shape
+		// in the stats registry so per-digest cache-hit counts stay honest.
+		c.db.NoteStatementCacheHit(sql)
+	}
 	if info != nil {
-		if err == nil && !computed {
+		if hit {
 			info.CacheState = "hit"
+			if digest, _ := sqldb.DigestSQL(sql); digest != "" {
+				info.Digest = digest
+			}
 		} else {
 			info.CacheState = "miss"
 		}

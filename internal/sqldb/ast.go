@@ -29,6 +29,22 @@ type SelectStmt struct {
 	Limit    Expr // nil when absent
 	Offset   Expr // nil when absent
 	Unions   []UnionPart
+
+	// site is the identity EXPLAIN ANALYZE's tracker keys pipeline-stage
+	// events on. execUnion evaluates the head arm through a shallow copy
+	// of the statement; the copy carries site = the original, so stage
+	// counters land on the node the plan renderer knows about. Nil means
+	// "this statement is its own site" (the common case).
+	site *SelectStmt
+}
+
+// siteKey returns the canonical identity of this SELECT for execution
+// tracking: the original statement when this is execUnion's head copy.
+func (s *SelectStmt) siteKey() *SelectStmt {
+	if s.site != nil {
+		return s.site
+	}
+	return s
 }
 
 // UnionPart is one UNION [ALL] arm after the head SELECT.
@@ -152,6 +168,15 @@ type DropIndexStmt struct {
 	IfExists bool
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN renders the
+// plan without executing; ANALYZE executes the target (including DML side
+// effects, as in PostgreSQL) and annotates each operator with observed
+// row counts and timings.
+type ExplainStmt struct {
+	Analyze bool
+	Target  Stmt // SELECT, INSERT, UPDATE, or DELETE
+}
+
 // BeginStmt starts an explicit transaction.
 type BeginStmt struct{}
 
@@ -170,6 +195,7 @@ func (*AlterTableStmt) stmt()  {}
 func (*DropTableStmt) stmt()   {}
 func (*CreateIndexStmt) stmt() {}
 func (*DropIndexStmt) stmt()   {}
+func (*ExplainStmt) stmt()     {}
 func (*BeginStmt) stmt()       {}
 func (*CommitStmt) stmt()      {}
 func (*RollbackStmt) stmt()    {}

@@ -86,6 +86,17 @@ type Table struct {
 	// on this table. ALTER TABLE refuses to rewrite row layouts while
 	// another transaction's pending versions are present.
 	pending atomic.Int64
+
+	// Access counters, maintained unconditionally (plain atomics are
+	// cheap enough to keep accurate even with the obs registry off).
+	// rowsRead counts rows a scan returned after visibility resolution;
+	// the DML counters count logical row effects, not versions.
+	seqScans     atomic.Int64
+	idxScans     atomic.Int64
+	rowsRead     atomic.Int64
+	rowsInserted atomic.Int64
+	rowsUpdated  atomic.Int64
+	rowsDeleted  atomic.Int64
 }
 
 // Index is a single-column secondary index backed by a B-tree. Postings
@@ -102,6 +113,9 @@ type Index struct {
 	colPos int
 	tree   *btree
 	nulls  map[int64]int
+
+	// scans counts index-routed scans that used this index.
+	scans atomic.Int64
 }
 
 // colIndex returns the position of name in the table's columns, or -1.
@@ -384,6 +398,87 @@ func (r *storedRow) currentClaimVersion() *rowVersion {
 		return v
 	}
 	return nil
+}
+
+// TableStats is a point-in-time summary of one table's access activity
+// and MVCC storage health, shown on /server-status ("Storage") and
+// exported as per-table metrics. The storage figures (rows, versions,
+// chain depth) come from walking every chain under the shared latch, so
+// the snapshot is for status pages and debugging, not hot paths.
+type TableStats struct {
+	Name            string       `json:"name"`
+	Rows            int          `json:"rows"`      // visible to a fresh snapshot
+	Versions        int          `json:"versions"`  // total chain entries, incl. pending
+	MaxChain        int          `json:"max_chain"` // deepest version chain
+	SeqScans        int64        `json:"seq_scans"`
+	IndexScans      int64        `json:"index_scans"`
+	RowsRead        int64        `json:"rows_read"`
+	RowsInserted    int64        `json:"rows_inserted"`
+	RowsUpdated     int64        `json:"rows_updated"`
+	RowsDeleted     int64        `json:"rows_deleted"`
+	ConflictRetries uint64       `json:"conflict_retries"`
+	Indexes         []IndexStats `json:"indexes,omitempty"`
+}
+
+// IndexStats is one index's identity and usage count.
+type IndexStats struct {
+	Name   string `json:"name"`
+	Column string `json:"column"`
+	Unique bool   `json:"unique"`
+	Scans  int64  `json:"scans"`
+}
+
+// TableStatsSnapshot returns per-table access counters and storage
+// health for every table, sorted by name.
+func (db *Database) TableStatsSnapshot() []TableStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]TableStats, 0, len(keys))
+	for _, k := range keys {
+		t := db.tables[k]
+		st := TableStats{
+			Name:         t.Name,
+			SeqScans:     t.seqScans.Load(),
+			IndexScans:   t.idxScans.Load(),
+			RowsRead:     t.rowsRead.Load(),
+			RowsInserted: t.rowsInserted.Load(),
+			RowsUpdated:  t.rowsUpdated.Load(),
+			RowsDeleted:  t.rowsDeleted.Load(),
+		}
+		if v, ok := db.tableRetries.Load(k); ok {
+			st.ConflictRetries = v.(*atomic.Uint64).Load()
+		}
+		t.mu.RLock()
+		for _, r := range t.rows {
+			n := 0
+			for v := r.head; v != nil; v = v.prev {
+				n++
+			}
+			st.Versions += n
+			if n > st.MaxChain {
+				st.MaxChain = n
+			}
+			if r.visibleVersion(nil, ^uint64(0)) != nil {
+				st.Rows++
+			}
+		}
+		for _, ix := range t.indexes {
+			st.Indexes = append(st.Indexes, IndexStats{
+				Name:   ix.Name,
+				Column: ix.Column,
+				Unique: ix.Unique,
+				Scans:  ix.scans.Load(),
+			})
+		}
+		t.mu.RUnlock()
+		out = append(out, st)
+	}
+	return out
 }
 
 // indexOn returns the first index whose key column is at position pos,

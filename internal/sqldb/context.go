@@ -19,6 +19,8 @@ func StatementKind(st Stmt) string {
 		return "write"
 	case *CreateIndexStmt, *DropIndexStmt:
 		return "ddl"
+	case *ExplainStmt:
+		return "explain"
 	case *BeginStmt, *CommitStmt, *RollbackStmt:
 		return "txn"
 	default:
@@ -39,12 +41,22 @@ func (s *Session) ExecContext(ctx context.Context, sql string, params ...Value) 
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmtContext(ctx, st, params...)
+	info := obs.ExecInfoFrom(ctx)
+	if info == nil {
+		return s.execRecorded(sql, st, params)
+	}
+	info.StmtKind = StatementKind(st)
+	start := time.Now()
+	res, err := s.execRecorded(sql, st, params)
+	info.DBMicros = time.Since(start).Microseconds()
+	info.Digest = s.lastDigest
+	return res, err
 }
 
 // ExecStmtContext is ExecStmt with the context's ExecInfo carrier
 // filled. The timing is taken only when a carrier is present — the
-// plain path stays clock-free.
+// plain path stays clock-free. Without the SQL text there is no digest
+// to record; statement stats accrue only on the text-bearing paths.
 func (s *Session) ExecStmtContext(ctx context.Context, st Stmt, params ...Value) (*Result, error) {
 	info := obs.ExecInfoFrom(ctx)
 	if info == nil {

@@ -68,6 +68,21 @@ type Database struct {
 	conflicts   atomic.Uint64
 	vacuumRows  atomic.Uint64
 	stmtRetries atomic.Uint64
+
+	// tableRetries counts auto-commit conflict retries per target table
+	// (lower-cased name -> *atomic.Uint64): the MVCC health signal that
+	// says *where* first-committer-wins races concentrate.
+	tableRetries sync.Map
+
+	// vacuum sweep accounting: sweeps run, versions examined, versions
+	// reclaimed (vacuumRows above). reclaimed/scanned is the vacuum's
+	// efficiency — low values mean sweeps are mostly wasted walks.
+	vacuumSweeps  atomic.Uint64
+	vacuumScanned atomic.Uint64
+
+	// stmts receives per-digest execution stats; defaults to the shared
+	// Statements registry. Tests swap in a private one.
+	stmts *StatementStats
 }
 
 // NewDatabase creates an empty database.
@@ -77,6 +92,39 @@ func NewDatabase(name string) *Database {
 		tables:  map[string]*Table{},
 		indexes: map[string]*Index{},
 		mvcc:    mvcc.NewManager(),
+		stmts:   Statements,
+	}
+}
+
+// StatementStats returns the registry this database records statement
+// executions into (the shared Statements registry unless overridden).
+func (db *Database) StatementStats() *StatementStats { return db.stmts }
+
+// SetStatementStats redirects statement recording to s (nil disables).
+// Tests use it to observe a single database in isolation.
+func (db *Database) SetStatementStats(s *StatementStats) { db.stmts = s }
+
+// NoteStatementCacheHit records a result-cache hit for sql's digest: an
+// execution the engine never ran. The query cache calls this so the
+// statements table shows cached and executed traffic side by side.
+func (db *Database) NoteStatementCacheHit(sql string) {
+	if db.stmts == nil || !obsEnabled() {
+		return
+	}
+	digest, norm := DigestSQL(sql)
+	db.stmts.NoteCacheHit(digest, norm, "select")
+}
+
+// noteTableRetries bumps the per-table conflict-retry counters after an
+// auto-commit statement loses a first-committer-wins race.
+func (db *Database) noteTableRetries(targets []string) {
+	for _, name := range targets {
+		ln := strings.ToLower(name)
+		if ln == "" {
+			continue
+		}
+		v, _ := db.tableRetries.LoadOrStore(ln, new(atomic.Uint64))
+		v.(*atomic.Uint64).Add(1)
 	}
 }
 
@@ -163,26 +211,34 @@ func sortStrings(s []string) {
 // TxnStats is a point-in-time summary of transaction activity, shown on
 // the gateway's /server-status "Transactions" section.
 type TxnStats struct {
-	ActiveSnapshots int    // distinct live snapshots (open txns + running statements)
-	OldestSnapshot  uint64 // vacuum watermark
-	CommitSeq       uint64 // last published commit sequence
-	Commits         uint64
-	Rollbacks       uint64 // aborts excluding conflicts
-	Conflicts       uint64 // first-committer-wins losers
-	VacuumedRows    uint64 // row versions reclaimed
+	ActiveSnapshots   int           // distinct live snapshots (open txns + running statements)
+	OldestSnapshot    uint64        // vacuum watermark
+	OldestSnapshotAge time.Duration // how long the oldest live snapshot has been held (0 when none)
+	CommitSeq         uint64        // last published commit sequence
+	Commits           uint64
+	Rollbacks         uint64 // aborts excluding conflicts
+	Conflicts         uint64 // first-committer-wins losers
+	ConflictRetries   uint64 // auto-commit statements replayed after losing a race
+	VacuumedRows      uint64 // row versions reclaimed
+	VacuumSweeps      uint64 // background/manual Vacuum() passes
+	VacuumScannedRows uint64 // row versions examined by those passes
 }
 
 // TxnStats returns current transaction counters and watermarks.
 func (db *Database) TxnStats() TxnStats {
 	conflicts := db.conflicts.Load()
 	return TxnStats{
-		ActiveSnapshots: db.mvcc.ActiveSnapshots(),
-		OldestSnapshot:  db.mvcc.OldestSnapshot(),
-		CommitSeq:       db.mvcc.CommitSeq(),
-		Commits:         db.mvcc.Commits(),
-		Rollbacks:       db.mvcc.Aborts() - conflicts,
-		Conflicts:       conflicts,
-		VacuumedRows:    db.vacuumRows.Load(),
+		ActiveSnapshots:   db.mvcc.ActiveSnapshots(),
+		OldestSnapshot:    db.mvcc.OldestSnapshot(),
+		OldestSnapshotAge: db.mvcc.OldestSnapshotAge(),
+		CommitSeq:         db.mvcc.CommitSeq(),
+		Commits:           db.mvcc.Commits(),
+		Rollbacks:         db.mvcc.Aborts() - conflicts,
+		Conflicts:         conflicts,
+		ConflictRetries:   db.stmtRetries.Load(),
+		VacuumedRows:      db.vacuumRows.Load(),
+		VacuumSweeps:      db.vacuumSweeps.Load(),
+		VacuumScannedRows: db.vacuumScanned.Load(),
 	}
 }
 
@@ -194,6 +250,10 @@ type view struct {
 	db   *Database
 	txn  *mvcc.Txn
 	snap uint64
+
+	// trk is non-nil only while an EXPLAIN ANALYZE target executes; the
+	// executor posts per-operator counters to it (see explain.go).
+	trk *execTracker
 }
 
 // --- transaction state ---
@@ -528,6 +588,16 @@ type Session struct {
 	tx         *txnState
 	serialHeld bool
 	closed     bool
+
+	// lastRetries counts conflict retries of the most recent recorded
+	// statement; lastDigest is its statement digest. Sessions are
+	// single-goroutine, so plain fields suffice.
+	lastRetries int64
+	lastDigest  string
+
+	// trk collects per-operator counters while an EXPLAIN ANALYZE target
+	// runs; nil in normal execution.
+	trk *execTracker
 }
 
 // NewSession opens a session on db.
@@ -610,8 +680,44 @@ func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(st, params...)
+	return s.execRecorded(sql, st, params)
 }
+
+// execRecorded executes st and, when engine observability is on, files
+// the execution under sql's digest in the statement stats registry. Only
+// paths that still have the SQL text run through here — ExecScript and
+// prepared statements execute digest-less.
+func (s *Session) execRecorded(sql string, st Stmt, params []Value) (*Result, error) {
+	if s.db.stmts == nil || !obsEnabled() {
+		s.lastDigest = ""
+		return s.ExecStmt(st, params...)
+	}
+	digest, norm := DigestSQL(sql)
+	s.lastDigest = digest
+	s.lastRetries = 0
+	start := time.Now()
+	res, err := s.ExecStmt(st, params...)
+	micros := time.Since(start).Microseconds()
+	var rows int64
+	if res != nil {
+		rows = res.RowsAffected
+	}
+	s.db.stmts.Record(digest, norm, StatementKind(st), micros, rows, s.lastRetries, err != nil)
+	if err == nil {
+		if x, ok := st.(*ExplainStmt); ok && x.Analyze {
+			// File the rendered plan under the *target* statement's digest,
+			// where /debug/statements?digest= readers will look for it.
+			if innerDigest, innerNorm, ok := DigestSQLInner(sql); ok {
+				s.db.stmts.SetPlan(innerDigest, innerNorm, planResultText(res))
+			}
+		}
+	}
+	return res, err
+}
+
+// LastDigest returns the digest of the session's most recent statement
+// executed with SQL text available, or "" when recording was off.
+func (s *Session) LastDigest() string { return s.lastDigest }
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
@@ -633,6 +739,8 @@ func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
 		return &Result{}, nil
 	case *SelectStmt:
 		return s.execRead(x, params)
+	case *ExplainStmt:
+		return s.execExplain(x, params)
 	case *InsertStmt:
 		return s.execDML(func(vw view, tx *txnState) (*Result, error) {
 			return vw.execInsert(tx, x, params)
@@ -679,10 +787,10 @@ func (s *Session) ExecStmt(st Stmt, params ...Value) (*Result, error) {
 // versions mid-statement.
 func (s *Session) reader() (view, func()) {
 	if s.tx != nil {
-		return view{db: s.db, txn: s.tx.txn, snap: s.tx.txn.Snapshot()}, func() {}
+		return view{db: s.db, txn: s.tx.txn, snap: s.tx.txn.Snapshot(), trk: s.trk}, func() {}
 	}
 	snap := s.db.mvcc.AcquireSnapshot()
-	return view{db: s.db, snap: snap}, func() { s.db.mvcc.ReleaseSnapshot(snap) }
+	return view{db: s.db, snap: snap, trk: s.trk}, func() { s.db.mvcc.ReleaseSnapshot(snap) }
 }
 
 func (s *Session) execRead(sel *SelectStmt, params []Value) (*Result, error) {
@@ -738,7 +846,7 @@ func (s *Session) execDML(run func(view, *txnState) (*Result, error), targets ..
 		tx := s.tx
 		mark := len(tx.writes)
 		execStart := obsNow()
-		res, err := run(view{db: db, txn: tx.txn, snap: tx.txn.Snapshot()}, tx)
+		res, err := run(view{db: db, txn: tx.txn, snap: tx.txn.Snapshot(), trk: s.trk}, tx)
 		observeExec(mExecWrite, execStart)
 		if err != nil {
 			db.abortStmt(tx, mark)
@@ -760,7 +868,7 @@ func (s *Session) execDML(run func(view, *txnState) (*Result, error), targets ..
 		lockStart = time.Time{}
 		tx := db.begin()
 		execStart := obsNow()
-		res, err := run(view{db: db, txn: tx.txn, snap: tx.txn.Snapshot()}, tx)
+		res, err := run(view{db: db, txn: tx.txn, snap: tx.txn.Snapshot(), trk: s.trk}, tx)
 		observeExec(mExecWrite, execStart)
 		db.mu.RUnlock()
 		if err == nil {
@@ -777,6 +885,10 @@ func (s *Session) execDML(run func(view, *txnState) (*Result, error), targets ..
 		}
 		if conflict && attempt < maxAutoRetries {
 			db.stmtRetries.Add(1)
+			s.lastRetries++
+			if obsEnabled() {
+				db.noteTableRetries(targets)
+			}
 			retryBackoff(attempt)
 			continue
 		}
@@ -821,6 +933,7 @@ func (s *Session) execDDL(bump bool, run func(*txnState) (*Result, error), targe
 		}
 		if err != nil && IsSerializationFailure(err) {
 			if s.tx == nil && attempt < maxAutoRetries {
+				s.lastRetries++
 				retryBackoff(attempt)
 				continue
 			}

@@ -34,7 +34,7 @@ type rowSet struct {
 // view's snapshot under a shared table latch held only for the scan —
 // the returned value slices are immutable once committed, so evaluation
 // proceeds latch-free.
-func (vw view) scanTable(name, alias string, where Expr, params []Value) (*rowSet, error) {
+func (vw view) scanTable(name, alias string, where Expr, params []Value, site any) (*rowSet, error) {
 	t, err := vw.db.table(name)
 	if err != nil {
 		return nil, err
@@ -47,8 +47,9 @@ func (vw view) scanTable(name, alias string, where Expr, params []Value) (*rowSe
 	for _, c := range t.Columns {
 		rs.cols = append(rs.cols, envCol{tbl: qual, name: strings.ToLower(c.Name)})
 	}
+	start := vw.trk.now()
 	t.mu.RLock()
-	cands := vw.candidateRows(t, qual, where, params)
+	cands, plan := vw.candidateRows(t, qual, where, params)
 	rs.rows = make([][]Value, 0, len(cands))
 	for _, r := range cands {
 		if v := r.visibleVersion(vw.txn, vw.snap); v != nil {
@@ -56,25 +57,52 @@ func (vw view) scanTable(name, alias string, where Expr, params []Value) (*rowSe
 		}
 	}
 	t.mu.RUnlock()
+	noteScan(t, plan, len(rs.rows))
+	vw.trk.scan(site, plan, len(cands), len(rs.rows), start)
 	return rs, nil
+}
+
+// noteScan bumps the per-table and per-index access counters for one
+// scan. Unconditional: the counters are plain atomics, cheap enough to
+// keep accurate even when the obs registry is disabled.
+func noteScan(t *Table, plan *indexScanPlan, rows int) {
+	if plan != nil {
+		t.idxScans.Add(1)
+		plan.ix.scans.Add(1)
+	} else {
+		t.seqScans.Add(1)
+	}
+	t.rowsRead.Add(int64(rows))
 }
 
 // candidateRows picks between a full heap scan and an index scan based
 // on top-level AND conjuncts of the WHERE clause. Returned rows are in
 // row-ID order so results stay deterministic; they are candidates only
 // (index postings are a multiset over versions), so the caller must
-// resolve snapshot visibility and re-apply the WHERE clause. Caller
-// holds the table latch.
-func (vw view) candidateRows(t *Table, qual string, where Expr, params []Value) []*storedRow {
+// resolve snapshot visibility and re-apply the WHERE clause. The second
+// return is the access-path decision (nil = sequential scan), which
+// EXPLAIN renders and the tracker records. Caller holds the table latch.
+func (vw view) candidateRows(t *Table, qual string, where Expr, params []Value) ([]*storedRow, *indexScanPlan) {
+	if p := vw.planScanAccess(t, qual, where, params); p != nil {
+		return t.runIndexScan(p), p
+	}
+	return t.rows, nil
+}
+
+// planScanAccess decides the access path for scanning t under the given
+// WHERE clause: the first top-level conjunct an index can satisfy wins.
+// Pure planning — no tree reads — so EXPLAIN (without ANALYZE) calls it
+// too. Caller holds db.mu at least shared (DDL excluded).
+func (vw view) planScanAccess(t *Table, qual string, where Expr, params []Value) *indexScanPlan {
 	if where == nil || vw.db.noIndexScan {
-		return t.rows
+		return nil
 	}
 	for _, conj := range andConjuncts(where) {
-		if rows, ok := tryIndexScan(t, qual, conj, params); ok {
-			return rows
+		if p := planIndexScan(t, qual, conj, params); p != nil {
+			return p
 		}
 	}
-	return t.rows
+	return nil
 }
 
 // andConjuncts flattens a chain of top-level ANDs.
@@ -121,57 +149,49 @@ func columnForQual(t *Table, qual string, c *ColumnRef) int {
 	return t.colIndex(c.Column)
 }
 
-// tryIndexScan attempts to satisfy one conjunct with an index. Supported
-// shapes: col = const, const = col, col LIKE 'prefix%', and col
-// range comparisons against constants. Because postings are a multiset
-// over row versions, the same row ID can surface more than once;
-// collect sorts and de-duplicates so each candidate appears exactly
-// once, in row-ID order.
-func tryIndexScan(t *Table, qual string, conj Expr, params []Value) ([]*storedRow, bool) {
-	collect := func(ids []int64) []*storedRow {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		rows := make([]*storedRow, 0, len(ids))
-		last := int64(-1)
-		for _, id := range ids {
-			if id == last {
-				continue
-			}
-			last = id
-			if r, ok := t.byID[id]; ok {
-				rows = append(rows, r)
-			}
-		}
-		return rows
-	}
+// indexScanPlan is one resolved access-path decision: which index serves
+// which conjunct, with the comparison key already coerced to the column
+// type. Planning (shape matching) is separated from running (tree reads)
+// so EXPLAIN can show the decision without touching the data.
+type indexScanPlan struct {
+	ix     *Index
+	op     string // "=", "<", "<=", ">", ">=", or "like"
+	key    Value  // comparison key for "=" and range ops
+	prefix string // literal prefix for "like"
+	conj   Expr   // the WHERE conjunct the index satisfies
+}
+
+// planIndexScan attempts to satisfy one conjunct with an index. Supported
+// shapes: col = const, const = col, col LIKE 'prefix%', and col range
+// comparisons against constants. Returns nil when no index applies.
+func planIndexScan(t *Table, qual string, conj Expr, params []Value) *indexScanPlan {
 	switch x := conj.(type) {
 	case *Binary:
 		if x.Op == "=" {
-			if c, ok := x.L.(*ColumnRef); ok {
-				if pos := columnForQual(t, qual, c); pos >= 0 {
-					if v, ok := constValue(x.R, params); ok && !v.IsNull() {
-						if ix := t.indexOn(pos); ix != nil {
-							key, err := coerceToColumn(v, t.Columns[pos].Type)
-							if err != nil {
-								return nil, false
-							}
-							return collect(append([]int64(nil), ix.tree.lookup(key)...)), true
-						}
-					}
+			for _, side := range [2]struct{ col, val Expr }{{x.L, x.R}, {x.R, x.L}} {
+				c, ok := side.col.(*ColumnRef)
+				if !ok {
+					continue
 				}
-			}
-			if c, ok := x.R.(*ColumnRef); ok {
-				if pos := columnForQual(t, qual, c); pos >= 0 {
-					if v, ok := constValue(x.L, params); ok && !v.IsNull() {
-						if ix := t.indexOn(pos); ix != nil {
-							key, err := coerceToColumn(v, t.Columns[pos].Type)
-							if err != nil {
-								return nil, false
-							}
-							return collect(append([]int64(nil), ix.tree.lookup(key)...)), true
-						}
-					}
+				pos := columnForQual(t, qual, c)
+				if pos < 0 {
+					continue
 				}
+				v, ok := constValue(side.val, params)
+				if !ok || v.IsNull() {
+					continue
+				}
+				ix := t.indexOn(pos)
+				if ix == nil {
+					continue
+				}
+				key, err := coerceToColumn(v, t.Columns[pos].Type)
+				if err != nil {
+					return nil
+				}
+				return &indexScanPlan{ix: ix, op: "=", key: key, conj: conj}
 			}
+			return nil
 		}
 		if x.Op == "<" || x.Op == "<=" || x.Op == ">" || x.Op == ">=" {
 			c, ok := x.L.(*ColumnRef)
@@ -193,82 +213,96 @@ func tryIndexScan(t *Table, qual string, conj Expr, params []Value) ([]*storedRo
 						op = "<="
 					}
 				} else {
-					return nil, false
+					return nil
 				}
 			}
 			pos := columnForQual(t, qual, c)
 			if pos < 0 {
-				return nil, false
+				return nil
 			}
 			v, ok := constValue(rhs, params)
 			if !ok || v.IsNull() {
-				return nil, false
+				return nil
 			}
 			ix := t.indexOn(pos)
 			if ix == nil {
-				return nil, false
+				return nil
 			}
 			key, err := coerceToColumn(v, t.Columns[pos].Type)
 			if err != nil {
-				return nil, false
+				return nil
 			}
-			var ids []int64
-			switch op {
-			case "<":
-				ix.tree.ascendRange(nil, &key, false, false, func(_ Value, post []int64) bool {
-					ids = append(ids, post...)
-					return true
-				})
-			case "<=":
-				ix.tree.ascendRange(nil, &key, false, true, func(_ Value, post []int64) bool {
-					ids = append(ids, post...)
-					return true
-				})
-			case ">":
-				ix.tree.ascendRange(&key, nil, false, false, func(_ Value, post []int64) bool {
-					ids = append(ids, post...)
-					return true
-				})
-			case ">=":
-				ix.tree.ascendRange(&key, nil, true, false, func(_ Value, post []int64) bool {
-					ids = append(ids, post...)
-					return true
-				})
-			}
-			return collect(ids), true
+			return &indexScanPlan{ix: ix, op: op, key: key, conj: conj}
 		}
 	case *LikeExpr:
 		if x.Not || x.Escape != nil {
-			return nil, false
+			return nil
 		}
 		c, ok := x.X.(*ColumnRef)
 		if !ok {
-			return nil, false
+			return nil
 		}
 		pos := columnForQual(t, qual, c)
 		if pos < 0 || t.Columns[pos].Type != TString {
-			return nil, false
+			return nil
 		}
 		pv, ok := constValue(x.Pattern, params)
 		if !ok || pv.IsNull() {
-			return nil, false
+			return nil
 		}
 		prefix, ok := likePrefix(pv.String())
 		if !ok || prefix == "" {
-			return nil, false
+			return nil
 		}
 		ix := t.indexOn(pos)
 		if ix == nil {
-			return nil, false
+			return nil
 		}
-		var ids []int64
-		ix.tree.scanPrefix(prefix, func(_ Value, post []int64) bool {
-			ids = append(ids, post...)
-			return true
-		})
-		return collect(ids), true
+		return &indexScanPlan{ix: ix, op: "like", prefix: prefix, conj: conj}
 	}
-	return nil, false
+	return nil
+}
+
+// runIndexScan executes a planned index access. Because postings are a
+// multiset over row versions, the same row ID can surface more than
+// once; collect sorts and de-duplicates so each candidate appears
+// exactly once, in row-ID order. Caller holds the table latch.
+func (t *Table) runIndexScan(p *indexScanPlan) []*storedRow {
+	collect := func(ids []int64) []*storedRow {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		rows := make([]*storedRow, 0, len(ids))
+		last := int64(-1)
+		for _, id := range ids {
+			if id == last {
+				continue
+			}
+			last = id
+			if r, ok := t.byID[id]; ok {
+				rows = append(rows, r)
+			}
+		}
+		return rows
+	}
+	var ids []int64
+	gather := func(_ Value, post []int64) bool {
+		ids = append(ids, post...)
+		return true
+	}
+	switch p.op {
+	case "=":
+		ids = append(ids, p.ix.tree.lookup(p.key)...)
+	case "<":
+		p.ix.tree.ascendRange(nil, &p.key, false, false, gather)
+	case "<=":
+		p.ix.tree.ascendRange(nil, &p.key, false, true, gather)
+	case ">":
+		p.ix.tree.ascendRange(&p.key, nil, false, false, gather)
+	case ">=":
+		p.ix.tree.ascendRange(&p.key, nil, true, false, gather)
+	case "like":
+		p.ix.tree.scanPrefix(p.prefix, gather)
+	}
+	return collect(ids)
 }
 
 // crossJoin combines two row sets with a filter-less nested loop.
@@ -329,7 +363,8 @@ func (vw view) joinOn(a, b *rowSet, cond Expr, kind JoinKind, params []Value) (*
 
 // derivedRowSet materialises a derived table (FROM subquery) under its
 // alias.
-func (vw view) derivedRowSet(sub *SelectStmt, alias string, params []Value) (*rowSet, error) {
+func (vw view) derivedRowSet(sub *SelectStmt, alias string, params []Value, site any) (*rowSet, error) {
+	start := vw.trk.now()
 	res, err := vw.execSelect(sub, params)
 	if err != nil {
 		return nil, err
@@ -339,11 +374,15 @@ func (vw view) derivedRowSet(sub *SelectStmt, alias string, params []Value) (*ro
 	for _, c := range res.Columns {
 		rs.cols = append(rs.cols, envCol{tbl: qual, name: strings.ToLower(c)})
 	}
+	vw.trk.scan(site, nil, len(rs.rows), len(rs.rows), start)
 	return rs, nil
 }
 
 // buildFrom assembles the full FROM row set (joins + comma cross joins).
 // `where` enables index routing only for the single-base-table case.
+// Tracker sites are addresses into sel's From slice: execUnion's head
+// copy shares that backing array with the original statement, so the
+// events land on the nodes the plan renderer keyed.
 func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 	if len(sel.From) == 0 {
 		// SELECT without FROM evaluates expressions over a single empty row.
@@ -352,7 +391,8 @@ func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 	singleTable := len(sel.From) == 1 && len(sel.From[0].Joins) == 0 &&
 		sel.From[0].Sub == nil
 	var acc *rowSet
-	for i, tr := range sel.From {
+	for i := range sel.From {
+		tr := &sel.From[i]
 		var where Expr
 		if singleTable && i == 0 {
 			where = sel.Where
@@ -360,23 +400,26 @@ func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 		var rs *rowSet
 		var err error
 		if tr.Sub != nil {
-			rs, err = vw.derivedRowSet(tr.Sub, tr.Alias, params)
+			rs, err = vw.derivedRowSet(tr.Sub, tr.Alias, params, tr)
 		} else {
-			rs, err = vw.scanTable(tr.Table, tr.Alias, where, params)
+			rs, err = vw.scanTable(tr.Table, tr.Alias, where, params, tr)
 		}
 		if err != nil {
 			return nil, err
 		}
-		for _, jc := range tr.Joins {
+		for j := range tr.Joins {
+			jc := &tr.Joins[j]
 			var right *rowSet
 			if jc.Sub != nil {
-				right, err = vw.derivedRowSet(jc.Sub, jc.Alias, params)
+				right, err = vw.derivedRowSet(jc.Sub, jc.Alias, params, jc)
 			} else {
-				right, err = vw.scanTable(jc.Table, jc.Alias, nil, params)
+				right, err = vw.scanTable(jc.Table, jc.Alias, nil, params, jc)
 			}
 			if err != nil {
 				return nil, err
 			}
+			joinStart := vw.trk.now()
+			inRows := len(rs.rows)
 			if jc.Kind == JoinCross {
 				rs = crossJoin(rs, right)
 			} else {
@@ -385,6 +428,7 @@ func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 					return nil, err
 				}
 			}
+			vw.trk.join(jc, inRows*len(right.rows), len(rs.rows), joinStart)
 		}
 		if acc == nil {
 			acc = rs
@@ -499,6 +543,7 @@ func (vw view) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
 }
 
 func (vw view) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error) {
+	selStart := vw.trk.now()
 	from, err := vw.buildFrom(sel, params)
 	if err != nil {
 		return nil, err
@@ -525,6 +570,7 @@ func (vw view) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error
 			}
 		}
 		rows = kept
+		vw.trk.stage(sel, "where", len(from.rows), len(rows))
 	}
 
 	pr, err := vw.expandProjection(sel, from)
@@ -661,6 +707,7 @@ func (vw view) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error
 			}
 			outs = append(outs, outRow{env: genv})
 		}
+		vw.trk.stage(sel, "aggregate", len(rows), len(outs))
 	} else {
 		for _, r := range rows {
 			outs = append(outs, outRow{env: &evalEnv{cols: from.cols, params: params, row: r, vw: &vw, subCache: subCache}})
@@ -739,10 +786,12 @@ func (vw view) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error
 			seen[k] = struct{}{}
 			kept = append(kept, r)
 		}
+		vw.trk.stage(sel, "distinct", len(res.Rows), len(kept))
 		res.Rows = kept
 	}
 
 	// LIMIT / OFFSET.
+	preLimit := len(res.Rows)
 	if sel.Offset != nil {
 		v, ok := constValue(sel.Offset, params)
 		if !ok {
@@ -771,6 +820,10 @@ func (vw view) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error
 			res.Rows = res.Rows[:n]
 		}
 	}
+	if sel.Limit != nil || sel.Offset != nil {
+		vw.trk.stage(sel, "limit", preLimit, len(res.Rows))
+	}
+	vw.trk.sel(sel, len(res.Rows), selStart)
 	res.RowsAffected = int64(len(res.Rows))
 	return res, nil
 }
@@ -862,6 +915,7 @@ func (vw view) execInsert(tx *txnState, ins *InsertStmt, params []Value) (*Resul
 	}
 	// Phase 3: apply.
 	res := &Result{}
+	applyStart := vw.trk.now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, vals := range planned {
@@ -878,6 +932,8 @@ func (vw view) execInsert(tx *txnState, ins *InsertStmt, params []Value) (*Resul
 		res.RowsAffected++
 		res.LastInsertID = row.id
 	}
+	t.rowsInserted.Add(res.RowsAffected)
+	vw.trk.dml(ins, int(res.RowsAffected), applyStart)
 	return res, nil
 }
 
@@ -891,16 +947,19 @@ type dmlTarget struct {
 // snapshotTargets collects the rows visible to the view that are
 // candidates for a WHERE clause, releasing the latch before any
 // expression runs.
-func (vw view) snapshotTargets(t *Table, qual string, where Expr, params []Value) []dmlTarget {
+func (vw view) snapshotTargets(t *Table, qual string, where Expr, params []Value, site any) []dmlTarget {
+	start := vw.trk.now()
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	cands := vw.candidateRows(t, qual, where, params)
+	cands, plan := vw.candidateRows(t, qual, where, params)
 	targets := make([]dmlTarget, 0, len(cands))
 	for _, r := range cands {
 		if v := r.visibleVersion(vw.txn, vw.snap); v != nil {
 			targets = append(targets, dmlTarget{row: r, vals: v.vals})
 		}
 	}
+	t.mu.RUnlock()
+	noteScan(t, plan, len(targets))
+	vw.trk.scan(site, plan, len(cands), len(targets), start)
 	return targets
 }
 
@@ -939,7 +998,8 @@ func (vw view) execUpdate(tx *txnState, up *UpdateStmt, params []Value) (*Result
 		vals []Value
 	}
 	var plan []plannedUpdate
-	for _, tgt := range vw.snapshotTargets(t, qual, up.Where, params) {
+	targets := vw.snapshotTargets(t, qual, up.Where, params, up)
+	for _, tgt := range targets {
 		env.row = tgt.vals
 		if up.Where != nil {
 			v, err := eval(up.Where, env)
@@ -970,8 +1030,10 @@ func (vw view) execUpdate(tx *txnState, up *UpdateStmt, params []Value) (*Result
 		}
 		plan = append(plan, plannedUpdate{row: tgt.row, vals: newVals})
 	}
+	vw.trk.stage(up, "filter", len(targets), len(plan))
 	// Phase 3: apply.
 	res := &Result{}
+	applyStart := vw.trk.now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, p := range plan {
@@ -1003,6 +1065,8 @@ func (vw view) execUpdate(tx *txnState, up *UpdateStmt, params []Value) (*Result
 		tx.record(t, p.row, nv, cur)
 		res.RowsAffected++
 	}
+	t.rowsUpdated.Add(res.RowsAffected)
+	vw.trk.dml(up, int(res.RowsAffected), applyStart)
 	return res, nil
 }
 
@@ -1025,7 +1089,8 @@ func (vw view) execDelete(tx *txnState, del *DeleteStmt, params []Value) (*Resul
 		}
 	}
 	var rows []*storedRow
-	for _, tgt := range vw.snapshotTargets(t, qual, del.Where, params) {
+	targets := vw.snapshotTargets(t, qual, del.Where, params, del)
+	for _, tgt := range targets {
 		if del.Where != nil {
 			env.row = tgt.vals
 			v, err := eval(del.Where, env)
@@ -1039,7 +1104,9 @@ func (vw view) execDelete(tx *txnState, del *DeleteStmt, params []Value) (*Resul
 		}
 		rows = append(rows, tgt.row)
 	}
+	vw.trk.stage(del, "filter", len(targets), len(rows))
 	res := &Result{}
+	applyStart := vw.trk.now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, row := range rows {
@@ -1054,6 +1121,8 @@ func (vw view) execDelete(tx *txnState, del *DeleteStmt, params []Value) (*Resul
 		tx.record(t, row, nil, cur)
 		res.RowsAffected++
 	}
+	t.rowsDeleted.Add(res.RowsAffected)
+	vw.trk.dml(del, int(res.RowsAffected), applyStart)
 	return res, nil
 }
 

@@ -15,6 +15,9 @@ func (vw view) execUnion(sel *SelectStmt, params []Value) (*Result, error) {
 	head := *sel
 	head.Unions = nil
 	head.OrderBy, head.Limit, head.Offset = nil, nil, nil
+	// The head arm runs through a copy; point the copy's tracking site at
+	// the original so EXPLAIN ANALYZE counters land on the plan's node.
+	head.site = sel.siteKey()
 	res, err := vw.execSelectSingle(&head, params)
 	if err != nil {
 		return nil, err
@@ -46,6 +49,7 @@ func (vw view) execUnion(sel *SelectStmt, params []Value) (*Result, error) {
 			seen[k] = struct{}{}
 			kept = append(kept, r)
 		}
+		vw.trk.stage(sel, "union", len(res.Rows), len(kept))
 		res.Rows = kept
 	}
 	if len(sel.OrderBy) > 0 {

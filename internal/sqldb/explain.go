@@ -1,0 +1,772 @@
+package sqldb
+
+// EXPLAIN [ANALYZE] support: a plan tree built by mirroring the
+// executor's structural decisions (planScanAccess picks the same access
+// path execution would), an execution tracker the executor posts
+// per-operator counters to while an ANALYZE target runs, and a renderer
+// that joins the two.
+//
+// The tracker keys operator events on AST node identity (pointers into
+// the statement being explained), so the plan builder and the executor
+// agree on which counters belong to which plan node without any side
+// channel. execUnion's head copy is the one place a statement executes
+// through a different pointer than the one planned; SelectStmt.site
+// re-points the copy's events at the original (see siteKey).
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// --- execution tracker ---
+
+// opStats accumulates one operator's observed behaviour across however
+// many times it ran (conflict retries re-run the whole statement, so
+// calls can exceed 1).
+type opStats struct {
+	calls    int
+	examined int   // rows considered (scan candidates, join pairs)
+	returned int   // rows produced
+	in, out  int   // pipeline-stage input/output rows
+	micros   int64 // time spent in the operator
+}
+
+// Tracker keys: one comparable type per operator family so different
+// event kinds on the same AST node never collide (a SELECT node owns
+// both a selKey and several stageKeys).
+type (
+	scanKey  struct{ site any } // *TableRef, *JoinClause, *UpdateStmt, *DeleteStmt
+	joinKey  struct{ jc *JoinClause }
+	stageKey struct {
+		site  any
+		stage string // "where", "aggregate", "distinct", "limit", "union", "filter"
+	}
+	selKey struct{ sel *SelectStmt }
+	dmlKey struct{ st Stmt }
+)
+
+// execTracker collects per-operator counters while an EXPLAIN ANALYZE
+// target executes. It lives on the Session and is reached through the
+// view; sessions are single-goroutine, so no locking. Every method is
+// nil-receiver-safe: the normal execution path calls them with a nil
+// tracker and must pay nothing beyond the nil check.
+type execTracker struct {
+	ops map[any]*opStats
+}
+
+func newExecTracker() *execTracker { return &execTracker{ops: map[any]*opStats{}} }
+
+// now returns the current time when tracking is active, and the zero
+// time otherwise, keeping clock reads off the untracked hot path.
+func (trk *execTracker) now() time.Time {
+	if trk == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (trk *execTracker) get(key any) *opStats {
+	o, ok := trk.ops[key]
+	if !ok {
+		o = &opStats{}
+		trk.ops[key] = o
+	}
+	return o
+}
+
+// scan records one table/derived-table scan: candidates examined, rows
+// returned after visibility and routing, and wall time since start.
+func (trk *execTracker) scan(site any, _ *indexScanPlan, examined, returned int, start time.Time) {
+	if trk == nil {
+		return
+	}
+	o := trk.get(scanKey{site})
+	o.calls++
+	o.examined += examined
+	o.returned += returned
+	o.micros += time.Since(start).Microseconds()
+}
+
+// join records one join evaluation: pairs considered and rows kept.
+func (trk *execTracker) join(jc *JoinClause, examined, returned int, start time.Time) {
+	if trk == nil {
+		return
+	}
+	o := trk.get(joinKey{jc})
+	o.calls++
+	o.examined += examined
+	o.returned += returned
+	o.micros += time.Since(start).Microseconds()
+}
+
+// stage records one pipeline stage (WHERE, aggregate, DISTINCT, LIMIT,
+// UNION dedupe, DML filter) as an input/output row-count pair.
+func (trk *execTracker) stage(site any, stage string, in, out int) {
+	if trk == nil {
+		return
+	}
+	if s, ok := site.(*SelectStmt); ok {
+		site = s.siteKey()
+	}
+	o := trk.get(stageKey{site: site, stage: stage})
+	o.calls++
+	o.in += in
+	o.out += out
+}
+
+// sel records one SELECT's final row count and total evaluation time.
+func (trk *execTracker) sel(sel *SelectStmt, rows int, start time.Time) {
+	if trk == nil {
+		return
+	}
+	o := trk.get(selKey{sel.siteKey()})
+	o.calls++
+	o.returned += rows
+	o.micros += time.Since(start).Microseconds()
+}
+
+// dml records one INSERT/UPDATE/DELETE apply phase.
+func (trk *execTracker) dml(st Stmt, rows int, start time.Time) {
+	if trk == nil {
+		return
+	}
+	o := trk.get(dmlKey{st})
+	o.calls++
+	o.returned += rows
+	o.micros += time.Since(start).Microseconds()
+}
+
+// --- plan tree ---
+
+// planProp is one annotation line under a plan node ("Filter: ...").
+// When site is non-nil, ANALYZE appends that stage's in/out counters.
+type planProp struct {
+	text string
+	site any
+}
+
+// planNode is one operator in the rendered plan tree. site is the
+// tracker key whose counters annotate the node under ANALYZE; nil means
+// the node is structural only.
+type planNode struct {
+	label string
+	props []planProp
+	site  any
+	kids  []*planNode
+}
+
+// planStmt builds the plan tree for an explainable statement. Caller
+// holds db.mu at least shared so catalog and index lookups are stable.
+func (vw view) planStmt(st Stmt, params []Value) (*planNode, error) {
+	switch x := st.(type) {
+	case *SelectStmt:
+		return vw.planSelect(x, params)
+	case *InsertStmt:
+		t, err := vw.db.table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		n := &planNode{label: "Insert on " + t.Name, site: dmlKey{st}}
+		n.props = append(n.props, planProp{text: fmt.Sprintf("Rows: %d", len(x.Rows))})
+		for _, row := range x.Rows {
+			for _, e := range row {
+				if err := vw.appendSubPlans(n, e, params); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return n, nil
+	case *UpdateStmt:
+		t, err := vw.db.table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		n := &planNode{label: "Update on " + t.Name, site: dmlKey{st}}
+		sets := make([]string, len(x.Set))
+		for i, sc := range x.Set {
+			sets[i] = sc.Column + " = " + exprString(sc.Value)
+		}
+		n.props = append(n.props, planProp{text: "Set: " + strings.Join(sets, ", ")})
+		if x.Where != nil {
+			n.props = append(n.props, planProp{
+				text: "Filter: " + exprString(x.Where),
+				site: stageKey{site: any(x), stage: "filter"},
+			})
+		}
+		scan, err := vw.planScanNode(x.Table, x.Alias, x.Where, params, x)
+		if err != nil {
+			return nil, err
+		}
+		n.kids = append(n.kids, scan)
+		if err := vw.appendSubPlans(n, x.Where, params); err != nil {
+			return nil, err
+		}
+		for _, sc := range x.Set {
+			if err := vw.appendSubPlans(n, sc.Value, params); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case *DeleteStmt:
+		t, err := vw.db.table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		n := &planNode{label: "Delete on " + t.Name, site: dmlKey{st}}
+		if x.Where != nil {
+			n.props = append(n.props, planProp{
+				text: "Filter: " + exprString(x.Where),
+				site: stageKey{site: any(x), stage: "filter"},
+			})
+		}
+		scan, err := vw.planScanNode(x.Table, x.Alias, x.Where, params, x)
+		if err != nil {
+			return nil, err
+		}
+		n.kids = append(n.kids, scan)
+		if err := vw.appendSubPlans(n, x.Where, params); err != nil {
+			return nil, err
+		}
+		return n, nil
+	default:
+		return nil, errSyntax("EXPLAIN supports SELECT, INSERT, UPDATE, or DELETE")
+	}
+}
+
+// planSelect builds the tree for a SELECT, dispatching a UNION chain to
+// a Union node over its arms, mirroring execSelect.
+func (vw view) planSelect(sel *SelectStmt, params []Value) (*planNode, error) {
+	if len(sel.Unions) == 0 {
+		return vw.planSelectCore(sel, params, false)
+	}
+	allAll := true
+	for _, part := range sel.Unions {
+		if !part.All {
+			allAll = false
+		}
+	}
+	un := &planNode{label: "Union"}
+	if allAll {
+		un.label = "Union All"
+	} else {
+		un.site = stageKey{site: any(sel), stage: "union"}
+	}
+	if len(sel.OrderBy) > 0 {
+		un.props = append(un.props, planProp{text: "Order By: " + orderByString(sel.OrderBy)})
+	}
+	if sel.Offset != nil {
+		un.props = append(un.props, planProp{text: "Offset: " + exprString(sel.Offset)})
+	}
+	if sel.Limit != nil {
+		un.props = append(un.props, planProp{text: "Limit: " + exprString(sel.Limit)})
+	}
+	head, err := vw.planSelectCore(sel, params, true)
+	if err != nil {
+		return nil, err
+	}
+	un.kids = append(un.kids, head)
+	for _, part := range sel.Unions {
+		arm, err := vw.planSelectCore(part.Sel, params, false)
+		if err != nil {
+			return nil, err
+		}
+		un.kids = append(un.kids, arm)
+	}
+	return un, nil
+}
+
+// planSelectCore builds the node for one SELECT arm. unionHead marks the
+// head of a UNION chain, whose ORDER BY/LIMIT/OFFSET belong to the whole
+// chain (execUnion strips them from the head copy it runs).
+func (vw view) planSelectCore(sel *SelectStmt, params []Value, unionHead bool) (*planNode, error) {
+	n := &planNode{label: "Select", site: selKey{sel}}
+	if sel.Where != nil {
+		n.props = append(n.props, planProp{
+			text: "Filter: " + exprString(sel.Where),
+			site: stageKey{site: any(sel), stage: "where"},
+		})
+	}
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || selHasAggregate(sel)
+	if len(sel.GroupBy) > 0 {
+		n.props = append(n.props, planProp{text: "Group By: " + exprListString(sel.GroupBy)})
+	}
+	if grouped {
+		n.props = append(n.props, planProp{
+			text: "Aggregate",
+			site: stageKey{site: any(sel), stage: "aggregate"},
+		})
+	}
+	if sel.Having != nil {
+		n.props = append(n.props, planProp{text: "Having: " + exprString(sel.Having)})
+	}
+	if sel.Distinct {
+		n.props = append(n.props, planProp{
+			text: "Distinct",
+			site: stageKey{site: any(sel), stage: "distinct"},
+		})
+	}
+	if !unionHead {
+		if len(sel.OrderBy) > 0 {
+			n.props = append(n.props, planProp{text: "Order By: " + orderByString(sel.OrderBy)})
+		}
+		limitSite := any(nil)
+		if sel.Limit != nil || sel.Offset != nil {
+			limitSite = stageKey{site: any(sel), stage: "limit"}
+		}
+		if sel.Offset != nil {
+			site := limitSite
+			if sel.Limit != nil {
+				site = nil // counters render on the Limit line
+			}
+			n.props = append(n.props, planProp{text: "Offset: " + exprString(sel.Offset), site: site})
+		}
+		if sel.Limit != nil {
+			n.props = append(n.props, planProp{text: "Limit: " + exprString(sel.Limit), site: limitSite})
+		}
+	}
+	kids, err := vw.planFrom(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	n.kids = kids
+	for _, it := range sel.Items {
+		if err := vw.appendSubPlans(n, it.Expr, params); err != nil {
+			return nil, err
+		}
+	}
+	if err := vw.appendSubPlans(n, sel.Where, params); err != nil {
+		return nil, err
+	}
+	for _, g := range sel.GroupBy {
+		if err := vw.appendSubPlans(n, g, params); err != nil {
+			return nil, err
+		}
+	}
+	if err := vw.appendSubPlans(n, sel.Having, params); err != nil {
+		return nil, err
+	}
+	if !unionHead {
+		for _, o := range sel.OrderBy {
+			if err := vw.appendSubPlans(n, o.Expr, params); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// planFrom mirrors buildFrom: one scan node per table reference, joins
+// wrapped around their left input in declaration order, comma-list
+// entries combined under Cross Join nodes.
+func (vw view) planFrom(sel *SelectStmt, params []Value) ([]*planNode, error) {
+	if len(sel.From) == 0 {
+		return []*planNode{{label: "Result"}}, nil
+	}
+	singleTable := len(sel.From) == 1 && len(sel.From[0].Joins) == 0 &&
+		sel.From[0].Sub == nil
+	var acc *planNode
+	for i := range sel.From {
+		tr := &sel.From[i]
+		var where Expr
+		if singleTable && i == 0 {
+			where = sel.Where
+		}
+		var node *planNode
+		var err error
+		if tr.Sub != nil {
+			node, err = vw.planSubqueryScan(tr.Sub, tr.Alias, params, tr)
+		} else {
+			node, err = vw.planScanNode(tr.Table, tr.Alias, where, params, tr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for j := range tr.Joins {
+			jc := &tr.Joins[j]
+			var right *planNode
+			if jc.Sub != nil {
+				right, err = vw.planSubqueryScan(jc.Sub, jc.Alias, params, jc)
+			} else {
+				right, err = vw.planScanNode(jc.Table, jc.Alias, nil, params, jc)
+			}
+			if err != nil {
+				return nil, err
+			}
+			jn := &planNode{site: joinKey{jc}}
+			switch jc.Kind {
+			case JoinCross:
+				jn.label = "Cross Join"
+			case JoinLeft:
+				jn.label = "Nested Loop Left Join"
+			default:
+				jn.label = "Nested Loop Join"
+			}
+			if jc.On != nil {
+				jn.props = append(jn.props, planProp{text: "Join Cond: " + exprString(jc.On)})
+			}
+			jn.kids = []*planNode{node, right}
+			node = jn
+		}
+		if acc == nil {
+			acc = node
+		} else {
+			acc = &planNode{label: "Cross Join", kids: []*planNode{acc, node}}
+		}
+	}
+	return []*planNode{acc}, nil
+}
+
+// planScanNode builds a Seq Scan or Index Scan node for one base table,
+// asking planScanAccess for the same access-path decision execution
+// makes. site is the tracker identity the executor posts scan events on.
+func (vw view) planScanNode(table, alias string, where Expr, params []Value, site any) (*planNode, error) {
+	t, err := vw.db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	qual := strings.ToLower(alias)
+	if qual == "" {
+		qual = strings.ToLower(t.Name)
+	}
+	display := t.Name
+	if alias != "" && !strings.EqualFold(alias, t.Name) {
+		display += " as " + alias
+	}
+	n := &planNode{site: scanKey{site}}
+	if p := vw.planScanAccess(t, qual, where, params); p != nil {
+		n.label = "Index Scan on " + display + " using " + p.ix.Name
+		n.props = append(n.props, planProp{text: "Index Cond: " + exprString(p.conj)})
+	} else {
+		n.label = "Seq Scan on " + display
+	}
+	return n, nil
+}
+
+// planSubqueryScan builds the node for a derived table (FROM subquery).
+func (vw view) planSubqueryScan(sub *SelectStmt, alias string, params []Value, site any) (*planNode, error) {
+	inner, err := vw.planSelect(sub, params)
+	if err != nil {
+		return nil, err
+	}
+	return &planNode{
+		label: "Subquery Scan on " + alias,
+		site:  scanKey{site},
+		kids:  []*planNode{inner},
+	}, nil
+}
+
+// appendSubPlans adds a SubPlan child for every subquery expression in
+// e, in AST order. walkExpr treats *Subquery as a closed scope, so
+// nested subqueries attach to their own enclosing SELECT's node.
+func (vw view) appendSubPlans(n *planNode, e Expr, params []Value) error {
+	var walkErr error
+	walkExpr(e, func(x Expr) bool {
+		if walkErr != nil {
+			return false
+		}
+		if sq, ok := x.(*Subquery); ok {
+			inner, err := vw.planSelect(sq.Sel, params)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			n.kids = append(n.kids, &planNode{label: "SubPlan", kids: []*planNode{inner}})
+		}
+		return true
+	})
+	return walkErr
+}
+
+// selHasAggregate reports whether the SELECT computes any aggregate,
+// checking the same expression positions collectAggregates scans.
+func selHasAggregate(sel *SelectStmt) bool {
+	found := false
+	check := func(e Expr) {
+		walkExpr(e, func(x Expr) bool {
+			if fc, ok := x.(*FuncCall); ok && isAggregate(fc.Name) {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		check(it.Expr)
+	}
+	check(sel.Having)
+	for _, o := range sel.OrderBy {
+		check(o.Expr)
+	}
+	return found
+}
+
+// --- rendering ---
+
+// renderPlan flattens the plan tree into QUERY PLAN lines, annotating
+// nodes and stage props with tracker counters when trk is non-nil (i.e.
+// ANALYZE ran).
+func renderPlan(root *planNode, trk *execTracker) []string {
+	var lines []string
+	var walk func(n *planNode, pad string, isRoot bool)
+	walk = func(n *planNode, pad string, isRoot bool) {
+		head := pad
+		propPad := pad + "  "
+		if !isRoot {
+			head += "-> "
+			propPad = pad + "   "
+		}
+		lines = append(lines, head+n.label+opAnnotation(trk, n.site))
+		for _, p := range n.props {
+			lines = append(lines, propPad+p.text+stageAnnotation(trk, p.site))
+		}
+		for _, kid := range n.kids {
+			walk(kid, propPad, false)
+		}
+	}
+	walk(root, "", true)
+	return lines
+}
+
+// opAnnotation renders a node's observed counters: scans and joins show
+// rows examined vs returned, SELECT/DML nodes show rows and time. A
+// node the execution never reached renders "(never executed)".
+func opAnnotation(trk *execTracker, key any) string {
+	if trk == nil || key == nil {
+		return ""
+	}
+	o := trk.ops[key]
+	if o == nil {
+		return " (never executed)"
+	}
+	var s string
+	switch key.(type) {
+	case scanKey, joinKey:
+		s = fmt.Sprintf(" (examined=%d returned=%d time=%s", o.examined, o.returned, microsString(o.micros))
+	case stageKey:
+		return stageAnnotation(trk, key)
+	default: // selKey, dmlKey
+		s = fmt.Sprintf(" (rows=%d time=%s", o.returned, microsString(o.micros))
+	}
+	if o.calls > 1 {
+		s += fmt.Sprintf(" loops=%d", o.calls)
+	}
+	return s + ")"
+}
+
+// stageAnnotation renders a pipeline stage's in/out row counts. Unlike
+// node annotations, a missing stage renders nothing: stage props are
+// structural lines first, counters second.
+func stageAnnotation(trk *execTracker, key any) string {
+	if trk == nil || key == nil {
+		return ""
+	}
+	o := trk.ops[key]
+	if o == nil {
+		return ""
+	}
+	s := fmt.Sprintf(" (in=%d out=%d", o.in, o.out)
+	if o.calls > 1 {
+		s += fmt.Sprintf(" loops=%d", o.calls)
+	}
+	return s + ")"
+}
+
+func microsString(micros int64) string {
+	return (time.Duration(micros) * time.Microsecond).String()
+}
+
+// planResultText flattens an EXPLAIN result back into the newline-joined
+// plan text the statement stats registry stores per digest.
+func planResultText(res *Result) string {
+	if res == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for i, r := range res.Rows {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		if len(r) > 0 {
+			sb.WriteString(r[0].String())
+		}
+	}
+	return sb.String()
+}
+
+// --- expression deparsing ---
+
+// exprString renders an expression for plan annotations. It is a
+// display form, not guaranteed to re-parse: subqueries abbreviate.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Literal:
+		return valueSQL(x.Val)
+	case *ColumnRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Column
+		}
+		return x.Column
+	case *Param:
+		return "?"
+	case *Unary:
+		if x.Op == "NOT" {
+			return "NOT " + exprString(x.X)
+		}
+		return x.Op + exprString(x.X)
+	case *Binary:
+		return "(" + exprString(x.L) + " " + x.Op + " " + exprString(x.R) + ")"
+	case *LikeExpr:
+		s := exprString(x.X)
+		if x.Not {
+			s += " NOT"
+		}
+		s += " LIKE " + exprString(x.Pattern)
+		if x.Escape != nil {
+			s += " ESCAPE " + exprString(x.Escape)
+		}
+		return s
+	case *BetweenExpr:
+		s := exprString(x.X)
+		if x.Not {
+			s += " NOT"
+		}
+		return s + " BETWEEN " + exprString(x.Lo) + " AND " + exprString(x.Hi)
+	case *InExpr:
+		s := exprString(x.X)
+		if x.Not {
+			s += " NOT"
+		}
+		s += " IN ("
+		if x.Sub != nil {
+			s += "subquery"
+		} else {
+			items := make([]string, len(x.List))
+			for i, it := range x.List {
+				items[i] = exprString(it)
+			}
+			s += strings.Join(items, ", ")
+		}
+		return s + ")"
+	case *IsNullExpr:
+		if x.Not {
+			return exprString(x.X) + " IS NOT NULL"
+		}
+		return exprString(x.X) + " IS NULL"
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprString(a)
+		}
+		inner := strings.Join(args, ", ")
+		if x.Distinct {
+			inner = "DISTINCT " + inner
+		}
+		return x.Name + "(" + inner + ")"
+	case *CaseExpr:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteString(" " + exprString(x.Operand))
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN " + exprString(w.Cond) + " THEN " + exprString(w.Then))
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE " + exprString(x.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	case *CastExpr:
+		return "CAST(" + exprString(x.X) + " AS " + x.To.String() + ")"
+	case *Subquery:
+		return "(subquery)"
+	case *ExistsExpr:
+		if x.Not {
+			return "NOT EXISTS (subquery)"
+		}
+		return "EXISTS (subquery)"
+	default:
+		return "?expr?"
+	}
+}
+
+// valueSQL renders a literal the way it would appear in SQL text.
+func valueSQL(v Value) string {
+	switch v.T {
+	case TNull:
+		return "NULL"
+	case TString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	default:
+		return v.String()
+	}
+}
+
+// exprListString joins expression renderings with commas.
+func exprListString(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = exprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// orderByString renders an ORDER BY list with sort directions.
+func orderByString(items []OrderItem) string {
+	parts := make([]string, len(items))
+	for i, o := range items {
+		parts[i] = exprString(o.Expr)
+		if o.Desc {
+			parts[i] += " DESC"
+		} else {
+			parts[i] += " ASC"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// --- EXPLAIN execution ---
+
+// execExplain runs EXPLAIN [ANALYZE]. The plan builds under the shared
+// catalog lock against the session's read view so the access-path
+// decisions match what execution would choose at this moment. ANALYZE
+// then executes the target with the session's tracker installed —
+// including DML side effects and conflict retries (retried operators
+// render a loops= count) — and annotates the tree with what happened.
+func (s *Session) execExplain(x *ExplainStmt, params []Value) (*Result, error) {
+	db := s.db
+	db.mu.RLock()
+	vw, release := s.reader()
+	root, err := vw.planStmt(x.Target, params)
+	release()
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	var trk *execTracker
+	if x.Analyze {
+		trk = newExecTracker()
+		s.trk = trk
+		_, execErr := func() (*Result, error) {
+			defer func() { s.trk = nil }()
+			return s.ExecStmt(x.Target, params...)
+		}()
+		if execErr != nil {
+			return nil, execErr
+		}
+	}
+	lines := renderPlan(root, trk)
+	res := &Result{Columns: []string{"QUERY PLAN"}}
+	res.Rows = make([][]Value, 0, len(lines))
+	for _, ln := range lines {
+		res.Rows = append(res.Rows, []Value{NewString(ln)})
+	}
+	res.RowsAffected = int64(len(res.Rows))
+	return res, nil
+}

@@ -1,0 +1,208 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"db2www/internal/obs"
+)
+
+// explainDB builds the fixture: t has 20 rows, id 1..20 (PRIMARY KEY,
+// so id predicates can route through t_pkey), grp alternating 'a'/'b',
+// val = id*10 (no index, so val predicates force a seq scan).
+func explainDB(t *testing.T) *Session {
+	t.Helper()
+	db := NewDatabase("EXPLAIN")
+	sess := NewSession(db)
+	t.Cleanup(func() { sess.Close() })
+	mustExec(t, sess, "CREATE TABLE t (id INT PRIMARY KEY, grp VARCHAR(10), val INT)")
+	for i := 1; i <= 20; i++ {
+		grp := "a"
+		if i%2 == 1 {
+			grp = "b"
+		}
+		mustExec(t, sess, fmt.Sprintf("INSERT INTO t (id, grp, val) VALUES (%d, '%s', %d)", i, grp, i*10))
+	}
+	return sess
+}
+
+// planText runs an EXPLAIN statement and returns the rendered plan.
+// (mustExec is shared with db_test.go.)
+func planText(t *testing.T, sess *Session, sql string) string {
+	t.Helper()
+	res := mustExec(t, sess, sql)
+	if len(res.Columns) != 1 || res.Columns[0] != "QUERY PLAN" {
+		t.Fatalf("%s: columns = %v, want [QUERY PLAN]", sql, res.Columns)
+	}
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		lines[i] = row[0].String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+func wantLine(t *testing.T, plan, substr string) {
+	t.Helper()
+	if !strings.Contains(plan, substr) {
+		t.Errorf("plan missing %q:\n%s", substr, plan)
+	}
+}
+
+// TestExplainAnalyzeSeqScan proves the per-operator counters against the
+// executed result: the scan examines every row, the filter keeps exactly
+// the rows the bare statement returns.
+func TestExplainAnalyzeSeqScan(t *testing.T) {
+	sess := explainDB(t)
+	bare := mustExec(t, sess, "SELECT * FROM t WHERE val <= 50")
+	if len(bare.Rows) != 5 {
+		t.Fatalf("bare query returned %d rows, want 5", len(bare.Rows))
+	}
+	plan := planText(t, sess, "EXPLAIN ANALYZE SELECT * FROM t WHERE val <= 50")
+	wantLine(t, plan, fmt.Sprintf("Select (rows=%d time=", len(bare.Rows)))
+	wantLine(t, plan, fmt.Sprintf("Filter: (val <= 50) (in=20 out=%d)", len(bare.Rows)))
+	wantLine(t, plan, "-> Seq Scan on t (examined=20 returned=20 time=")
+}
+
+// TestExplainAnalyzeIndexScan: an equality predicate on the primary key
+// routes through t_pkey and examines only the matching candidate.
+func TestExplainAnalyzeIndexScan(t *testing.T) {
+	sess := explainDB(t)
+	bare := mustExec(t, sess, "SELECT * FROM t WHERE id = 7")
+	if len(bare.Rows) != 1 {
+		t.Fatalf("bare query returned %d rows, want 1", len(bare.Rows))
+	}
+	plan := planText(t, sess, "EXPLAIN ANALYZE SELECT * FROM t WHERE id = 7")
+	wantLine(t, plan, "-> Index Scan on t using t_pkey (examined=1 returned=1 time=")
+	wantLine(t, plan, "Index Cond: (id = 7)")
+	wantLine(t, plan, fmt.Sprintf("Select (rows=%d time=", len(bare.Rows)))
+
+	// The same query without ANALYZE renders structure only — the chosen
+	// access path, but no counters.
+	dry := planText(t, sess, "EXPLAIN SELECT * FROM t WHERE id = 7")
+	wantLine(t, dry, "-> Index Scan on t using t_pkey")
+	if strings.Contains(dry, "examined=") || strings.Contains(dry, "rows=") {
+		t.Errorf("plain EXPLAIN leaked runtime counters:\n%s", dry)
+	}
+}
+
+// TestExplainAnalyzeJoin: the nested-loop join examines the full cross
+// product of pairs and returns exactly the matches; the WHERE filter then
+// narrows to the executed result.
+func TestExplainAnalyzeJoin(t *testing.T) {
+	sess := explainDB(t)
+	bare := mustExec(t, sess, "SELECT a.id FROM t AS a JOIN t AS b ON a.id = b.id WHERE a.val <= 30")
+	if len(bare.Rows) != 3 {
+		t.Fatalf("bare query returned %d rows, want 3", len(bare.Rows))
+	}
+	plan := planText(t, sess, "EXPLAIN ANALYZE SELECT a.id FROM t AS a JOIN t AS b ON a.id = b.id WHERE a.val <= 30")
+	wantLine(t, plan, "Nested Loop Join (examined=400 returned=20 time=")
+	wantLine(t, plan, "Join Cond: (a.id = b.id)")
+	wantLine(t, plan, "-> Seq Scan on t as a (examined=20 returned=20 time=")
+	wantLine(t, plan, "-> Seq Scan on t as b (examined=20 returned=20 time=")
+	wantLine(t, plan, fmt.Sprintf("Filter: (a.val <= 30) (in=20 out=%d)", len(bare.Rows)))
+	wantLine(t, plan, fmt.Sprintf("Select (rows=%d time=", len(bare.Rows)))
+}
+
+// TestExplainAnalyzeSubquery: the scalar subquery's plan appears as a
+// SubPlan child with its own executed counters.
+func TestExplainAnalyzeSubquery(t *testing.T) {
+	sess := explainDB(t)
+	bare := mustExec(t, sess, "SELECT id FROM t WHERE val = (SELECT MAX(val) FROM t)")
+	if len(bare.Rows) != 1 {
+		t.Fatalf("bare query returned %d rows, want 1", len(bare.Rows))
+	}
+	plan := planText(t, sess, "EXPLAIN ANALYZE SELECT id FROM t WHERE val = (SELECT MAX(val) FROM t)")
+	wantLine(t, plan, fmt.Sprintf("Filter: (val = (subquery)) (in=20 out=%d)", len(bare.Rows)))
+	wantLine(t, plan, "-> SubPlan")
+	wantLine(t, plan, "-> Select (rows=1 time=") // inner aggregate yields one row
+	wantLine(t, plan, "Aggregate (in=20 out=1)")
+	wantLine(t, plan, fmt.Sprintf("Select (rows=%d time=", len(bare.Rows)))
+}
+
+// TestExplainAnalyzeStages: aggregation, DISTINCT, and LIMIT each report
+// exact input/output row counts.
+func TestExplainAnalyzeStages(t *testing.T) {
+	sess := explainDB(t)
+	bare := mustExec(t, sess, "SELECT grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp LIMIT 1")
+	if len(bare.Rows) != 1 {
+		t.Fatalf("bare query returned %d rows, want 1", len(bare.Rows))
+	}
+	plan := planText(t, sess, "EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp LIMIT 1")
+	wantLine(t, plan, "Aggregate (in=20 out=2)") // two groups: 'a' and 'b'
+	wantLine(t, plan, "Limit: 1 (in=2 out=1)")
+	wantLine(t, plan, "Select (rows=1 time=")
+
+	distinct := planText(t, sess, "EXPLAIN ANALYZE SELECT DISTINCT grp FROM t")
+	wantLine(t, distinct, "Distinct (in=20 out=2)")
+}
+
+// TestExplainDMLSideEffects: plain EXPLAIN of DML must not execute it;
+// EXPLAIN ANALYZE must, reporting exact affected-row counts.
+func TestExplainDMLSideEffects(t *testing.T) {
+	sess := explainDB(t)
+	count := func() string {
+		return mustExec(t, sess, "SELECT COUNT(*) FROM t").Rows[0][0].String()
+	}
+
+	dry := planText(t, sess, "EXPLAIN INSERT INTO t (id, grp, val) VALUES (100, 'z', 0)")
+	wantLine(t, dry, "Insert on t")
+	wantLine(t, dry, "Rows: 1")
+	if got := count(); got != "20" {
+		t.Fatalf("plain EXPLAIN INSERT executed: table has %s rows, want 20", got)
+	}
+
+	ins := planText(t, sess, "EXPLAIN ANALYZE INSERT INTO t (id, grp, val) VALUES (100, 'z', 0), (101, 'z', 0)")
+	wantLine(t, ins, "Insert on t (rows=2 time=")
+	if got := count(); got != "22" {
+		t.Fatalf("EXPLAIN ANALYZE INSERT did not execute: table has %s rows, want 22", got)
+	}
+
+	upd := planText(t, sess, "EXPLAIN ANALYZE UPDATE t SET val = val + 1000 WHERE id <= 5")
+	wantLine(t, upd, "Update on t (rows=5 time=")
+	wantLine(t, upd, "Set: val = (val + 1000)")
+	changed := mustExec(t, sess, "SELECT COUNT(*) FROM t WHERE val > 1000")
+	if got := changed.Rows[0][0].String(); got != "5" {
+		t.Fatalf("EXPLAIN ANALYZE UPDATE touched %s rows, want 5", got)
+	}
+
+	del := planText(t, sess, "EXPLAIN ANALYZE DELETE FROM t WHERE id >= 100")
+	wantLine(t, del, "Delete on t (rows=2 time=")
+	if got := count(); got != "20" {
+		t.Fatalf("EXPLAIN ANALYZE DELETE left %s rows, want 20", got)
+	}
+}
+
+// TestExplainAnalyzeFilesPlan: a successful EXPLAIN ANALYZE stores its
+// rendering in the statement registry under the *bare* statement's digest,
+// where /debug/statements?digest= readers look for it.
+func TestExplainAnalyzeFilesPlan(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	db := NewDatabase("PLANFILE")
+	stats := NewStatementStats(0)
+	db.SetStatementStats(stats)
+	sess := NewSession(db)
+	defer sess.Close()
+	mustExec(t, sess, "CREATE TABLE p (id INT PRIMARY KEY)")
+	mustExec(t, sess, "INSERT INTO p (id) VALUES (1)")
+	mustExec(t, sess, "EXPLAIN ANALYZE SELECT * FROM p WHERE id = 1")
+
+	digest, _ := DigestSQL("SELECT * FROM p WHERE id = 99")
+	st, ok := stats.Get(digest)
+	if !ok {
+		t.Fatalf("bare statement digest %s not in the registry", digest)
+	}
+	if !strings.Contains(st.LastPlan, "Index Scan on p using p_pkey") {
+		t.Errorf("stored plan does not show the access path:\n%s", st.LastPlan)
+	}
+}
+
+func TestExplainUnsupportedStatement(t *testing.T) {
+	sess := explainDB(t)
+	if _, err := sess.Exec("EXPLAIN CREATE TABLE x (id INT)"); err == nil {
+		t.Fatal("EXPLAIN of DDL should be a syntax error")
+	}
+}

@@ -48,6 +48,7 @@ var sqlKeywords = map[string]bool{
 	"VARCHAR": true, "CHAR": true, "CHARACTER": true, "TEXT": true,
 	"DOUBLE": true, "FLOAT": true, "REAL": true, "DECIMAL": true,
 	"NUMERIC": true, "BOOLEAN": true, "PRECISION": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // lexer tokenizes a SQL statement string.

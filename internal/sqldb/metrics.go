@@ -35,7 +35,76 @@ var (
 		"transactions finished, by outcome", "outcome", "conflict")
 	mVacuumRows = obs.Default.Counter("db2www_sqldb_vacuum_rows_total",
 		"row versions reclaimed by vacuum and commit-time pruning")
+
+	// mChainLength is the MVCC health histogram: version-chain lengths
+	// observed by vacuum sweeps. A distribution drifting right means
+	// writers outrun pruning (usually a pinned old snapshot).
+	mChainLength = obs.Default.Histogram("db2www_sqldb_version_chain_length",
+		"row version chain lengths observed by vacuum sweeps",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 )
+
+// RegisterMetrics exports db's statement registry, per-table access
+// counters, and MVCC health gauges to the obs registry, refreshed on
+// every scrape. Call once per exported database (gatewayd calls it for
+// the in-process engine); registering twice would double the scrape
+// work for identical output.
+func RegisterMetrics(db *Database) {
+	obs.Default.OnScrape(func() {
+		for _, st := range db.StatementStats().Snapshot() {
+			l := []string{"digest", st.Digest}
+			obs.Default.Gauge("db2www_sqldb_stmt_calls",
+				"statement executions by digest", l...).Set(st.Calls)
+			obs.Default.Gauge("db2www_sqldb_stmt_rows",
+				"rows returned or affected by digest", l...).Set(st.Rows)
+			obs.Default.Gauge("db2www_sqldb_stmt_total_micros",
+				"total engine microseconds by digest", l...).Set(st.TotalMicros)
+			obs.Default.Gauge("db2www_sqldb_stmt_p99_micros",
+				"estimated p99 latency in microseconds by digest", l...).Set(st.P99Micros)
+			obs.Default.Gauge("db2www_sqldb_stmt_cache_hits",
+				"query-cache hits by digest", l...).Set(st.CacheHits)
+			obs.Default.Gauge("db2www_sqldb_stmt_conflict_retries",
+				"MVCC conflict retries by digest", l...).Set(st.ConflictRetries)
+		}
+		for _, ts := range db.TableStatsSnapshot() {
+			l := []string{"table", ts.Name}
+			obs.Default.Gauge("db2www_sqldb_table_seq_scans",
+				"sequential scans per table", l...).Set(ts.SeqScans)
+			obs.Default.Gauge("db2www_sqldb_table_index_scans",
+				"index-routed scans per table", l...).Set(ts.IndexScans)
+			obs.Default.Gauge("db2www_sqldb_table_rows_read",
+				"rows returned by scans per table", l...).Set(ts.RowsRead)
+			obs.Default.Gauge("db2www_sqldb_table_rows_inserted",
+				"rows inserted per table", l...).Set(ts.RowsInserted)
+			obs.Default.Gauge("db2www_sqldb_table_rows_updated",
+				"rows updated per table", l...).Set(ts.RowsUpdated)
+			obs.Default.Gauge("db2www_sqldb_table_rows_deleted",
+				"rows deleted per table", l...).Set(ts.RowsDeleted)
+			obs.Default.Gauge("db2www_sqldb_table_conflict_retries",
+				"auto-commit conflict retries per table", l...).Set(int64(ts.ConflictRetries))
+			obs.Default.Gauge("db2www_sqldb_table_max_chain",
+				"deepest version chain per table", l...).Set(int64(ts.MaxChain))
+			for _, ix := range ts.Indexes {
+				obs.Default.Gauge("db2www_sqldb_index_scans",
+					"scans served per index", "table", ts.Name, "index", ix.Name).Set(ix.Scans)
+			}
+		}
+		st := db.TxnStats()
+		obs.Default.FloatGauge("db2www_sqldb_oldest_snapshot_age_seconds",
+			"age of the oldest live MVCC snapshot").Set(st.OldestSnapshotAge.Seconds())
+		ratio := 0.0
+		if st.VacuumScannedRows > 0 {
+			ratio = float64(st.VacuumedRows) / float64(st.VacuumScannedRows)
+		}
+		obs.Default.FloatGauge("db2www_sqldb_vacuum_reclaim_ratio",
+			"versions reclaimed (sweeps + commit-time pruning) per version scanned by sweeps").Set(ratio)
+	})
+}
+
+// obsEnabled reports whether engine observability recording is on; the
+// statement registry and MVCC telemetry gate on it so the A10 ablation
+// can measure the fully-instrumented engine against the bare one.
+func obsEnabled() bool { return obs.Enabled() }
 
 // obsNow returns the wall clock when observability is enabled, else the
 // zero time; the observe helpers no-op on zero, so the disabled path

@@ -34,6 +34,7 @@ package mvcc
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Status is a transaction's lifecycle state.
@@ -75,16 +76,50 @@ type Manager struct {
 	txnSeq    atomic.Uint64
 
 	mu    sync.Mutex
-	snaps map[uint64]int // live snapshot -> reference count
+	snaps map[uint64]*snapRef // live snapshot -> refcount + birth time
+
+	// now supplies the clock behind snapshot ages; tests inject a fake.
+	now func() time.Time
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 }
 
+// snapRef tracks one live snapshot sequence: how many holders reference
+// it and when its first holder registered (the age /server-status and
+// /metrics report — long-held snapshots are what stall the vacuum
+// watermark and grow version chains).
+type snapRef struct {
+	refs int
+	born time.Time
+}
+
 // NewManager returns an empty manager. Sequence 0 is "before every
 // commit": the initial snapshot, at which nothing is visible.
 func NewManager() *Manager {
-	return &Manager{snaps: map[uint64]int{}}
+	return &Manager{snaps: map[uint64]*snapRef{}, now: time.Now}
+}
+
+// SetClock overrides the clock behind snapshot ages (nil restores the
+// real clock). Test hook.
+func (m *Manager) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	if now == nil {
+		now = time.Now
+	}
+	m.now = now
+	m.mu.Unlock()
+}
+
+// acquireLocked takes one reference to seq. Caller holds m.mu. The clock
+// is read only when the sequence has no live holders yet, so hot paths
+// piggybacking on an already-live snapshot pay no clock read.
+func (m *Manager) acquireLocked(seq uint64) {
+	if r, ok := m.snaps[seq]; ok {
+		r.refs++
+		return
+	}
+	m.snaps[seq] = &snapRef{refs: 1, born: m.now()}
 }
 
 // Begin starts a transaction at the current commit sequence and
@@ -93,7 +128,7 @@ func (m *Manager) Begin() *Txn {
 	t := &Txn{id: m.txnSeq.Add(1)}
 	m.mu.Lock()
 	t.snap = m.commitSeq.Load()
-	m.snaps[t.snap]++
+	m.acquireLocked(t.snap)
 	m.mu.Unlock()
 	return t
 }
@@ -105,7 +140,7 @@ func (m *Manager) Begin() *Txn {
 func (m *Manager) AcquireSnapshot() uint64 {
 	m.mu.Lock()
 	s := m.commitSeq.Load()
-	m.snaps[s]++
+	m.acquireLocked(s)
 	m.mu.Unlock()
 	return s
 }
@@ -113,10 +148,10 @@ func (m *Manager) AcquireSnapshot() uint64 {
 // ReleaseSnapshot drops one reference to a live snapshot.
 func (m *Manager) ReleaseSnapshot(s uint64) {
 	m.mu.Lock()
-	if n := m.snaps[s] - 1; n <= 0 {
-		delete(m.snaps, s)
-	} else {
-		m.snaps[s] = n
+	if r, ok := m.snaps[s]; ok {
+		if r.refs--; r.refs <= 0 {
+			delete(m.snaps, s)
+		}
 	}
 	m.mu.Unlock()
 }
@@ -169,6 +204,28 @@ func (m *Manager) OldestSnapshot() uint64 {
 		}
 	}
 	return min
+}
+
+// OldestSnapshotAge returns how long the oldest live snapshot has been
+// held, or 0 when none are registered. This is the MVCC health gauge: a
+// growing age means some reader or open transaction is pinning the
+// vacuum watermark and version chains cannot be pruned past it.
+func (m *Manager) OldestSnapshotAge() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest time.Time
+	for _, r := range m.snaps {
+		if oldest.IsZero() || r.born.Before(oldest) {
+			oldest = r.born
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	if age := m.now().Sub(oldest); age > 0 {
+		return age
+	}
+	return 0
 }
 
 // Commits returns the number of committed transactions.

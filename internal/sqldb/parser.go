@@ -120,6 +120,8 @@ func (p *parser) parseStatement() (Stmt, error) {
 		return p.parseUpdate()
 	case "DELETE":
 		return p.parseDelete()
+	case "EXPLAIN":
+		return p.parseExplain()
 	case "CREATE":
 		return p.parseCreate()
 	case "ALTER":
@@ -142,6 +144,28 @@ func (p *parser) parseStatement() (Stmt, error) {
 	default:
 		return nil, errSyntax("unsupported statement starting with %s", t.describe())
 	}
+}
+
+// --- EXPLAIN ---
+
+// parseExplain parses EXPLAIN [ANALYZE] <statement>. Only the four DML/query
+// forms can be explained; utility statements have no plan.
+func (p *parser) parseExplain() (Stmt, error) {
+	if err := p.expectKw("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	x := &ExplainStmt{Analyze: p.acceptKw("ANALYZE")}
+	switch t := p.peek(); t.text {
+	case "SELECT", "INSERT", "UPDATE", "DELETE":
+	default:
+		return nil, errSyntax("EXPLAIN wants SELECT, INSERT, UPDATE, or DELETE, got %s", t.describe())
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	x.Target = inner
+	return x, nil
 }
 
 // --- SELECT ---

@@ -79,10 +79,22 @@ func (db *Database) Vacuum() int {
 	db.mu.RUnlock()
 	wm := db.mvcc.OldestSnapshot()
 	total := 0
+	scanned := 0
+	record := obsEnabled()
 	for _, t := range tables {
 		t.mu.Lock()
 		dead := map[int64]bool{}
 		for _, r := range t.rows {
+			// The sweep walks every chain anyway; counting its length here
+			// is where the version-chain health histogram comes from.
+			n := 0
+			for v := r.head; v != nil; v = v.prev {
+				n++
+			}
+			scanned += n
+			if record {
+				mChainLength.Observe(float64(n))
+			}
 			total += db.pruneChain(t, r, wm)
 			if r.head == nil {
 				dead[r.id] = true
@@ -91,6 +103,8 @@ func (db *Database) Vacuum() int {
 		t.removeRows(dead)
 		t.mu.Unlock()
 	}
+	db.vacuumSweeps.Add(1)
+	db.vacuumScanned.Add(uint64(scanned))
 	if total > 0 {
 		db.vacuumRows.Add(uint64(total))
 		mVacuumRows.Add(int64(total))
