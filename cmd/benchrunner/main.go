@@ -1,6 +1,6 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's
 // per-experiment index: the reproductions of the paper's figures and
-// worked examples (E1–E12) and the design-choice ablations (A1–A10).
+// worked examples (E1–E12) and the design-choice ablations (A1–A11).
 //
 //	benchrunner                  run everything at default scale
 //	benchrunner -exp e7,e8       run selected experiments
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a10) or all")
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a11) or all")
 		rows         = flag.Int("rows", 500, "urldb dataset rows")
 		requests     = flag.Int("requests", 200, "requests per measurement")
 		seed         = flag.Int64("seed", 1, "dataset seed")
@@ -58,9 +58,10 @@ func main() {
 		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
 		"a5": experiments.A5, "a6": experiments.A6, "a7": experiments.A7,
 		"a8": experiments.A8, "a9": experiments.A9, "a10": experiments.A10,
+		"a11": experiments.A11,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8", "a9", "a10"}
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8", "a9", "a10", "a11"}
 
 	var selected []string
 	if *exp == "all" {
@@ -157,6 +158,23 @@ func main() {
 				}
 				experiments.PrintA10(w, r)
 				jsonResults["a10"] = r
+				return nil
+			}
+		}
+		if id == "a11" && *jsonPath != "" {
+			run = func(w io.Writer, cfg experiments.Config) error {
+				r, err := experiments.RunA11(cfg)
+				if err != nil {
+					return err
+				}
+				experiments.PrintA11(w, r)
+				jsonResults["a11"] = r
+				for _, wl := range []experiments.PlanWorkload{r.Report, r.Join} {
+					if wl.SpeedupP50 < 1.3 {
+						return fmt.Errorf("a11: %s workload p50 speedup %.2fx below the 1.3x gate",
+							wl.Name, wl.SpeedupP50)
+					}
+				}
 				return nil
 			}
 		}

@@ -309,6 +309,18 @@ func main() {
 			}
 			return rows
 		})
+		al.AddStatusSection("Planner", func() [][2]string {
+			st := engineDB.PlanCacheStats()
+			return [][2]string{
+				{"Plan cache", map[bool]string{true: "enabled", false: "disabled"}[st.Enabled]},
+				{"Cost-based planner", map[bool]string{true: "enabled", false: "disabled"}[st.Planner]},
+				{"Cached plans", fmt.Sprintf("%d / %d", st.Size, st.Cap)},
+				{"Hits", strconv.FormatUint(st.Hits, 10)},
+				{"Misses", strconv.FormatUint(st.Misses, 10)},
+				{"Bypasses", strconv.FormatUint(st.Bypasses, 10)},
+				{"Invalidations", strconv.FormatUint(st.Invalidations, 10)},
+			}
+		})
 		al.AddStatusSection("Storage", func() [][2]string {
 			var rows [][2]string
 			for _, ts := range engineDB.TableStatsSnapshot() {

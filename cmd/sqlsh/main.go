@@ -1,9 +1,12 @@
 // Command sqlsh is an interactive shell for the embedded sqldb engine —
 // the "visual query tool" slot of the paper's Figure 5 development
 // workflow, reduced to a terminal. Statements end with ';'. Meta
-// commands: \d lists tables, \d NAME describes one, \q quits.
-// EXPLAIN [ANALYZE] <stmt> renders the execution plan (see
-// docs/STATEMENTS.md).
+// commands: \d lists tables, \d NAME describes one, \planstats dumps
+// the prepared-plan cache counters, \q quits. EXPLAIN [ANALYZE] <stmt>
+// renders the execution plan — with the cost-based planner on, plan
+// nodes carry "Est: ~rows (cost=...)" estimates, and a footer reports
+// whether the statement's shape is in the plan cache (see
+// docs/STATEMENTS.md and docs/PLANNER.md).
 //
 //	sqlsh -dataset urldb:100:1
 //	sqlsh -e "SELECT COUNT(*) FROM urldb"
@@ -55,7 +58,7 @@ func main() {
 	defer sess.Close()
 
 	if *execSQL != "" {
-		if !runStatement(sess, *execSQL) {
+		if !runStatement(db, sess, *execSQL) {
 			os.Exit(1)
 		}
 		return
@@ -82,7 +85,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("sqlsh — embedded SQL shell. Statements end with ';'. \\q quits, \\d lists tables, EXPLAIN [ANALYZE] shows plans.")
+	fmt.Println("sqlsh — embedded SQL shell. Statements end with ';'. \\q quits, \\d lists tables, \\planstats dumps plan-cache counters, EXPLAIN [ANALYZE] shows plans.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -109,7 +112,7 @@ func main() {
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			runStatement(sess, stmt)
+			runStatement(db, sess, stmt)
 		}
 		prompt()
 	}
@@ -124,6 +127,21 @@ func metaCommand(db *sqldb.Database, cmd string) bool {
 		for _, name := range db.TableNames() {
 			fmt.Println(name)
 		}
+	case cmd == "\\planstats":
+		st := db.PlanCacheStats()
+		onOff := func(b bool) string {
+			if b {
+				return "on"
+			}
+			return "off"
+		}
+		fmt.Printf("%-16s %s\n", "plan cache:", onOff(st.Enabled))
+		fmt.Printf("%-16s %s\n", "planner:", onOff(st.Planner))
+		fmt.Printf("%-16s %d / %d\n", "cached plans:", st.Size, st.Cap)
+		fmt.Printf("%-16s %d\n", "hits:", st.Hits)
+		fmt.Printf("%-16s %d\n", "misses:", st.Misses)
+		fmt.Printf("%-16s %d\n", "bypasses:", st.Bypasses)
+		fmt.Printf("%-16s %d\n", "invalidations:", st.Invalidations)
 	case strings.HasPrefix(cmd, "\\d "):
 		name := strings.TrimSpace(cmd[3:])
 		t, err := db.Table(name)
@@ -148,14 +166,44 @@ func metaCommand(db *sqldb.Database, cmd string) bool {
 	return true
 }
 
-func runStatement(sess *sqldb.Session, stmt string) bool {
+func runStatement(db *sqldb.Database, sess *sqldb.Session, stmt string) bool {
 	res, err := sess.Exec(stmt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return false
 	}
 	printResult(res)
+	if inner, ok := explainTarget(stmt); ok {
+		digest, cached := db.PlanCached(inner)
+		state := "miss — not in plan cache"
+		if cached {
+			state = "hit — shape is in the plan cache"
+		}
+		fmt.Printf("plan cache: %s (digest=%s)\n", state, digest)
+	}
 	return true
+}
+
+// explainTarget returns the statement under an EXPLAIN [ANALYZE] prefix,
+// or ok=false when stmt is not an EXPLAIN. The inner statement is what
+// repeated plain executions would cache, so its digest is the one the
+// provenance footer probes.
+func explainTarget(stmt string) (string, bool) {
+	s := strings.TrimSpace(stmt)
+	const kw = "EXPLAIN"
+	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) || !isSpace(s[len(kw)]) {
+		return "", false
+	}
+	s = strings.TrimSpace(s[len(kw):])
+	const an = "ANALYZE"
+	if len(s) > len(an) && strings.EqualFold(s[:len(an)], an) && isSpace(s[len(an)]) {
+		s = strings.TrimSpace(s[len(an):])
+	}
+	return s, s != ""
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
 }
 
 // printResult renders a result as an aligned text table.

@@ -12,10 +12,11 @@ import (
 	"db2www/internal/webclient"
 )
 
-// taintedMacro interpolates a form input into SQL raw — an
-// error-severity taint finding.
+// taintedMacro interpolates a form input into SQL structurally —
+// outside any quoted literal, where the plan cache's bind-parameter
+// extraction cannot neutralize it — an error-severity taint finding.
 const taintedMacro = `%define DATABASE = "CELDIAL"
-%SQL{SELECT url FROM urldb WHERE title LIKE '%$(Q)%'%}
+%SQL{SELECT url FROM urldb WHERE title LIKE 'x%' ORDER BY $(Q)%}
 %HTML_INPUT{<FORM ACTION="x"><INPUT NAME="Q"></FORM>%}
 %HTML_REPORT{%EXEC_SQL%}
 `

@@ -53,6 +53,7 @@ func StatementsHandler(db *sqldb.Database) http.Handler {
 		_ = enc.Encode(map[string]any{
 			"statements": rows,
 			"tracked":    stats.Len(),
+			"plan_cache": db.PlanCacheStats(),
 		})
 	})
 }

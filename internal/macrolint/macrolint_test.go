@@ -36,15 +36,16 @@ type expectation struct {
 // seededDefects maps every corpus macro to the findings its defects must
 // produce. The golden files additionally pin the full rendered output.
 var seededDefects = map[string][]expectation{
-	"taint_injection.d2w": {{"taint", SevError, 7}},
-	"cycle.d2w":           {{"cycle", SevError, 6}, {"cycle", SevError, 8}},
-	"undefined.d2w":       {{"undefined", SevWarn, 6}, {"unused", SevInfo, 7}},
-	"exec_missing.d2w":    {{"sections", SevError, 10}, {"sections", SevWarn, 6}},
-	"report_cols.d2w":     {{"sqlreport", SevWarn, 11}, {"sqlreport", SevWarn, 11}},
-	"sqlsyntax.d2w":       {{"sqlreport", SevWarn, 7}},
-	"unterminated.d2w":    {{"template", SevWarn, 7}},
-	"include_missing.d2w": {{"include", SevError, 5}},
-	"include_cycle.d2w":   {{"include", SevError, 5}},
+	"taint_injection.d2w":  {{"taint", SevWarn, 7}},
+	"taint_structural.d2w": {{"taint", SevError, 9}},
+	"cycle.d2w":            {{"cycle", SevError, 6}, {"cycle", SevError, 8}},
+	"undefined.d2w":        {{"undefined", SevWarn, 6}, {"unused", SevInfo, 7}},
+	"exec_missing.d2w":     {{"sections", SevError, 10}, {"sections", SevWarn, 6}},
+	"report_cols.d2w":      {{"sqlreport", SevWarn, 11}, {"sqlreport", SevWarn, 11}},
+	"sqlsyntax.d2w":        {{"sqlreport", SevWarn, 7}},
+	"unterminated.d2w":     {{"template", SevWarn, 7}},
+	"include_missing.d2w":  {{"include", SevError, 5}},
+	"include_cycle.d2w":    {{"include", SevError, 5}},
 }
 
 func TestSeededDefects(t *testing.T) {
@@ -210,7 +211,7 @@ func TestJSONFormat(t *testing.T) {
 }
 
 func TestSARIFFormat(t *testing.T) {
-	diags, err := New().LintFile(filepath.Join(lintDirPath(t), "taint_injection.d2w"))
+	diags, err := New().LintFile(filepath.Join(lintDirPath(t), "taint_structural.d2w"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestSARIFFormat(t *testing.T) {
 		if r.RuleID == "taint" && r.Level == "error" {
 			foundTaint = true
 			loc := r.Locations[0].PhysicalLocation
-			if loc.ArtifactLocation.URI == "" || loc.Region == nil || loc.Region.StartLine != 7 {
+			if loc.ArtifactLocation.URI == "" || loc.Region == nil || loc.Region.StartLine != 9 {
 				t.Fatalf("taint location = %+v", loc)
 			}
 		}

@@ -91,6 +91,27 @@ func taintOf(e *env, name string, visiting map[string]bool) *taintInfo {
 	return t
 }
 
+// inQuotedLiteral reports whether the byte at offset sits inside a
+// single-quoted SQL string literal of text, honouring the ” escape.
+// The engine's plan cache extracts quoted literals into bind parameters,
+// so a substitution inside quotes executes as a value, not as SQL
+// structure — still worth a warning (a stray quote in the input can
+// break out), but not the structural-injection error.
+func inQuotedLiteral(text string, offset int) bool {
+	inQuote := false
+	for i := 0; i < len(text) && i < offset; i++ {
+		if text[i] != '\'' {
+			continue
+		}
+		if inQuote && i+1 < len(text) && text[i+1] == '\'' {
+			i++ // escaped quote, still inside the literal
+			continue
+		}
+		inQuote = !inQuote
+	}
+	return inQuote
+}
+
 // runTaint flags attacker-controlled data flowing into an injection
 // sink: the %SQL command template or a %DEFINE ... %EXEC command. The
 // $(@sq:name) transform (single-quote doubling) is the sanctioned
@@ -124,6 +145,14 @@ func runTaint(p *pass) {
 					ti.origin, sink)
 				if t.kind == tplSQL {
 					d.Fix = fmt.Sprintf("replace $(%s) with $(@sq:%s)", r.Raw, r.Name)
+					if inQuotedLiteral(t.text, r.Offset) {
+						// Inside a quoted literal the value lands in a bind
+						// parameter, not in statement structure; the residual
+						// risk is quote breakout, which $(@sq:) closes.
+						d.Severity = SevWarn
+						d.Message = fmt.Sprintf("%s is interpolated into a string literal of %s without $(@sq:) quoting",
+							ti.origin, sink)
+					}
 				} else {
 					d.Message = fmt.Sprintf("%s is interpolated into %s — command injection", ti.origin, sink)
 					d.Fix = "do not interpolate request data into %EXEC commands"

@@ -97,6 +97,14 @@ type Table struct {
 	rowsInserted atomic.Int64
 	rowsUpdated  atomic.Int64
 	rowsDeleted  atomic.Int64
+
+	// Planner statistics, refreshed by vacuum sweeps: statRows is the
+	// visible row count at the last sweep, statIns/statDel the
+	// rowsInserted/rowsDeleted readings at that moment. estTableRows
+	// extrapolates between sweeps from the counters' drift, latch-free.
+	statRows atomic.Int64
+	statIns  atomic.Int64
+	statDel  atomic.Int64
 }
 
 // Index is a single-column secondary index backed by a B-tree. Postings
@@ -114,8 +122,11 @@ type Index struct {
 	tree   *btree
 	nulls  map[int64]int
 
-	// scans counts index-routed scans that used this index.
-	scans atomic.Int64
+	// scans counts index-routed scans that used this index. distinct
+	// tracks the tree's distinct-key count so the planner can estimate
+	// per-column cardinality without taking the table latch.
+	scans    atomic.Int64
+	distinct atomic.Int64
 }
 
 // colIndex returns the position of name in the table's columns, or -1.
@@ -196,6 +207,9 @@ func (ix *Index) addVersion(rowID int64, v *rowVersion) {
 		return
 	}
 	ix.tree.insert(key, rowID)
+	// Mirror the tree's distinct-key count into an atomic (we hold the
+	// table latch; planner reads don't).
+	ix.distinct.Store(int64(ix.tree.size))
 }
 
 func (ix *Index) removeVersion(rowID int64, v *rowVersion) {
@@ -209,6 +223,7 @@ func (ix *Index) removeVersion(rowID int64, v *rowVersion) {
 		return
 	}
 	ix.tree.delete(key, rowID)
+	ix.distinct.Store(int64(ix.tree.size))
 }
 
 // keyCurrently reports whether the row currently claims key at column
@@ -375,6 +390,7 @@ func buildIndex(t *Table, name, column string, unique bool) (*Index, error) {
 		}
 		claims[k] = true
 	}
+	ix.distinct.Store(int64(ix.tree.size))
 	return ix, nil
 }
 

@@ -34,20 +34,17 @@ func StatementKind(st Stmt) string {
 // flight record can separate database time from cache and driver
 // overhead above it.
 func (s *Session) ExecContext(ctx context.Context, sql string, params ...Value) (*Result, error) {
-	if s.closed {
-		return nil, &Error{Code: CodeInvalidTxnState, Message: "session is closed"}
-	}
-	st, err := Parse(sql)
+	p, err := s.prepare(sql, params)
 	if err != nil {
 		return nil, err
 	}
 	info := obs.ExecInfoFrom(ctx)
 	if info == nil {
-		return s.execRecorded(sql, st, params)
+		return s.execPrepared(sql, p)
 	}
-	info.StmtKind = StatementKind(st)
+	info.StmtKind = StatementKind(p.st)
 	start := time.Now()
-	res, err := s.execRecorded(sql, st, params)
+	res, err := s.execPrepared(sql, p)
 	info.DBMicros = time.Since(start).Microseconds()
 	info.Digest = s.lastDigest
 	return res, err

@@ -54,6 +54,23 @@ type Database struct {
 	// invalidation; see version.go.
 	vt versionTable
 
+	// sv holds per-table *schema* versions, bumped only by DDL (including
+	// index DDL, which changes access paths). Cached plans validate
+	// against these rather than vt: data changes never invalidate a
+	// parsed statement. schemaEpoch invalidates everything at once when a
+	// rollback replays DDL undo.
+	sv          versionTable
+	schemaEpoch atomic.Uint64
+
+	// plans caches parsed statement shapes by digest; see plan.go.
+	plans *PlanCache
+
+	// noPlanner disables the cost-based planner (index selection among
+	// candidates, predicate pushdown, join reordering), reverting to the
+	// legacy first-match access path and declaration-order joins. Guarded
+	// by db.mu like noIndexScan; used by the A11 ablation.
+	noPlanner bool
+
 	// mvcc orders commits and tracks live snapshots.
 	mvcc *mvcc.Manager
 
@@ -93,6 +110,7 @@ func NewDatabase(name string) *Database {
 		indexes: map[string]*Index{},
 		mvcc:    mvcc.NewManager(),
 		stmts:   Statements,
+		plans:   NewPlanCache(0),
 	}
 }
 
@@ -397,6 +415,9 @@ func (db *Database) rollbackTxn(tx *txnState, conflict bool) {
 		db.mu.Lock()
 		db.replayDDLUndo(tx.ddlUndo)
 		db.mu.Unlock()
+		// The undo replay may restore catalog state no single table name
+		// captures (renames, dropped indexes); invalidate every cached plan.
+		db.bumpSchemaAll()
 	}
 	if names := tx.bumpNames(); len(names) > 0 {
 		db.bumpVersions(names...)
@@ -673,26 +694,57 @@ func (s *Session) Rollback() error {
 // Exec parses and executes one SQL statement, returning its result.
 // Params bind to ? placeholders in order.
 func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
+	p, err := s.prepare(sql, params)
+	if err != nil {
+		return nil, err
+	}
+	return s.execPrepared(sql, p)
+}
+
+// prepared is one statement resolved for execution: a private AST (from
+// the plan cache or a fresh parse) with its bind values. digest/norm are
+// set when the plan-cache path already computed them, saving the
+// recording path a second lex.
+type prepared struct {
+	st           Stmt
+	params       []Value
+	digest, norm string
+	hit          bool
+}
+
+// prepare resolves sql to an executable statement, routing literal-only
+// statements through the plan cache. Caller-supplied ? parameters force
+// the plain parse path (the statement already is a shape).
+func (s *Session) prepare(sql string, params []Value) (*prepared, error) {
 	if s.closed {
 		return nil, &Error{Code: CodeInvalidTxnState, Message: "session is closed"}
+	}
+	if len(params) == 0 {
+		if st, vals, digest, norm, hit, ok := s.db.prepareCached(sql); ok {
+			return &prepared{st: st, params: vals, digest: digest, norm: norm, hit: hit}, nil
+		}
 	}
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.execRecorded(sql, st, params)
+	return &prepared{st: st, params: params}, nil
 }
 
-// execRecorded executes st and, when engine observability is on, files
+// execPrepared executes p and, when engine observability is on, files
 // the execution under sql's digest in the statement stats registry. Only
 // paths that still have the SQL text run through here — ExecScript and
 // prepared statements execute digest-less.
-func (s *Session) execRecorded(sql string, st Stmt, params []Value) (*Result, error) {
+func (s *Session) execPrepared(sql string, p *prepared) (*Result, error) {
+	st, params := p.st, p.params
 	if s.db.stmts == nil || !obsEnabled() {
 		s.lastDigest = ""
 		return s.ExecStmt(st, params...)
 	}
-	digest, norm := DigestSQL(sql)
+	digest, norm := p.digest, p.norm
+	if digest == "" {
+		digest, norm = DigestSQL(sql)
+	}
 	s.lastDigest = digest
 	s.lastRetries = 0
 	start := time.Now()
@@ -923,6 +975,7 @@ func (s *Session) execDDL(bump bool, run func(*txnState) (*Result, error), targe
 			// Unconditional, as in the undo-log engine: even a failed DDL
 			// statement bumps, trading a cache miss for never a stale hit.
 			db.bumpVersions(targets...)
+			db.bumpSchema(targets...)
 		}
 		if err == nil && bump && s.tx != nil {
 			s.tx.ddlBump = append(s.tx.ddlBump, targets...)

@@ -90,19 +90,35 @@ func (vw view) candidateRows(t *Table, qual string, where Expr, params []Value) 
 }
 
 // planScanAccess decides the access path for scanning t under the given
-// WHERE clause: the first top-level conjunct an index can satisfy wins.
+// WHERE clause. With the cost-based planner on, every conjunct an index
+// can satisfy becomes a candidate and the one expected to examine the
+// fewest rows wins; with it off, the legacy first-match rule applies.
 // Pure planning — no tree reads — so EXPLAIN (without ANALYZE) calls it
 // too. Caller holds db.mu at least shared (DDL excluded).
 func (vw view) planScanAccess(t *Table, qual string, where Expr, params []Value) *indexScanPlan {
 	if where == nil || vw.db.noIndexScan {
 		return nil
 	}
+	if vw.db.noPlanner {
+		for _, conj := range andConjuncts(where) {
+			if p := planIndexScan(t, qual, conj, params); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	var best *indexScanPlan
+	var bestRows float64
 	for _, conj := range andConjuncts(where) {
-		if p := planIndexScan(t, qual, conj, params); p != nil {
-			return p
+		p := planIndexScan(t, qual, conj, params)
+		if p == nil {
+			continue
+		}
+		if rows := planEstRows(t, p); best == nil || rows < bestRows {
+			best, bestRows = p, rows
 		}
 	}
-	return nil
+	return best
 }
 
 // andConjuncts flattens a chain of top-level ANDs.
@@ -378,15 +394,22 @@ func (vw view) derivedRowSet(sub *SelectStmt, alias string, params []Value, site
 	return rs, nil
 }
 
-// buildFrom assembles the full FROM row set (joins + comma cross joins).
-// `where` enables index routing only for the single-base-table case.
-// Tracker sites are addresses into sel's From slice: execUnion's head
-// copy shares that backing array with the original statement, so the
-// events land on the nodes the plan renderer keyed.
-func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
+// buildFrom assembles the full FROM row set (joins + comma cross joins)
+// and returns the residual WHERE clause the caller must still apply —
+// sel.Where on the legacy path, or what's left after the planner pushed
+// conjuncts below the joins. `where` enables index routing only for the
+// single-base-table case. Tracker sites are addresses into sel's From
+// slice: execUnion's head copy shares that backing array with the
+// original statement, so the events land on the nodes the plan renderer
+// keyed.
+func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, Expr, error) {
 	if len(sel.From) == 0 {
 		// SELECT without FROM evaluates expressions over a single empty row.
-		return &rowSet{rows: [][]Value{{}}}, nil
+		return &rowSet{rows: [][]Value{{}}}, sel.Where, nil
+	}
+	if fp := vw.planQuery(sel); fp != nil {
+		rs, err := vw.execFromPlan(fp, params)
+		return rs, fp.residual, err
 	}
 	singleTable := len(sel.From) == 1 && len(sel.From[0].Joins) == 0 &&
 		sel.From[0].Sub == nil
@@ -405,7 +428,7 @@ func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 			rs, err = vw.scanTable(tr.Table, tr.Alias, where, params, tr)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for j := range tr.Joins {
 			jc := &tr.Joins[j]
@@ -416,7 +439,7 @@ func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 				right, err = vw.scanTable(jc.Table, jc.Alias, nil, params, jc)
 			}
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			joinStart := vw.trk.now()
 			inRows := len(rs.rows)
@@ -425,7 +448,7 @@ func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 			} else {
 				rs, err = vw.joinOn(rs, right, jc.On, jc.Kind, params)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 			vw.trk.join(jc, inRows*len(right.rows), len(rs.rows), joinStart)
@@ -436,7 +459,102 @@ func (vw view) buildFrom(sel *SelectStmt, params []Value) (*rowSet, error) {
 			acc = crossJoin(acc, rs)
 		}
 	}
-	return acc, nil
+	return acc, sel.Where, nil
+}
+
+// scanRel produces one planned relation's row set: the base-table or
+// derived-table scan with this relation's pushed conjuncts applied. For
+// base tables the pushed conjuncts also drive index routing; the full
+// pushed filter is then re-applied (index scans over-approximate).
+func (vw view) scanRel(rp *relPlan, params []Value) (*rowSet, error) {
+	pushed := andJoin(rp.pushed)
+	var rs *rowSet
+	var err error
+	if rp.sub != nil {
+		rs, err = vw.derivedRowSet(rp.sub, rp.alias, params, rp.site)
+	} else {
+		rs, err = vw.scanTable(rp.table, rp.alias, pushed, params, rp.site)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if pushed == nil {
+		return rs, nil
+	}
+	env := &evalEnv{cols: rs.cols, params: params, vw: &vw, subCache: map[*Subquery][][]Value{}}
+	if err := bindExpr(pushed, env); err != nil {
+		return nil, err
+	}
+	kept := rs.rows[:0:0]
+	for _, r := range rs.rows {
+		env.row = r
+		v, err := eval(pushed, env)
+		if err != nil {
+			return nil, err
+		}
+		if t, known := v.Truth(); known && t {
+			kept = append(kept, r)
+		}
+	}
+	vw.trk.stage(rp.site, "pushfilter", len(rs.rows), len(kept))
+	rs.rows = kept
+	return rs, nil
+}
+
+// execFromPlan executes a planned FROM clause: scan each relation in
+// join order (pushed filters applied at the scan), join left-deep with
+// each step's conditions, then remap the layout back to declaration
+// order when the planner reordered — projection, *-expansion, and
+// ambiguity resolution must see the layout the statement declared.
+func (vw view) execFromPlan(fp *fromPlan, params []Value) (*rowSet, error) {
+	widths := make([]int, len(fp.rels))
+	var acc *rowSet
+	for i, rp := range fp.rels {
+		rs, err := vw.scanRel(rp, params)
+		if err != nil {
+			return nil, err
+		}
+		widths[i] = len(rs.cols)
+		if i == 0 {
+			acc = rs
+			continue
+		}
+		cond := andJoin(fp.steps[i])
+		start := vw.trk.now()
+		examined := len(acc.rows) * len(rs.rows)
+		if cond == nil {
+			acc = crossJoin(acc, rs)
+		} else {
+			acc, err = vw.joinOn(acc, rs, cond, JoinInner, params)
+			if err != nil {
+				return nil, err
+			}
+		}
+		vw.trk.pjoin(rp.site, examined, len(acc.rows), start)
+	}
+	if !fp.reordered {
+		return acc, nil
+	}
+	type block struct{ off, w int }
+	blocks := make([]block, len(fp.rels)) // indexed by declaration position
+	off := 0
+	for i, rp := range fp.rels {
+		blocks[rp.declIdx] = block{off: off, w: widths[i]}
+		off += widths[i]
+	}
+	out := &rowSet{cols: make([]envCol, 0, len(acc.cols))}
+	for _, b := range blocks {
+		out.cols = append(out.cols, acc.cols[b.off:b.off+b.w]...)
+	}
+	out.rows = make([][]Value, len(acc.rows))
+	for ri, r := range acc.rows {
+		nr := make([]Value, 0, len(r))
+		for _, b := range blocks {
+			nr = append(nr, r[b.off:b.off+b.w]...)
+		}
+		out.rows[ri] = nr
+	}
+	return out, nil
 }
 
 // --- SELECT execution ---
@@ -544,23 +662,24 @@ func (vw view) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
 
 func (vw view) execSelectSingle(sel *SelectStmt, params []Value) (*Result, error) {
 	selStart := vw.trk.now()
-	from, err := vw.buildFrom(sel, params)
+	from, residual, err := vw.buildFrom(sel, params)
 	if err != nil {
 		return nil, err
 	}
 	subCache := map[*Subquery][][]Value{}
 	env := &evalEnv{cols: from.cols, params: params, vw: &vw, subCache: subCache}
 
-	// WHERE filter.
+	// WHERE filter. When the planner engaged, conjuncts it pushed into
+	// scans or join steps are gone already; residual holds what is left.
 	rows := from.rows
-	if sel.Where != nil {
-		if err := bindExpr(sel.Where, env); err != nil {
+	if residual != nil {
+		if err := bindExpr(residual, env); err != nil {
 			return nil, err
 		}
 		kept := rows[:0:0]
 		for _, r := range rows {
 			env.row = r
-			v, err := eval(sel.Where, env)
+			v, err := eval(residual, env)
 			if err != nil {
 				return nil, err
 			}
@@ -1254,6 +1373,9 @@ func (db *Database) execCreateIndex(tx *txnState, ci *CreateIndexStmt) (*Result,
 	}
 	db.indexes[key] = ix
 	tx.logDDL(undoRec{kind: undoCreateIndex, index: ci.Name})
+	// Index DDL never changes results (no vt bump) but does change access
+	// paths, which cached plans' cost decisions depend on.
+	db.bumpSchema(ci.Table)
 	return &Result{}, nil
 }
 
@@ -1279,5 +1401,6 @@ func (db *Database) execDropIndex(tx *txnState, di *DropIndexStmt) (*Result, err
 		t.mu.Unlock()
 	}
 	tx.logDDL(undoRec{kind: undoDropIndex, index: ix.Name, droppedIndex: ix})
+	db.bumpSchema(ix.Table)
 	return &Result{}, nil
 }

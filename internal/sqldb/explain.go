@@ -38,6 +38,7 @@ type opStats struct {
 type (
 	scanKey  struct{ site any } // *TableRef, *JoinClause, *UpdateStmt, *DeleteStmt
 	joinKey  struct{ jc *JoinClause }
+	pjoinKey struct{ site any } // planner join step, keyed by the right rel's site
 	stageKey struct {
 		site  any
 		stage string // "where", "aggregate", "distinct", "limit", "union", "filter"
@@ -94,6 +95,20 @@ func (trk *execTracker) join(jc *JoinClause, examined, returned int, start time.
 		return
 	}
 	o := trk.get(joinKey{jc})
+	o.calls++
+	o.examined += examined
+	o.returned += returned
+	o.micros += time.Since(start).Microseconds()
+}
+
+// pjoin records one planner-ordered join step: pairs considered and
+// rows kept. Keyed on the right-hand relation's site, which uniquely
+// identifies the step regardless of the execution order chosen.
+func (trk *execTracker) pjoin(site any, examined, returned int, start time.Time) {
+	if trk == nil {
+		return
+	}
+	o := trk.get(pjoinKey{site})
 	o.calls++
 	o.examined += examined
 	o.returned += returned
@@ -281,9 +296,16 @@ func (vw view) planSelect(sel *SelectStmt, params []Value) (*planNode, error) {
 // chain (execUnion strips them from the head copy it runs).
 func (vw view) planSelectCore(sel *SelectStmt, params []Value, unionHead bool) (*planNode, error) {
 	n := &planNode{label: "Select", site: selKey{sel}}
-	if sel.Where != nil {
+	fp := vw.planQuery(sel)
+	where := sel.Where
+	if fp != nil {
+		// The planner pushed some conjuncts into scans and join steps;
+		// only the residual is evaluated above the FROM pipeline.
+		where = fp.residual
+	}
+	if where != nil {
 		n.props = append(n.props, planProp{
-			text: "Filter: " + exprString(sel.Where),
+			text: "Filter: " + exprString(where),
 			site: stageKey{site: any(sel), stage: "where"},
 		})
 	}
@@ -325,7 +347,7 @@ func (vw view) planSelectCore(sel *SelectStmt, params []Value, unionHead bool) (
 			n.props = append(n.props, planProp{text: "Limit: " + exprString(sel.Limit), site: limitSite})
 		}
 	}
-	kids, err := vw.planFrom(sel, params)
+	kids, err := vw.planFrom(sel, fp, params)
 	if err != nil {
 		return nil, err
 	}
@@ -358,10 +380,36 @@ func (vw view) planSelectCore(sel *SelectStmt, params []Value, unionHead bool) (
 
 // planFrom mirrors buildFrom: one scan node per table reference, joins
 // wrapped around their left input in declaration order, comma-list
-// entries combined under Cross Join nodes.
-func (vw view) planFrom(sel *SelectStmt, params []Value) ([]*planNode, error) {
+// entries combined under Cross Join nodes. When the cost-based planner
+// engaged (fp != nil), the tree instead reflects its chosen execution
+// order, pushed-down filters, and cardinality estimates.
+func (vw view) planFrom(sel *SelectStmt, fp *fromPlan, params []Value) ([]*planNode, error) {
 	if len(sel.From) == 0 {
 		return []*planNode{{label: "Result"}}, nil
+	}
+	if fp != nil {
+		node, err := vw.planRelNode(fp.rels[0], params)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(fp.rels); i++ {
+			rp := fp.rels[i]
+			right, err := vw.planRelNode(rp, params)
+			if err != nil {
+				return nil, err
+			}
+			jn := &planNode{site: pjoinKey{rp.site}}
+			if cond := andJoin(fp.steps[i]); cond != nil {
+				jn.label = "Nested Loop Join"
+				jn.props = append(jn.props, planProp{text: "Join Cond: " + exprString(cond)})
+			} else {
+				jn.label = "Cross Join"
+			}
+			jn.props = append(jn.props, planProp{text: estText(fp.stepCard[i], fp.stepCost[i])})
+			jn.kids = []*planNode{node, right}
+			node = jn
+		}
+		return []*planNode{node}, nil
 	}
 	singleTable := len(sel.From) == 1 && len(sel.From[0].Joins) == 0 &&
 		sel.From[0].Sub == nil
@@ -415,6 +463,31 @@ func (vw view) planFrom(sel *SelectStmt, params []Value) ([]*planNode, error) {
 		}
 	}
 	return []*planNode{acc}, nil
+}
+
+// planRelNode builds the scan node for one planner relation: the base
+// or derived table scan with any pushed-down conjuncts rendered as a
+// Filter and the planner's cardinality estimate attached.
+func (vw view) planRelNode(rp *relPlan, params []Value) (*planNode, error) {
+	pushed := andJoin(rp.pushed)
+	var node *planNode
+	var err error
+	if rp.sub != nil {
+		node, err = vw.planSubqueryScan(rp.sub, rp.alias, params, rp.site)
+	} else {
+		node, err = vw.planScanNode(rp.table, rp.alias, pushed, params, rp.site)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if pushed != nil {
+		node.props = append(node.props, planProp{
+			text: "Filter: " + exprString(pushed),
+			site: stageKey{site: rp.site, stage: "pushfilter"},
+		})
+	}
+	node.props = append(node.props, planProp{text: estText(rp.est, rp.baseRows)})
+	return node, nil
 }
 
 // planScanNode builds a Seq Scan or Index Scan node for one base table,
@@ -541,7 +614,7 @@ func opAnnotation(trk *execTracker, key any) string {
 	}
 	var s string
 	switch key.(type) {
-	case scanKey, joinKey:
+	case scanKey, joinKey, pjoinKey:
 		s = fmt.Sprintf(" (examined=%d returned=%d time=%s", o.examined, o.returned, microsString(o.micros))
 	case stageKey:
 		return stageAnnotation(trk, key)

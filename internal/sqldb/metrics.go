@@ -89,6 +89,17 @@ func RegisterMetrics(db *Database) {
 					"scans served per index", "table", ts.Name, "index", ix.Name).Set(ix.Scans)
 			}
 		}
+		pc := db.PlanCacheStats()
+		obs.Default.Gauge("db2www_sqldb_plan_cache_hits",
+			"prepared-plan cache hits").Set(int64(pc.Hits))
+		obs.Default.Gauge("db2www_sqldb_plan_cache_misses",
+			"prepared-plan cache misses").Set(int64(pc.Misses))
+		obs.Default.Gauge("db2www_sqldb_plan_cache_bypasses",
+			"statements not eligible for plan caching").Set(int64(pc.Bypasses))
+		obs.Default.Gauge("db2www_sqldb_plan_cache_invalidations",
+			"cached plans discarded after schema changes").Set(int64(pc.Invalidations))
+		obs.Default.Gauge("db2www_sqldb_plan_cache_size",
+			"cached plans currently held").Set(int64(pc.Size))
 		st := db.TxnStats()
 		obs.Default.FloatGauge("db2www_sqldb_oldest_snapshot_age_seconds",
 			"age of the oldest live MVCC snapshot").Set(st.OldestSnapshotAge.Seconds())

@@ -16,6 +16,13 @@ func Parse(src string) (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseTokens(toks)
+}
+
+// parseTokens parses a single statement from an already-lexed token
+// stream. The plan cache calls this directly with its parameterized
+// token rewrite, skipping a second lex of the statement text.
+func parseTokens(toks []token) (Stmt, error) {
 	p := &parser{toks: toks}
 	st, err := p.parseStatement()
 	if err != nil {

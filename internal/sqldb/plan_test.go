@@ -1,0 +1,424 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// planSeed builds the two-table corpus schema used by the plan-cache
+// equivalence tests, identically on any database.
+func planSeed(t *testing.T, s *Session) {
+	t.Helper()
+	mustExec(t, s, "CREATE TABLE dept (id INTEGER PRIMARY KEY, dname VARCHAR(40), loc VARCHAR(40))")
+	mustExec(t, s, "CREATE TABLE emp (id INTEGER PRIMARY KEY, name VARCHAR(40), dept INTEGER, salary DOUBLE)")
+	mustExec(t, s, "CREATE INDEX emp_dept ON emp (dept)")
+	locs := []string{"east", "west", "north", "south", "hq"}
+	for d := 1; d <= 5; d++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO dept VALUES (%d, 'dept%d', '%s')", d, d, locs[d-1]))
+	}
+	for i := 1; i <= 30; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO emp VALUES (%d, 'n%02d', %d, %d.5)",
+			i, i, i%5+1, 1000+i*37))
+	}
+}
+
+// resultBytes serializes a result exactly: column names, every value in
+// SQL rendering, and the affected-row count.
+func resultBytes(res *Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Columns, ","))
+	sb.WriteString(fmt.Sprintf("|affected=%d", res.RowsAffected))
+	for _, r := range res.Rows {
+		sb.WriteByte('\n')
+		for i, v := range r {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(valueSQL(v))
+		}
+	}
+	return sb.String()
+}
+
+// planCorpus holds literal-bearing statements spanning the paramizable
+// surface: point lookups, index and LIKE predicates, multi-table joins
+// (comma and JOIN syntax), grouping, IN lists, subqueries, ordinals, and
+// DML. Multi-row results carry ORDER BY so row order is pinned.
+var planCorpus = []string{
+	"SELECT name, salary FROM emp WHERE id = 7",
+	"SELECT name FROM emp WHERE salary > 1500 AND dept = 2 ORDER BY name",
+	"SELECT name FROM emp WHERE name LIKE 'n1%' ORDER BY 1",
+	"SELECT name FROM emp WHERE dept IN (1, 2) ORDER BY name DESC",
+	"SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept = d.id AND d.loc = 'west' ORDER BY e.name",
+	"SELECT * FROM emp e JOIN dept d ON e.dept = d.id WHERE d.id = 3 ORDER BY e.id",
+	"SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept ORDER BY dept",
+	"SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)",
+	"SELECT dname FROM dept WHERE id < 4 ORDER BY dname LIMIT 2 OFFSET 1",
+	"UPDATE emp SET salary = 9999.25 WHERE id = 3",
+	"UPDATE emp SET salary = 8888.25 WHERE id = 4",
+	"INSERT INTO emp VALUES (100, 'zz', 1, 5.5)",
+	"DELETE FROM emp WHERE id = 11",
+	"SELECT * FROM emp ORDER BY id",
+}
+
+// TestPlanCacheByteIdentical is the equivalence property: every corpus
+// statement run through the plan cache and cost-based planner returns
+// exactly the bytes of the literal path with both features off — on the
+// cold (parse) pass and the warm (cache hit) pass alike.
+func TestPlanCacheByteIdentical(t *testing.T) {
+	dbOn := NewDatabase("on")
+	dbOff := NewDatabase("off")
+	dbOff.SetPlanCacheEnabled(false)
+	dbOff.SetPlannerEnabled(false)
+	sOn, sOff := NewSession(dbOn), NewSession(dbOff)
+	planSeed(t, sOn)
+	planSeed(t, sOff)
+
+	for _, q := range planCorpus {
+		off, offErr := sOff.Exec(q)
+		on, onErr := sOn.Exec(q)
+		if (offErr == nil) != (onErr == nil) {
+			t.Fatalf("%s: literal err=%v cached err=%v", q, offErr, onErr)
+		}
+		if offErr != nil {
+			continue
+		}
+		if got, want := resultBytes(on), resultBytes(off); got != want {
+			t.Fatalf("%s: cold cached result differs\ncached: %s\nliteral: %s", q, got, want)
+		}
+	}
+	// Second pass: SELECTs hit the cache and must still match a literal
+	// re-run (DML is not idempotent, so only re-run reads).
+	hitsBefore := dbOn.PlanCacheStats().Hits
+	for _, q := range planCorpus {
+		if !strings.HasPrefix(q, "SELECT") {
+			continue
+		}
+		off := mustExec(t, sOff, q)
+		on := mustExec(t, sOn, q)
+		if got, want := resultBytes(on), resultBytes(off); got != want {
+			t.Fatalf("%s: warm cached result differs\ncached: %s\nliteral: %s", q, got, want)
+		}
+	}
+	st := dbOn.PlanCacheStats()
+	if st.Hits == hitsBefore {
+		t.Fatalf("second pass recorded no cache hits: %+v", st)
+	}
+	if off := dbOff.PlanCacheStats(); off.Hits != 0 || off.Misses != 0 {
+		t.Fatalf("disabled cache recorded traffic: %+v", off)
+	}
+}
+
+// TestPlanCacheHitSkipsParse: repeated shapes are served from cache (one
+// miss, then hits), and distinct literals of the same shape share one
+// entry.
+func TestPlanCacheHitSkipsParse(t *testing.T) {
+	db := NewDatabase("t")
+	s := NewSession(db)
+	planSeed(t, s)
+	base := db.PlanCacheStats()
+	for i := 1; i <= 10; i++ {
+		res := mustExec(t, s, fmt.Sprintf("SELECT name FROM emp WHERE id = %d", i))
+		if len(res.Rows) != 1 {
+			t.Fatalf("id=%d returned %d rows", i, len(res.Rows))
+		}
+	}
+	st := db.PlanCacheStats()
+	if st.Misses-base.Misses != 1 {
+		t.Fatalf("want exactly 1 miss for 10 same-shape queries, got %d", st.Misses-base.Misses)
+	}
+	if st.Hits-base.Hits != 9 {
+		t.Fatalf("want 9 hits, got %d", st.Hits-base.Hits)
+	}
+	digest, _ := DigestSQL("SELECT name FROM emp WHERE id = 1")
+	if !db.plans.contains(digest) {
+		t.Fatalf("digest %s not cached", digest)
+	}
+}
+
+// TestPlanCacheExplicitParamsBypass: calls that already carry bind
+// parameters skip the cache entirely.
+func TestPlanCacheExplicitParamsBypass(t *testing.T) {
+	db := NewDatabase("t")
+	s := NewSession(db)
+	planSeed(t, s)
+	base := db.PlanCacheStats()
+	res := mustExec(t, s, "SELECT name FROM emp WHERE id = ?", NewInt(5))
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	st := db.PlanCacheStats()
+	if st.Hits != base.Hits || st.Misses != base.Misses {
+		t.Fatalf("parameterized call touched the cache: %+v -> %+v", base, st)
+	}
+}
+
+// TestPlanCacheDDLInvalidation: DDL on a referenced table invalidates the
+// cached shape (observable in the counters), and the statement re-plans
+// correctly afterwards.
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	db := NewDatabase("t")
+	s := NewSession(db)
+	planSeed(t, s)
+	q := "SELECT name FROM emp WHERE salary > 1800 ORDER BY name"
+	mustExec(t, s, q) // miss, cached
+	mustExec(t, s, q) // hit
+	base := db.PlanCacheStats()
+
+	mustExec(t, s, "CREATE INDEX emp_sal ON emp (salary)")
+	res := mustExec(t, s, q)
+	st := db.PlanCacheStats()
+	if st.Invalidations-base.Invalidations != 1 {
+		t.Fatalf("want 1 invalidation after CREATE INDEX, got %d", st.Invalidations-base.Invalidations)
+	}
+	if st.Misses-base.Misses != 1 {
+		t.Fatalf("want a fresh miss after invalidation, got %d", st.Misses-base.Misses)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("re-planned query returned no rows")
+	}
+	mustExec(t, s, q) // re-cached: hit again
+	if got := db.PlanCacheStats().Hits - st.Hits; got != 1 {
+		t.Fatalf("want hit after re-cache, got %d", got)
+	}
+
+	// DDL on an unreferenced table leaves the entry alone.
+	pre := db.PlanCacheStats()
+	mustExec(t, s, "CREATE TABLE other (x INTEGER)")
+	mustExec(t, s, q)
+	post := db.PlanCacheStats()
+	if post.Invalidations != pre.Invalidations {
+		t.Fatalf("unrelated DDL invalidated the plan: %+v -> %+v", pre, post)
+	}
+	if post.Hits-pre.Hits != 1 {
+		t.Fatalf("want hit across unrelated DDL, got %d", post.Hits-pre.Hits)
+	}
+
+	// A rolled-back DDL transaction bumps the schema epoch, invalidating
+	// everything cached before it.
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "CREATE TABLE scratch (x INTEGER)")
+	mustExec(t, s, "ROLLBACK")
+	pre = db.PlanCacheStats()
+	mustExec(t, s, q)
+	post = db.PlanCacheStats()
+	if post.Invalidations-pre.Invalidations != 1 {
+		t.Fatalf("want epoch invalidation after rolled-back DDL, got %d",
+			post.Invalidations-pre.Invalidations)
+	}
+}
+
+// TestPlanCacheDropTable: dropping a table invalidates its cached shapes
+// and the replayed statement fails exactly like a fresh parse would.
+func TestPlanCacheDropTable(t *testing.T) {
+	db := NewDatabase("t")
+	s := NewSession(db)
+	planSeed(t, s)
+	q := "SELECT dname FROM dept WHERE id = 2"
+	mustExec(t, s, q)
+	mustExec(t, s, q)
+	mustExec(t, s, "DROP TABLE dept")
+	_, err := s.Exec(q)
+	if err == nil {
+		t.Fatal("query against dropped table succeeded")
+	}
+	db2 := NewDatabase("fresh")
+	_, fresh := NewSession(db2).Exec(q)
+	if fresh == nil || err.Error() != fresh.Error() {
+		t.Fatalf("cached-path error %q != fresh error %q", err, fresh)
+	}
+}
+
+// TestPlanCacheLRUEviction exercises the bounded-LRU unit behaviour
+// directly: storing over capacity evicts the least recently used shape.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	pc := NewPlanCache(2)
+	mk := func(d string) *planEntry {
+		return &planEntry{digest: d, norm: d, stmt: &SelectStmt{}}
+	}
+	pc.store(mk("a"))
+	pc.store(mk("b"))
+	if pc.lookup("a", "a", 0) == nil { // touch a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	pc.store(mk("c"))
+	if pc.len() != 2 {
+		t.Fatalf("len=%d want 2", pc.len())
+	}
+	if pc.lookup("b", "b", 0) != nil {
+		t.Fatal("b survived eviction")
+	}
+	if pc.lookup("a", "a", 0) == nil || pc.lookup("c", "c", 0) == nil {
+		t.Fatal("a or c evicted wrongly")
+	}
+	// A colliding digest with a different normalized shape is a miss, and
+	// a negative entry never reports as a positive plan.
+	if pc.lookup("a", "other-shape", 0) != nil {
+		t.Fatal("collision guard failed")
+	}
+	pc.store(&planEntry{digest: "neg", norm: "neg"})
+	if pc.contains("neg") {
+		t.Fatal("negative entry reported as positive")
+	}
+}
+
+// TestPlanCacheTextFastPath: a verbatim repeat is served from the
+// exact-text map, staleness falls back to the token path exactly once,
+// and the text map honours its own LRU bound.
+func TestPlanCacheTextFastPath(t *testing.T) {
+	db := NewDatabase("t")
+	s := NewSession(db)
+	planSeed(t, s)
+	q := "SELECT name FROM emp WHERE id = 9"
+	mustExec(t, s, q)
+	if db.plans.lookupText(q) == nil {
+		t.Fatal("text entry not stored after first execution")
+	}
+	base := db.PlanCacheStats()
+	res := mustExec(t, s, q)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "n09" {
+		t.Fatalf("text-path result wrong: %v", res.Rows)
+	}
+	st := db.PlanCacheStats()
+	if st.Hits-base.Hits != 1 || st.Misses != base.Misses {
+		t.Fatalf("verbatim repeat not a hit: %+v -> %+v", base, st)
+	}
+	// DDL staleness: the text entry's shape is invalidated, re-resolved
+	// through the token path (one invalidation, one miss), and repaired.
+	mustExec(t, s, "CREATE INDEX emp_name ON emp (name)")
+	base = db.PlanCacheStats()
+	mustExec(t, s, q)
+	st = db.PlanCacheStats()
+	if st.Invalidations-base.Invalidations != 1 || st.Misses-base.Misses != 1 {
+		t.Fatalf("stale text entry not re-resolved: %+v -> %+v", base, st)
+	}
+	mustExec(t, s, q)
+	if got := db.PlanCacheStats().Hits - st.Hits; got != 1 {
+		t.Fatalf("repaired text entry not hit: %d", got)
+	}
+	// The text map is bounded at textCapFactor times the shape cap.
+	pc := NewPlanCache(1)
+	for i := 0; i < 3*textCapFactor; i++ {
+		pc.storeText(fmt.Sprintf("q%d", i), "d", "n", nil)
+	}
+	if pc.tlru.Len() != textCapFactor {
+		t.Fatalf("text LRU holds %d entries, want %d", pc.tlru.Len(), textCapFactor)
+	}
+}
+
+// TestPlanCacheConcurrentDDL races cached-plan hits against repeated
+// index DDL on the same table; run under -race this checks the
+// invalidation path is safe against concurrent readers.
+func TestPlanCacheConcurrentDDL(t *testing.T) {
+	db := NewDatabase("t")
+	setup := NewSession(db)
+	planSeed(t, setup)
+	const readers = 4
+	var wg, ready sync.WaitGroup
+	errc := make(chan error, readers+1)
+	done := make(chan struct{})
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewSession(db)
+			first := true
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				id := i%30 + 1
+				res, err := s.Exec(fmt.Sprintf("SELECT name FROM emp WHERE id = %d", id))
+				if first {
+					// The shape is cached now; let the DDL churn begin.
+					first = false
+					ready.Done()
+				}
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					errc <- fmt.Errorf("reader %d: id=%d got %d rows", g, id, len(res.Rows))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		ready.Wait()
+		s := NewSession(db)
+		for i := 0; i < 50; i++ {
+			if _, err := s.Exec("CREATE INDEX emp_stress ON emp (salary)"); err != nil {
+				errc <- fmt.Errorf("ddl create: %v", err)
+				return
+			}
+			if _, err := s.Exec("DROP INDEX emp_stress"); err != nil {
+				errc <- fmt.Errorf("ddl drop: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// Whatever entry survived the churn was cached before the final DROP
+	// INDEX bumped the schema version, so one more lookup must observe the
+	// staleness (unless a reader already did mid-churn).
+	mustExec(t, setup, "SELECT name FROM emp WHERE id = 1")
+	if st := db.PlanCacheStats(); st.Invalidations == 0 {
+		t.Fatalf("stress run recorded no invalidations: %+v", st)
+	}
+}
+
+// TestParamizeTokens pins the literal-extraction rules: strings and
+// numbers extract, ORDER BY ordinals and type-suffix lengths stay
+// literal, and pre-parameterized or non-DML statements bail out. In all
+// extracted cases the normalized shape is unchanged — the cache key is
+// shared with statement stats by construction.
+func TestParamizeTokens(t *testing.T) {
+	cases := []struct {
+		sql   string
+		ok    bool
+		nvals int
+	}{
+		{"SELECT * FROM t WHERE id = 7 AND name = 'x'", true, 2},
+		{"SELECT name FROM t ORDER BY 2", true, 0},
+		{"SELECT name FROM t WHERE id = 3 ORDER BY 1 LIMIT 5", true, 2}, // 3 and 5; ordinal kept
+		{"SELECT CAST(id AS VARCHAR(10)) FROM t WHERE id = 5", true, 1},
+		{"INSERT INTO t VALUES (1, 'a', 2.5)", true, 3},
+		{"SELECT * FROM t WHERE id = ?", false, 0},
+		{"CREATE TABLE t (id INTEGER)", false, 0},
+		{"EXPLAIN SELECT * FROM t WHERE id = 1", false, 0},
+		{"SELECT * FROM (SELECT id FROM t ORDER BY 1) s WHERE id = 9", true, 1},
+	}
+	for _, c := range cases {
+		toks, err := lexSQL(c.sql)
+		if err != nil {
+			t.Fatalf("%s: lex: %v", c.sql, err)
+		}
+		ptoks, vals, ok := paramizeTokens(toks)
+		if ok != c.ok {
+			t.Fatalf("%s: ok=%v want %v", c.sql, ok, c.ok)
+		}
+		if !ok {
+			continue
+		}
+		if len(vals) != c.nvals {
+			t.Fatalf("%s: extracted %d values, want %d (%v)", c.sql, len(vals), c.nvals, vals)
+		}
+		if got, want := normalizeTokens(ptoks), normalizeTokens(toks); got != want {
+			t.Fatalf("%s: normalized shape changed\nparamized: %s\noriginal:  %s", c.sql, got, want)
+		}
+	}
+}

@@ -84,6 +84,7 @@ func (db *Database) Vacuum() int {
 	for _, t := range tables {
 		t.mu.Lock()
 		dead := map[int64]bool{}
+		visible := 0
 		for _, r := range t.rows {
 			// The sweep walks every chain anyway; counting its length here
 			// is where the version-chain health histogram comes from.
@@ -98,9 +99,16 @@ func (db *Database) Vacuum() int {
 			total += db.pruneChain(t, r, wm)
 			if r.head == nil {
 				dead[r.id] = true
+			} else if r.visibleVersion(nil, ^uint64(0)) != nil {
+				visible++
 			}
 		}
 		t.removeRows(dead)
+		// Refresh the planner's row-count statistics: the sweep just
+		// walked every chain, so the visible count is exact right now.
+		t.statRows.Store(int64(visible))
+		t.statIns.Store(t.rowsInserted.Load())
+		t.statDel.Store(t.rowsDeleted.Load())
 		t.mu.Unlock()
 	}
 	db.vacuumSweeps.Add(1)
