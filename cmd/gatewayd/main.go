@@ -29,6 +29,7 @@ import (
 	"db2www/internal/qcache"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
+	"db2www/internal/sqlsema"
 	"db2www/internal/workload"
 )
 
@@ -191,7 +192,14 @@ func main() {
 	switch *lintMode {
 	case "off":
 	case "warn", "strict":
+		macrolint.RegisterMetrics()
 		linter := macrolint.New()
+		if engineDB != nil {
+			// In-process mode lints against the live catalog: a macro that
+			// names a table or column the engine does not have is a
+			// deploy-time error, not a runtime 42703.
+			linter.Schema = sqlsema.FromDatabase(engineDB)
+		}
 		files, diags, err := linter.LintDir(*macros)
 		if err != nil {
 			log.Fatalf("gatewayd: lint preflight of %s: %v", *macros, err)
@@ -256,9 +264,14 @@ func main() {
 	}
 	if *lintMode != "off" {
 		mode := *lintMode
+		schemaTables := 0
+		if engineDB != nil {
+			schemaTables = len(engineDB.SchemaSnapshot())
+		}
 		al.AddStatusSection("Macro lint", func() [][2]string {
 			rows := [][2]string{
 				{"Mode", mode},
+				{"Schema tables", strconv.Itoa(schemaTables)},
 				{"Preflight macros", strconv.Itoa(preFiles)},
 				{"Preflight errors", strconv.Itoa(preErrs)},
 				{"Preflight warnings", strconv.Itoa(preWarns)},

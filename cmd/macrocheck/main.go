@@ -7,6 +7,7 @@
 //	macrocheck -strict app.d2w ...         exit 1 on error-severity findings
 //	macrocheck -format json app.d2w        machine-readable findings
 //	macrocheck -format sarif dir/          SARIF 2.1.0 for CI code scanning
+//	macrocheck -schema schema.sql app.d2w  schema-aware analysis (schema, sqltype, sqlperf)
 //	macrocheck -enable taint,cycle app.d2w run only the named analyzers
 //	macrocheck -disable unused app.d2w     run all but the named analyzers
 //	macrocheck -analyzers                  print the analyzer catalog
@@ -32,6 +33,7 @@ import (
 
 	"db2www/internal/core"
 	"db2www/internal/macrolint"
+	"db2www/internal/sqlsema"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func run() int {
 		format    = flag.String("format", "text", "output format: text, json, or sarif")
 		enable    = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable   = flag.String("disable", "", "comma-separated analyzers to skip")
+		schemaSQL = flag.String("schema", "", "DDL file describing the database; enables the schema-aware analyzers")
 		analyzers = flag.Bool("analyzers", false, "print the analyzer catalog and exit")
 	)
 	flag.Parse()
@@ -57,7 +60,7 @@ func run() int {
 		return 0
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: macrocheck [-strict] [-format text|json|sarif] [-enable ids] [-disable ids] [-extract html|sql] [-vars] macro.d2w|dir ...")
+		fmt.Fprintln(os.Stderr, "usage: macrocheck [-strict] [-format text|json|sarif] [-schema schema.sql] [-enable ids] [-disable ids] [-extract html|sql] [-vars] macro.d2w|dir ...")
 		return 2
 	}
 
@@ -75,6 +78,19 @@ func run() int {
 	if err := linter.Configure(*enable, *disable); err != nil {
 		fmt.Fprintf(os.Stderr, "macrocheck: %v\n", err)
 		return 2
+	}
+	if *schemaSQL != "" {
+		ddl, err := os.ReadFile(*schemaSQL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macrocheck: %v\n", err)
+			return 2
+		}
+		schema, err := sqlsema.FromDDL(string(ddl))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macrocheck: -schema %s: %v\n", *schemaSQL, err)
+			return 2
+		}
+		linter.Schema = schema
 	}
 
 	var diags []macrolint.Diagnostic

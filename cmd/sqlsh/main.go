@@ -1,8 +1,10 @@
 // Command sqlsh is an interactive shell for the embedded sqldb engine —
 // the "visual query tool" slot of the paper's Figure 5 development
 // workflow, reduced to a terminal. Statements end with ';'. Meta
-// commands: \d lists tables, \d NAME describes one, \planstats dumps
-// the prepared-plan cache counters, \q quits. EXPLAIN [ANALYZE] <stmt>
+// commands: \d lists tables, \d NAME describes one (columns, indexes,
+// row count), \check DIR lints a macro directory against the live
+// catalog (schema-aware analyzers included), \planstats dumps the
+// prepared-plan cache counters, \q quits. EXPLAIN [ANALYZE] <stmt>
 // renders the execution plan — with the cost-based planner on, plan
 // nodes carry "Est: ~rows (cost=...)" estimates, and a footer reports
 // whether the statement's shape is in the plan cache (see
@@ -20,7 +22,9 @@ import (
 	"os"
 	"strings"
 
+	"db2www/internal/macrolint"
 	"db2www/internal/sqldb"
+	"db2www/internal/sqlsema"
 	"db2www/internal/workload"
 )
 
@@ -85,7 +89,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("sqlsh — embedded SQL shell. Statements end with ';'. \\q quits, \\d lists tables, \\planstats dumps plan-cache counters, EXPLAIN [ANALYZE] shows plans.")
+	fmt.Println("sqlsh — embedded SQL shell. Statements end with ';'. \\q quits, \\d lists tables, \\check DIR lints macros against the catalog, \\planstats dumps plan-cache counters, EXPLAIN [ANALYZE] shows plans.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -159,7 +163,34 @@ func metaCommand(db *sqldb.Database, cmd string) bool {
 			}
 			fmt.Printf("%-24s %s%s\n", c.Name, c.Type, attrs)
 		}
+		for _, st := range db.SchemaSnapshot() {
+			if !strings.EqualFold(st.Name, name) {
+				continue
+			}
+			for _, ix := range st.Indexes {
+				kind := "index"
+				if ix.Unique {
+					kind = "unique index"
+				}
+				fmt.Printf("%-24s %s on (%s), %d distinct key(s)\n", ix.Name, kind, ix.Column, ix.Distinct)
+			}
+		}
 		fmt.Printf("(%d rows)\n", t.RowCount())
+	case strings.HasPrefix(cmd, "\\check "):
+		dir := strings.TrimSpace(cmd[len("\\check "):])
+		linter := macrolint.New()
+		linter.Schema = sqlsema.FromDatabase(db)
+		files, diags, err := linter.LintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return true
+		}
+		if err := macrolint.WriteText(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return true
+		}
+		errs, warns, infos := macrolint.Counts(diags)
+		fmt.Printf("%d macro(s): %d error(s), %d warning(s), %d info\n", len(files), errs, warns, infos)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown meta command %q\n", cmd)
 	}

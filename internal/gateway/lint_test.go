@@ -9,6 +9,8 @@ import (
 
 	"db2www/internal/core"
 	"db2www/internal/macrolint"
+	"db2www/internal/sqldb"
+	"db2www/internal/sqlsema"
 	"db2www/internal/webclient"
 )
 
@@ -85,6 +87,48 @@ func TestLintOnLoadOncePerCacheMiss(t *testing.T) {
 	loads, _, _, _, _ := app.LintStats()
 	if loads != 1 {
 		t.Fatalf("linted %d loads, want 1 (cache misses only)", loads)
+	}
+}
+
+// TestLintStrictRefusesSchemaMismatch: with the live catalog wired into
+// the linter, a macro that names a column the engine does not have is
+// refused under strict mode — the gatewayd -lint strict boot behavior,
+// exercised at the lint-on-load layer.
+func TestLintStrictRefusesSchemaMismatch(t *testing.T) {
+	db := sqldb.NewDatabase("CELDIAL")
+	sess := sqldb.NewSession(db)
+	defer sess.Close()
+	if _, err := sess.Exec("CREATE TABLE urldb (url VARCHAR(255) NOT NULL PRIMARY KEY, title VARCHAR(255))"); err != nil {
+		t.Fatal(err)
+	}
+	const mismatched = `%define DATABASE = "CELDIAL"
+%SQL{SELECT nosuchcol FROM urldb%}
+%HTML_REPORT{%EXEC_SQL%}
+`
+	macroDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(macroDir, "mismatch.d2w"), []byte(mismatched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	linter := macrolint.New()
+	linter.Schema = sqlsema.FromDatabase(db)
+	app := &App{
+		MacroDir:    macroDir,
+		Engine:      &core.Engine{},
+		CacheMacros: true,
+		Lint:        linter,
+		LintStrict:  true,
+	}
+	c := &webclient.Client{Handler: &Handler{App: app}}
+	page, err := c.Get("http://server/cgi-bin/db2www/mismatch.d2w/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Status != 500 || !strings.Contains(page.Body, "refused by lint") {
+		t.Fatalf("status = %d, body:\n%s", page.Status, page.Body)
+	}
+	_, errs, _, _, rejected := app.LintStats()
+	if errs == 0 || rejected != 1 {
+		t.Fatalf("LintStats = errors %d, rejected %d", errs, rejected)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"db2www/internal/core"
 	"db2www/internal/obs"
+	"db2www/internal/sqlsema"
 )
 
 // Analyzer is one registered check. Analyzers with a nil run hook
@@ -48,6 +49,9 @@ var catalog = []*Analyzer{
 	{ID: "sections", Doc: "cross-section consistency: %EXEC_SQL targets, unexecuted SQL sections, DATABASE, page structure", run: runSections},
 	{ID: "taint", Doc: "dataflow from form/URL input through DEFINE chains into SQL or %EXEC sinks without $(@sq:) quoting", run: runTaint},
 	{ID: "sqlreport", Doc: "substituted-skeleton SQL must parse and %SQL_REPORT column references must match the SELECT list", run: runSQLReport},
+	{ID: "schema", Doc: "SQL name resolution against the configured schema: unknown tables, columns, and indexes; ambiguous column references", run: runSchema},
+	{ID: "sqltype", Doc: "expression type checking against declared column types, with value classes inferred for $(VAR) slots through %DEFINE chains", run: runSqltype},
+	{ID: "sqlperf", Doc: "planner-driven performance lints: predicates no index can serve, leading-wildcard LIKE, joins with no join predicate, SELECT * feeding a report", run: runSqlperf},
 }
 
 // Analyzers returns the analyzer catalog in registration order.
@@ -74,6 +78,14 @@ type Linter struct {
 	// surface as parse findings). LintFile installs a directory resolver
 	// automatically when none is set.
 	Resolver core.IncludeResolver
+
+	// Schema enables the schema-aware analyzers (schema, sqltype,
+	// sqlperf): SQL extracted from macros is resolved and type-checked
+	// against it. Nil disables all three — without metadata there is
+	// nothing to resolve against. Build one with sqlsema.FromDDL (a DDL
+	// file, macrocheck -schema) or sqlsema.FromDatabase (the live
+	// catalog, gatewayd preflight and sqlsh \check).
+	Schema *sqlsema.Schema
 
 	enabled map[string]bool
 }
@@ -136,6 +148,15 @@ type pass struct {
 	l     *Linter
 	env   *env
 	diags []Diagnostic
+
+	// Memoized schema-aware analysis state (see semsql.go): skeleton
+	// substitution per SQL template, inferred variable classes, and the
+	// shared semantic findings the schema/sqltype/sqlperf analyzers
+	// surface.
+	subst     map[*tpl]*substSQL
+	varClass  map[string]classInfo
+	semaDone  bool
+	semaDiags []Diagnostic
 }
 
 // report appends a finding, filling in the file.
@@ -280,5 +301,20 @@ func Record(diags []Diagnostic) {
 		obs.Default.Counter("db2www_macrolint_findings_total",
 			"macro lint findings, by analyzer and severity",
 			"analyzer", d.Analyzer, "severity", d.Severity.String()).Inc()
+	}
+}
+
+// RegisterMetrics pre-creates the db2www_macrolint_findings_total series
+// for every analyzer × severity pair, so /metrics exposes each analyzer
+// at zero before its first finding. The gateway calls this once at boot;
+// dashboards and smoke tests can then assert on series presence rather
+// than waiting for a defect to occur.
+func RegisterMetrics() {
+	for _, a := range catalog {
+		for _, sev := range []Severity{SevInfo, SevWarn, SevError} {
+			obs.Default.Counter("db2www_macrolint_findings_total",
+				"macro lint findings, by analyzer and severity",
+				"analyzer", a.ID, "severity", sev.String())
+		}
 	}
 }

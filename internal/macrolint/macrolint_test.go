@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"db2www/internal/obs"
+	"db2www/internal/sqlsema"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files under testdata/lint/golden")
@@ -18,6 +19,28 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/lin
 func lintDirPath(t testing.TB) string {
 	t.Helper()
 	return filepath.Join("..", "..", "testdata", "lint")
+}
+
+func appendixaPath(t testing.TB) string {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", "appendixa.sql")
+}
+
+// newSchemaLinter returns a Linter with every analyzer enabled and the
+// Appendix A schema loaded, so the schema-aware analyzers run too.
+func newSchemaLinter(t testing.TB) *Linter {
+	t.Helper()
+	ddl, err := os.ReadFile(appendixaPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := sqlsema.FromDDL(string(ddl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New()
+	l.Schema = schema
+	return l
 }
 
 func macrosDirPath(t testing.TB) string {
@@ -46,12 +69,33 @@ var seededDefects = map[string][]expectation{
 	"unterminated.d2w":     {{"template", SevWarn, 7}},
 	"include_missing.d2w":  {{"include", SevError, 5}},
 	"include_cycle.d2w":    {{"include", SevError, 5}},
+	"schema_unknown.d2w": {
+		{"schema", SevError, 8},  // unknown column nosuch
+		{"schema", SevError, 11}, // unknown table nosuchtable
+		{"schema", SevError, 14}, // ambiguous custid
+	},
+	"type_mismatch.d2w": {
+		{"sqltype", SevError, 10}, // custid = 'abc'
+		{"sqltype", SevError, 13}, // city = NULL never matches
+		{"sqlperf", SevWarn, 13},  // = NULL cannot use an index either
+		{"sqltype", SevError, 16}, // always-text $(SORTKEY) vs INTEGER custid
+		{"sqltype", SevError, 19}, // 'not-a-number' into INTEGER, NULL into NOT NULL
+		{"sqltype", SevError, 22}, // 3 values, 2 target columns
+	},
+	"perf_seqscan.d2w": {
+		{"sqlperf", SevWarn, 8},  // unindexed city filter: sequential scan
+		{"sqlperf", SevWarn, 11}, // leading-wildcard LIKE defeats products_name
+	},
+	"perf_crossjoin.d2w": {
+		{"sqlperf", SevWarn, 8},  // no join predicate: cross product
+		{"sqlperf", SevInfo, 11}, // SELECT * feeding a report
+	},
 }
 
 func TestSeededDefects(t *testing.T) {
 	dir := lintDirPath(t)
 	for file, wants := range seededDefects {
-		diags, err := New().LintFile(filepath.Join(dir, file))
+		diags, err := newSchemaLinter(t).LintFile(filepath.Join(dir, file))
 		if err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
@@ -93,7 +137,7 @@ func TestGoldenCorpus(t *testing.T) {
 		}
 		name := e.Name()
 		t.Run(name, func(t *testing.T) {
-			diags, err := New().LintFile(filepath.Join(dir, name))
+			diags, err := newSchemaLinter(t).LintFile(filepath.Join(dir, name))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -131,6 +175,24 @@ func TestCleanCorpus(t *testing.T) {
 	for _, d := range diags {
 		if d.Severity == SevError {
 			t.Errorf("false positive on clean corpus: %s", d)
+		}
+	}
+}
+
+// TestCleanCorpusSchemaAware repeats the no-false-positive check with the
+// Appendix A schema loaded: the schema, sqltype, and sqlperf analyzers
+// must not produce error findings on the paper's own macros.
+func TestCleanCorpusSchemaAware(t *testing.T) {
+	files, diags, err := newSchemaLinter(t).LintDir(macrosDirPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no macros found")
+	}
+	for _, d := range diags {
+		if d.Severity == SevError {
+			t.Errorf("false positive on clean corpus with schema: %s", d)
 		}
 	}
 }
@@ -288,7 +350,7 @@ func TestRecordExportsMetrics(t *testing.T) {
 }
 
 func TestLintDirAttribution(t *testing.T) {
-	_, diags, err := New().LintDir(lintDirPath(t))
+	_, diags, err := newSchemaLinter(t).LintDir(lintDirPath(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,6 +406,10 @@ func TestUnterminatedPosition(t *testing.T) {
 
 func FuzzLint(f *testing.F) {
 	dir := lintDirPath(f)
+	ddlSeed, err := os.ReadFile(appendixaPath(f))
+	if err != nil {
+		f.Fatal(err)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		f.Fatal(err)
@@ -356,14 +422,20 @@ func FuzzLint(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(string(src))
+		f.Add(string(src), string(ddlSeed))
 	}
-	f.Add("%define A = \"$(A)\"\n%HTML_INPUT{$(A$(B$(C)))%}")
-	f.Add("%SQL{SELECT $(X%}")
-	f.Fuzz(func(t *testing.T, src string) {
-		// Linting arbitrary input must never panic; findings (including
-		// parse findings) are the only acceptable outcome.
+	f.Add("%define A = \"$(A)\"\n%HTML_INPUT{$(A$(B$(C)))%}", "")
+	f.Add("%SQL{SELECT $(X%}", "CREATE TABLE t (x INTEGER)")
+	f.Add("%SQL{SELECT a FROM t WHERE a = $(Y)%}", "CREATE TABLE t (a VARCHAR(8));\nCREATE INDEX t_a ON t (a)")
+	f.Fuzz(func(t *testing.T, src, ddl string) {
+		// Linting arbitrary input against an arbitrary schema must never
+		// panic; findings (including parse findings) are the only
+		// acceptable outcome. A malformed DDL simply disables the
+		// schema-aware analyzers, exactly as running without -schema.
 		l := New()
+		if schema, err := sqlsema.FromDDL(ddl); err == nil {
+			l.Schema = schema
+		}
 		l.Resolver = func(name string) (string, error) {
 			return "", fmt.Errorf("no includes under fuzzing")
 		}

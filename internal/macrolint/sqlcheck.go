@@ -1,6 +1,7 @@
 package macrolint
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -136,13 +137,21 @@ func runSQLReport(p *pass) {
 		if t.kind != tplSQL || t.sec == nil {
 			continue
 		}
-		cmd, static := resolveStatic(e, t.text, map[string]bool{})
-		if !static {
+		sub := p.substitute(t)
+		if !sub.ok || !sub.fullyStatic {
 			continue // request-dependent SQL; nothing provable here
 		}
-		stmt, err := sqldb.Parse(cmd)
+		stmt, err := sqldb.Parse(sub.sql)
 		if err != nil {
-			p.reportAt(t, 0, Diagnostic{
+			// The parser records the byte offset of the token it
+			// stopped at; map it back through the substitution segments
+			// to the exact macro source position.
+			off := 0
+			var se *sqldb.Error
+			if errors.As(err, &se) && se.Off > 0 {
+				off = sub.srcOff(se.Off - 1)
+			}
+			p.reportAt(t, off, Diagnostic{
 				Analyzer: "sqlreport",
 				Severity: SevWarn,
 				Message:  fmt.Sprintf("SQL command of %s does not parse: %v", t.where, err),

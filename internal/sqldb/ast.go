@@ -84,6 +84,7 @@ type TableRef struct {
 	Sub   *SelectStmt // derived table; Table is then empty
 	Alias string
 	Joins []JoinClause
+	Off   int // byte offset of the table name (or opening paren) in the source
 }
 
 // JoinClause is one explicit JOIN ... ON attached to a TableRef.
@@ -93,34 +94,40 @@ type JoinClause struct {
 	Sub   *SelectStmt // derived table join target
 	Alias string
 	On    Expr // nil for CROSS JOIN
+	Off   int  // byte offset of the joined table name (or opening paren)
 }
 
 // InsertStmt is an INSERT statement with one or more VALUES rows.
 type InsertStmt struct {
-	Table   string
-	Columns []string // empty means full column list in table order
-	Rows    [][]Expr
+	Table      string
+	Columns    []string // empty means full column list in table order
+	Rows       [][]Expr
+	TableOff   int   // byte offset of the table name
+	ColumnOffs []int // byte offsets of the explicit column names
 }
 
 // UpdateStmt is an UPDATE statement.
 type UpdateStmt struct {
-	Table string
-	Alias string
-	Set   []SetClause
-	Where Expr
+	Table    string
+	Alias    string
+	Set      []SetClause
+	Where    Expr
+	TableOff int // byte offset of the table name
 }
 
 // SetClause is one column assignment in UPDATE.
 type SetClause struct {
 	Column string
 	Value  Expr
+	ColOff int // byte offset of the column name
 }
 
 // DeleteStmt is a DELETE statement.
 type DeleteStmt struct {
-	Table string
-	Alias string
-	Where Expr
+	Table    string
+	Alias    string
+	Where    Expr
+	TableOff int // byte offset of the table name
 }
 
 // CreateTableStmt creates a table.
@@ -146,26 +153,31 @@ type AlterTableStmt struct {
 	AddColumn  *ColumnDef
 	DropColumn string
 	RenameTo   string
+	TableOff   int // byte offset of the table name
 }
 
 // DropTableStmt drops a table.
 type DropTableStmt struct {
 	Table    string
 	IfExists bool
+	TableOff int // byte offset of the table name
 }
 
 // CreateIndexStmt creates a secondary index on one column.
 type CreateIndexStmt struct {
-	Name   string
-	Table  string
-	Column string
-	Unique bool
+	Name      string
+	Table     string
+	Column    string
+	Unique    bool
+	TableOff  int // byte offset of the table name
+	ColumnOff int // byte offset of the indexed column name
 }
 
 // DropIndexStmt drops an index.
 type DropIndexStmt struct {
 	Name     string
 	IfExists bool
+	NameOff  int // byte offset of the index name
 }
 
 // ExplainStmt is EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN renders the
@@ -202,19 +214,29 @@ func (*RollbackStmt) stmt()    {}
 
 // --- Expressions ---
 
-// Literal is a constant value.
-type Literal struct{ Val Value }
+// Literal is a constant value. Off is the byte offset of the literal's
+// first token in the statement source (the opening quote for strings);
+// static analysis maps findings back through it. Zero when synthesized.
+type Literal struct {
+	Val Value
+	Off int
+}
 
 // ColumnRef names a column, optionally qualified by table or alias.
 type ColumnRef struct {
 	Table  string // "" when unqualified
 	Column string
+	Off    int // byte offset of the reference's first identifier
 	// resolved slot index into the executor's row layout; set by bind.
 	slot int
 }
 
-// Param is a positional ? parameter (1-based Index).
-type Param struct{ Index int }
+// Param is a positional ? parameter (1-based Index). Off is the byte
+// offset of the ? in the statement source.
+type Param struct {
+	Index int
+	Off   int
+}
 
 // Unary is a prefix operator: - (negate) or NOT.
 type Unary struct {
@@ -279,6 +301,7 @@ type FuncCall struct {
 	Star     bool
 	Distinct bool
 	Args     []Expr
+	Off      int // byte offset of the function name
 	// aggregate slot assigned during grouping; -1 for scalar calls.
 	aggSlot int
 }

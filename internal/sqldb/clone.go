@@ -15,22 +15,23 @@ func cloneStmt(st Stmt) Stmt {
 	case *SelectStmt:
 		return cloneSelect(s)
 	case *InsertStmt:
-		c := &InsertStmt{Table: s.Table}
+		c := &InsertStmt{Table: s.Table, TableOff: s.TableOff}
 		c.Columns = append([]string(nil), s.Columns...)
+		c.ColumnOffs = append([]int(nil), s.ColumnOffs...)
 		c.Rows = make([][]Expr, len(s.Rows))
 		for i, row := range s.Rows {
 			c.Rows[i] = cloneExprs(row)
 		}
 		return c
 	case *UpdateStmt:
-		c := &UpdateStmt{Table: s.Table, Alias: s.Alias, Where: cloneExpr(s.Where)}
+		c := &UpdateStmt{Table: s.Table, Alias: s.Alias, Where: cloneExpr(s.Where), TableOff: s.TableOff}
 		c.Set = make([]SetClause, len(s.Set))
 		for i, sc := range s.Set {
-			c.Set[i] = SetClause{Column: sc.Column, Value: cloneExpr(sc.Value)}
+			c.Set[i] = SetClause{Column: sc.Column, Value: cloneExpr(sc.Value), ColOff: sc.ColOff}
 		}
 		return c
 	case *DeleteStmt:
-		return &DeleteStmt{Table: s.Table, Alias: s.Alias, Where: cloneExpr(s.Where)}
+		return &DeleteStmt{Table: s.Table, Alias: s.Alias, Where: cloneExpr(s.Where), TableOff: s.TableOff}
 	case *CreateTableStmt:
 		c := &CreateTableStmt{Table: s.Table, IfNotExists: s.IfNotExists}
 		c.Columns = make([]ColumnDef, len(s.Columns))
@@ -40,7 +41,7 @@ func cloneStmt(st Stmt) Stmt {
 		}
 		return c
 	case *AlterTableStmt:
-		c := &AlterTableStmt{Table: s.Table, DropColumn: s.DropColumn, RenameTo: s.RenameTo}
+		c := &AlterTableStmt{Table: s.Table, DropColumn: s.DropColumn, RenameTo: s.RenameTo, TableOff: s.TableOff}
 		if s.AddColumn != nil {
 			cd := *s.AddColumn
 			cd.Default = cloneExpr(s.AddColumn.Default)
@@ -91,7 +92,7 @@ func cloneSelect(s *SelectStmt) *SelectStmt {
 	if s.From != nil {
 		c.From = make([]TableRef, len(s.From))
 		for i, tr := range s.From {
-			c.From[i] = TableRef{Table: tr.Table, Sub: cloneSelect(tr.Sub), Alias: tr.Alias}
+			c.From[i] = TableRef{Table: tr.Table, Sub: cloneSelect(tr.Sub), Alias: tr.Alias, Off: tr.Off}
 			if tr.Joins != nil {
 				c.From[i].Joins = make([]JoinClause, len(tr.Joins))
 				for j, jc := range tr.Joins {
@@ -101,6 +102,7 @@ func cloneSelect(s *SelectStmt) *SelectStmt {
 						Sub:   cloneSelect(jc.Sub),
 						Alias: jc.Alias,
 						On:    cloneExpr(jc.On),
+						Off:   jc.Off,
 					}
 				}
 			}
@@ -171,7 +173,7 @@ func cloneExpr(e Expr) Expr {
 		return &IsNullExpr{Not: x.Not, X: cloneExpr(x.X)}
 	case *FuncCall:
 		return &FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct,
-			Args: cloneExprs(x.Args), aggSlot: x.aggSlot}
+			Args: cloneExprs(x.Args), Off: x.Off, aggSlot: x.aggSlot}
 	case *CaseExpr:
 		c := &CaseExpr{Operand: cloneExpr(x.Operand), Else: cloneExpr(x.Else)}
 		c.Whens = make([]CaseWhen, len(x.Whens))

@@ -33,6 +33,13 @@ const (
 type Error struct {
 	Code    string // SQLSTATE-style code
 	Message string // human-readable message
+
+	// Off is the 1-based byte offset near the failure in the statement
+	// source, when known (0 means unknown). Parse entry points set it to
+	// the position of the token the parser stopped at, so static tooling
+	// can attribute syntax findings to an exact location. It is not part
+	// of the rendered message.
+	Off int
 }
 
 // Error implements the error interface. The rendering mimics the classic

@@ -26,13 +26,24 @@ func parseTokens(toks []token) (Stmt, error) {
 	p := &parser{toks: toks}
 	st, err := p.parseStatement()
 	if err != nil {
-		return nil, err
+		return nil, p.errAt(err)
 	}
 	p.acceptOp(";")
 	if !p.atEOF() {
-		return nil, errSyntax("unexpected %s after statement", p.peek().describe())
+		return nil, p.errAt(errSyntax("unexpected %s after statement", p.peek().describe()))
 	}
 	return st, nil
+}
+
+// errAt stamps a parse error with the byte offset of the token the parser
+// stopped at — the expect helpers fail without advancing, so this is the
+// offending token for the common failure paths. Offsets already set (or
+// non-Error values) pass through untouched.
+func (p *parser) errAt(err error) error {
+	if e, ok := err.(*Error); ok && e.Off == 0 && p.pos < len(p.toks) {
+		e.Off = p.toks[p.pos].pos + 1
+	}
+	return err
 }
 
 // ParseAll parses a semicolon-separated script into statements.
@@ -51,11 +62,11 @@ func ParseAll(src string) ([]Stmt, error) {
 		}
 		st, err := p.parseStatement()
 		if err != nil {
-			return nil, err
+			return nil, p.errAt(err)
 		}
 		out = append(out, st)
 		if !p.acceptOp(";") && !p.atEOF() {
-			return nil, errSyntax("expected ';' between statements, got %s", p.peek().describe())
+			return nil, p.errAt(errSyntax("expected ';' between statements, got %s", p.peek().describe()))
 		}
 	}
 }
@@ -368,6 +379,7 @@ func (p *parser) parseTableAlias() (string, error) {
 
 func (p *parser) parseTableRef() (TableRef, error) {
 	var tr TableRef
+	tr.Off = p.peek().pos
 	if t := p.peek(); t.kind == tkOp && t.text == "(" {
 		sub, err := p.parseDerivedTable()
 		if err != nil {
@@ -413,7 +425,7 @@ func (p *parser) parseTableRef() (TableRef, error) {
 		default:
 			return tr, nil
 		}
-		jc := JoinClause{Kind: kind}
+		jc := JoinClause{Kind: kind, Off: p.peek().pos}
 		if t := p.peek(); t.kind == tkOp && t.text == "(" {
 			sub, err := p.parseDerivedTable()
 			if err != nil {
@@ -456,18 +468,21 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 	if err := p.expectKw("INTO"); err != nil {
 		return nil, err
 	}
+	tblOff := p.peek().pos
 	name, err := p.expectIdent("table name")
 	if err != nil {
 		return nil, err
 	}
-	ins := &InsertStmt{Table: name}
+	ins := &InsertStmt{Table: name, TableOff: tblOff}
 	if p.acceptOp("(") {
 		for {
+			colOff := p.peek().pos
 			col, err := p.expectIdent("column name")
 			if err != nil {
 				return nil, err
 			}
 			ins.Columns = append(ins.Columns, col)
+			ins.ColumnOffs = append(ins.ColumnOffs, colOff)
 			if !p.acceptOp(",") {
 				break
 			}
@@ -507,11 +522,12 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 
 func (p *parser) parseUpdate() (*UpdateStmt, error) {
 	p.advance() // UPDATE
+	tblOff := p.peek().pos
 	name, err := p.expectIdent("table name")
 	if err != nil {
 		return nil, err
 	}
-	up := &UpdateStmt{Table: name}
+	up := &UpdateStmt{Table: name, TableOff: tblOff}
 	if p.acceptKw("AS") {
 		a, err := p.expectIdent("table alias")
 		if err != nil {
@@ -525,6 +541,7 @@ func (p *parser) parseUpdate() (*UpdateStmt, error) {
 		return nil, err
 	}
 	for {
+		colOff := p.peek().pos
 		col, err := p.expectIdent("column name")
 		if err != nil {
 			return nil, err
@@ -536,7 +553,7 @@ func (p *parser) parseUpdate() (*UpdateStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		up.Set = append(up.Set, SetClause{Column: col, Value: val})
+		up.Set = append(up.Set, SetClause{Column: col, Value: val, ColOff: colOff})
 		if !p.acceptOp(",") {
 			break
 		}
@@ -556,11 +573,12 @@ func (p *parser) parseDelete() (*DeleteStmt, error) {
 	if err := p.expectKw("FROM"); err != nil {
 		return nil, err
 	}
+	tblOff := p.peek().pos
 	name, err := p.expectIdent("table name")
 	if err != nil {
 		return nil, err
 	}
-	del := &DeleteStmt{Table: name}
+	del := &DeleteStmt{Table: name, TableOff: tblOff}
 	if p.acceptKw("AS") {
 		a, err := p.expectIdent("table alias")
 		if err != nil {
@@ -709,6 +727,7 @@ func (p *parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
 	if err := p.expectKw("ON"); err != nil {
 		return nil, err
 	}
+	tblOff := p.peek().pos
 	table, err := p.expectIdent("table name")
 	if err != nil {
 		return nil, err
@@ -716,6 +735,7 @@ func (p *parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
 	if err := p.expectOp("("); err != nil {
 		return nil, err
 	}
+	colOff := p.peek().pos
 	col, err := p.expectIdent("column name")
 	if err != nil {
 		return nil, err
@@ -723,7 +743,8 @@ func (p *parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
 	if err := p.expectOp(")"); err != nil {
 		return nil, err
 	}
-	return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}, nil
+	return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique,
+		TableOff: tblOff, ColumnOff: colOff}, nil
 }
 
 func (p *parser) parseAlter() (Stmt, error) {
@@ -731,11 +752,12 @@ func (p *parser) parseAlter() (Stmt, error) {
 	if err := p.expectKw("TABLE"); err != nil {
 		return nil, err
 	}
+	tblOff := p.peek().pos
 	name, err := p.expectIdent("table name")
 	if err != nil {
 		return nil, err
 	}
-	at := &AlterTableStmt{Table: name}
+	at := &AlterTableStmt{Table: name, TableOff: tblOff}
 	switch {
 	case p.acceptKw("ADD"):
 		p.acceptKw("COLUMN")
@@ -777,6 +799,7 @@ func (p *parser) parseDrop() (Stmt, error) {
 			}
 			dt.IfExists = true
 		}
+		dt.TableOff = p.peek().pos
 		name, err := p.expectIdent("table name")
 		if err != nil {
 			return nil, err
@@ -791,6 +814,7 @@ func (p *parser) parseDrop() (Stmt, error) {
 			}
 			di.IfExists = true
 		}
+		di.NameOff = p.peek().pos
 		name, err := p.expectIdent("index name")
 		if err != nil {
 			return nil, err
@@ -1016,25 +1040,25 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.kind {
 	case tkNumber:
 		p.advance()
-		return &Literal{Val: t.num}, nil
+		return &Literal{Val: t.num, Off: t.pos}, nil
 	case tkString:
 		p.advance()
-		return &Literal{Val: NewString(t.text)}, nil
+		return &Literal{Val: NewString(t.text), Off: t.pos}, nil
 	case tkParam:
 		p.advance()
 		p.nprm++
-		return &Param{Index: p.nprm}, nil
+		return &Param{Index: p.nprm, Off: t.pos}, nil
 	case tkKeyword:
 		switch t.text {
 		case "NULL":
 			p.advance()
-			return &Literal{Val: Null}, nil
+			return &Literal{Val: Null, Off: t.pos}, nil
 		case "TRUE":
 			p.advance()
-			return &Literal{Val: NewBool(true)}, nil
+			return &Literal{Val: NewBool(true), Off: t.pos}, nil
 		case "FALSE":
 			p.advance()
-			return &Literal{Val: NewBool(false)}, nil
+			return &Literal{Val: NewBool(false), Off: t.pos}, nil
 		case "CASE":
 			return p.parseCase()
 		case "CAST":
@@ -1104,10 +1128,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 // parseIdentExpr handles column references (possibly qualified) and
 // function calls.
 func (p *parser) parseIdentExpr() (Expr, error) {
-	name := p.advance().text
+	nameTok := p.advance()
+	name := nameTok.text
 	// function call?
 	if p.acceptOp("(") {
-		fc := &FuncCall{Name: strings.ToUpper(name), aggSlot: -1}
+		fc := &FuncCall{Name: strings.ToUpper(name), Off: nameTok.pos, aggSlot: -1}
 		if p.acceptOp("*") {
 			fc.Star = true
 			if err := p.expectOp(")"); err != nil {
@@ -1142,9 +1167,9 @@ func (p *parser) parseIdentExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ColumnRef{Table: name, Column: col, slot: -1}, nil
+		return &ColumnRef{Table: name, Column: col, Off: nameTok.pos, slot: -1}, nil
 	}
-	return &ColumnRef{Column: name, slot: -1}, nil
+	return &ColumnRef{Column: name, Off: nameTok.pos, slot: -1}, nil
 }
 
 func (p *parser) parseCase() (Expr, error) {

@@ -1,0 +1,368 @@
+package sqlsema
+
+import (
+	"fmt"
+	"strings"
+
+	"db2www/internal/sqldb"
+)
+
+// Planner-driven performance lints. These mirror planIndexScan /
+// planScanAccess: a conjunct can route a scan through an index only when
+// it has the shape col-op-const (or col LIKE 'prefix%' on an indexed
+// VARCHAR column), so the analyzer predicts — without executing — which
+// WHERE clauses the cost-based planner will be unable to serve with
+// anything better than a sequential scan.
+
+// wildcardDiag is a deferred leading-wildcard diagnosis: emitted only if
+// no other conjunct gives the relation an index path (if one does, the
+// pattern is a cheap residual filter and not worth a warning).
+type wildcardDiag struct {
+	off     int
+	pattern string
+	ixName  string
+	col     string
+}
+
+// usability is indexUsable's verdict on one single-relation conjunct.
+type usability struct {
+	usable     bool
+	wildcard   *wildcardDiag
+	missingCol string // indexable shape, but no index on this column
+}
+
+// conjRels returns the set of relations a conjunct's column references
+// bind to. ok is false when any reference failed to resolve (the
+// conjunct is then ignored by the perf analysis — resolution errors were
+// already reported).
+func (a *analyzer) conjRels(sc *scope, conj sqldb.Expr) (map[*rel]bool, bool) {
+	rels := map[*rel]bool{}
+	ok := true
+	sqldb.WalkExpr(conj, func(e sqldb.Expr) bool {
+		if cr, is := e.(*sqldb.ColumnRef); is {
+			res := a.resolveQuiet(sc, cr)
+			if !res.ok {
+				ok = false
+				return false
+			}
+			rels[res.rel] = true
+		}
+		return true
+	})
+	return rels, ok
+}
+
+// constish mirrors the planner's constValue shape test: no column
+// references, no subqueries, no aggregates. (Parameters are const at
+// plan time — slot substitution sites can still use an index.)
+func constish(e sqldb.Expr) bool {
+	ok := true
+	sqldb.WalkExpr(e, func(x sqldb.Expr) bool {
+		switch n := x.(type) {
+		case *sqldb.ColumnRef, *sqldb.Subquery, *sqldb.ExistsExpr:
+			ok = false
+			return false
+		case *sqldb.FuncCall:
+			if sqldb.IsAggregateFunc(n.Name) {
+				ok = false
+				return false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// relColumn returns the base-table column when cr binds to r, else nil.
+func (a *analyzer) relColumn(sc *scope, cr *sqldb.ColumnRef, r *rel) *Column {
+	res := a.resolveQuiet(sc, cr)
+	if !res.ok || res.rel != r || r.tbl == nil {
+		return nil
+	}
+	return r.tbl.Column(cr.Column)
+}
+
+// indexUsable decides whether one conjunct attributed to relation r can
+// route r's scan through an index, mirroring planIndexScan.
+func (a *analyzer) indexUsable(sc *scope, conj sqldb.Expr, r *rel) usability {
+	switch x := conj.(type) {
+	case *sqldb.Binary:
+		switch x.Op {
+		case "=", "<", "<=", ">", ">=":
+		default:
+			return usability{}
+		}
+		for _, side := range [2]struct{ col, other sqldb.Expr }{{x.L, x.R}, {x.R, x.L}} {
+			cr, is := side.col.(*sqldb.ColumnRef)
+			if !is {
+				continue
+			}
+			c := a.relColumn(sc, cr, r)
+			if c == nil || !constish(side.other) {
+				continue
+			}
+			// planIndexScan skips NULL keys (no row can match); mirror it
+			// so col = NULL never claims an index path.
+			if lit, is := side.other.(*sqldb.Literal); is && lit.Val.IsNull() {
+				continue
+			}
+			if r.tbl.IndexOn(c.Name) == nil {
+				return usability{missingCol: c.Name}
+			}
+			// The planner also requires the key to coerce to the column
+			// type; an uncoercible literal is a type error the sqltype
+			// rule already flags, so perf stays quiet about it.
+			return usability{usable: true}
+		}
+	case *sqldb.LikeExpr:
+		if x.Not || x.Escape != nil {
+			return usability{}
+		}
+		cr, is := x.X.(*sqldb.ColumnRef)
+		if !is {
+			return usability{}
+		}
+		c := a.relColumn(sc, cr, r)
+		if c == nil || c.Type != sqldb.TString {
+			return usability{}
+		}
+		lit, is := x.Pattern.(*sqldb.Literal)
+		if !is {
+			// A slot pattern may carry an indexable prefix at runtime:
+			// give it the benefit of the doubt.
+			return usability{usable: true}
+		}
+		ix := r.tbl.IndexOn(c.Name)
+		pat := lit.Val.S
+		known := pat
+		if p, opaque := a.opaquePrefix(lit.Off); opaque {
+			known = p
+		}
+		if known != "" && (known[0] == '%' || known[0] == '_') {
+			if ix != nil {
+				return usability{wildcard: &wildcardDiag{
+					off: lit.Off, pattern: known, ixName: ix.Name, col: c.Name,
+				}}
+			}
+			return usability{missingCol: ""} // no index to defeat; plain seq scan
+		}
+		if _, opaque := a.opaquePrefix(lit.Off); opaque {
+			// Known prefix is literal text; the dynamic tail may well
+			// end in %. Assume the best.
+			return usability{usable: true}
+		}
+		if _, ok := sqldb.IndexablePrefix(pat); !ok {
+			return usability{} // inner wildcard or no trailing %: never indexable
+		}
+		if ix == nil {
+			return usability{missingCol: c.Name}
+		}
+		return usability{usable: true}
+	}
+	return usability{}
+}
+
+// relState accumulates the per-relation verdicts of perfConjuncts.
+type relState struct {
+	hasFilter bool
+	usable    bool
+	wildcards []*wildcardDiag
+	firstOff  int
+	fixCol    string
+}
+
+// perfConjuncts runs the sequential-scan prediction over the filtering
+// conjuncts of one statement's scope.
+func (a *analyzer) perfConjuncts(sc *scope, conjs []sqldb.Expr) {
+	st := map[*rel]*relState{}
+	for _, conj := range conjs {
+		rels, ok := a.conjRels(sc, conj)
+		if !ok || len(rels) != 1 {
+			continue
+		}
+		var r *rel
+		for rr := range rels {
+			r = rr
+		}
+		if r.tbl == nil {
+			continue // derived or unknown table: no index story to tell
+		}
+		s := st[r]
+		if s == nil {
+			s = &relState{firstOff: -1}
+			st[r] = s
+		}
+		s.hasFilter = true
+		u := a.indexUsable(sc, conj, r)
+		if u.usable {
+			s.usable = true
+		}
+		if u.wildcard != nil {
+			s.wildcards = append(s.wildcards, u.wildcard)
+		}
+		if !u.usable && s.firstOff < 0 {
+			s.firstOff = exprOff(conj)
+		}
+		if s.fixCol == "" && u.missingCol != "" {
+			s.fixCol = u.missingCol
+		}
+	}
+	for _, r := range sc.rels {
+		s := st[r]
+		if s == nil || !s.hasFilter || s.usable {
+			continue
+		}
+		rows := ""
+		if n := r.estRows(); n > 0 {
+			rows = fmt.Sprintf(" of ~%d rows", n)
+		}
+		if len(s.wildcards) > 0 {
+			for _, w := range s.wildcards {
+				a.add(RulePerf, SevWarn, w.off,
+					fmt.Sprintf("leading-wildcard LIKE pattern %q cannot use index %q on %s.%s; the planner falls back to a sequential scan%s",
+						w.pattern, w.ixName, r.tbl.Name, w.col, rows), "")
+			}
+			continue
+		}
+		fix := ""
+		if s.fixCol != "" {
+			fix = fmt.Sprintf("CREATE INDEX %s_%s_idx ON %s(%s)",
+				strings.ToLower(r.tbl.Name), strings.ToLower(s.fixCol), r.tbl.Name, s.fixCol)
+		}
+		a.add(RulePerf, SevWarn, s.firstOff,
+			fmt.Sprintf("no predicate on %q can use an index; the planner falls back to a sequential scan%s", r.tbl.Name, rows), fix)
+	}
+}
+
+// perfSelect runs all performance predictions for one SELECT.
+func (a *analyzer) perfSelect(sel *sqldb.SelectStmt, sc *scope, reported bool) {
+	if reported {
+		star := sel.Star || len(sel.Items) == 0
+		if !star {
+			for _, it := range sel.Items {
+				if it.TableStar != "" {
+					star = true
+					break
+				}
+			}
+		}
+		if star {
+			a.add(RulePerf, SevInfo, -1,
+				"SELECT * feeds a report template: the template silently depends on column order and every column is shipped",
+				"project only the columns the report references")
+		}
+	}
+	if len(sc.rels) == 0 {
+		return
+	}
+
+	filters := sqldb.Conjuncts(sel.Where)
+	connect := append([]sqldb.Expr(nil), filters...)
+	// Explicit join ONs: inner-join conditions filter like WHERE
+	// conjuncts; all ONs (inner and left) connect relations.
+	for i := range sel.From {
+		for j := range sel.From[i].Joins {
+			jc := &sel.From[i].Joins[j]
+			if jc.On == nil {
+				continue
+			}
+			on := sqldb.Conjuncts(jc.On)
+			if jc.Kind == sqldb.JoinInner {
+				filters = append(filters, on...)
+			}
+			connect = append(connect, on...)
+		}
+	}
+
+	a.perfConjuncts(sc, filters)
+	a.crossProduct(sel, sc, connect)
+}
+
+// crossProduct warns when the FROM clause joins relations with no join
+// predicate connecting them: the engine has no choice but to materialise
+// the full cartesian product before filtering.
+func (a *analyzer) crossProduct(sel *sqldb.SelectStmt, sc *scope, conjs []sqldb.Expr) {
+	if len(sc.rels) < 2 {
+		return
+	}
+	for _, r := range sc.rels {
+		if r.opaque || r.cross {
+			// Unknown membership makes edge detection unreliable, and
+			// an explicit CROSS JOIN is a stated intent.
+			return
+		}
+	}
+	idx := map[*rel]int{}
+	for i, r := range sc.rels {
+		idx[r] = i
+	}
+	parent := make([]int, len(sc.rels))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) { parent[find(x)] = find(y) }
+
+	// Structural edges: an explicit join chains its relation onto the
+	// entry's base relation, whatever its ON says.
+	ri := 0
+	for i := range sel.From {
+		base := ri
+		ri++
+		for range sel.From[i].Joins {
+			union(base, ri)
+			ri++
+		}
+	}
+	for _, conj := range conjs {
+		rels, ok := a.conjRels(sc, conj)
+		if !ok {
+			return // unresolved references: edges unknowable, stay quiet
+		}
+		if len(rels) < 2 {
+			continue
+		}
+		first := -1
+		for r := range rels {
+			if first < 0 {
+				first = idx[r]
+				continue
+			}
+			union(first, idx[r])
+		}
+	}
+
+	root0 := find(0)
+	var product int64 = 1
+	allKnown := true
+	for _, r := range sc.rels {
+		if n := r.estRows(); n > 0 {
+			product *= n
+		} else {
+			allKnown = false
+		}
+	}
+	for i, r := range sc.rels {
+		if i == 0 || find(i) == root0 {
+			continue
+		}
+		rows := ""
+		if allKnown {
+			rows = fmt.Sprintf(" (~%d rows examined)", product)
+		}
+		name := r.qual
+		if r.tbl != nil {
+			name = r.tbl.Name
+		}
+		a.add(RulePerf, SevWarn, r.off,
+			fmt.Sprintf("no join predicate connects %q to the rest of the FROM clause; the join is a cross product%s", name, rows),
+			"add a join condition or make the cartesian product explicit with CROSS JOIN")
+	}
+}

@@ -1,0 +1,353 @@
+package sqlsema
+
+import (
+	"strings"
+	"testing"
+
+	"db2www/internal/sqldb"
+)
+
+const testDDL = `
+CREATE TABLE customers (
+    custid   INTEGER PRIMARY KEY,
+    name     VARCHAR NOT NULL,
+    city     VARCHAR,
+    active   BOOLEAN,
+    balance  DOUBLE DEFAULT 0
+);
+CREATE INDEX customers_name_idx ON customers(name);
+CREATE TABLE orders (
+    orderid  INTEGER PRIMARY KEY,
+    custid   INTEGER NOT NULL,
+    total    DOUBLE
+);
+INSERT INTO customers (custid, name) VALUES (1, 'Ada'), (2, 'Grace');
+INSERT INTO orders (orderid, custid) VALUES (10, 1);
+`
+
+func mustSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := FromDDL(testDDL)
+	if err != nil {
+		t.Fatalf("FromDDL: %v", err)
+	}
+	return s
+}
+
+func analyzeSQL(t *testing.T, schema *Schema, sql string, opts Options) []Finding {
+	t.Helper()
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return Analyze(st, schema, opts)
+}
+
+func wantFinding(t *testing.T, finds []Finding, rule string, sev Severity, msgSub string) Finding {
+	t.Helper()
+	for _, f := range finds {
+		if f.Rule == rule && f.Sev == sev && strings.Contains(f.Msg, msgSub) {
+			return f
+		}
+	}
+	t.Fatalf("no %s/%v finding containing %q in %+v", rule, sev, msgSub, finds)
+	return Finding{}
+}
+
+func TestFromDDL(t *testing.T) {
+	s := mustSchema(t)
+	c := s.Table("CUSTOMERS")
+	if c == nil {
+		t.Fatal("customers not found (case-insensitive lookup)")
+	}
+	if c.EstRows != 2 {
+		t.Errorf("customers EstRows = %d, want 2 (seed INSERT rows)", c.EstRows)
+	}
+	if ix := c.IndexOn("custid"); ix == nil || !ix.Unique || ix.Name != "customers_pkey" {
+		t.Errorf("pkey index = %+v, want unique customers_pkey", ix)
+	}
+	if ix := c.IndexOn("name"); ix == nil || ix.Name != "customers_name_idx" {
+		t.Errorf("name index = %+v", ix)
+	}
+	if col := c.Column("balance"); col == nil || !col.HasDefault {
+		t.Errorf("balance should have a default: %+v", col)
+	}
+	if col := c.Column("custid"); col == nil || !col.NotNull {
+		// Mirror the engine's parser: PRIMARY KEY implies NOT NULL.
+		t.Errorf("custid NotNull = false, want true: %+v", col)
+	}
+}
+
+func TestFromDDLRejectsQueries(t *testing.T) {
+	if _, err := FromDDL("CREATE TABLE t (a INTEGER); SELECT * FROM t"); err == nil {
+		t.Fatal("SELECT in a schema file should be rejected")
+	}
+	if _, err := FromDDL("CREATE INDEX i ON missing(a)"); err == nil {
+		t.Fatal("index on unknown table should be rejected")
+	}
+}
+
+func TestNameResolution(t *testing.T) {
+	s := mustSchema(t)
+
+	f := analyzeSQL(t, s, "SELECT nosuch FROM customers", Options{})
+	wantFinding(t, f, RuleSchema, SevError, `column "nosuch" does not exist`)
+
+	f = analyzeSQL(t, s, "SELECT name FROM nosuch", Options{})
+	wantFinding(t, f, RuleSchema, SevError, `table "nosuch" does not exist`)
+
+	f = analyzeSQL(t, s, "SELECT custid FROM customers, orders WHERE customers.custid = orders.custid", Options{})
+	wantFinding(t, f, RuleSchema, SevError, "ambiguous")
+
+	f = analyzeSQL(t, s, "SELECT o.name FROM orders o", Options{})
+	wantFinding(t, f, RuleSchema, SevError, `column "name" does not exist in table "orders"`)
+
+	if f = analyzeSQL(t, s, "SELECT c.name FROM customers c WHERE c.city = 'Austin' AND c.custid = 1", Options{}); countSev(f, SevError) != 0 {
+		t.Errorf("clean aliased query produced errors: %+v", f)
+	}
+
+	// Alias replaces the table name as qualifier, as in the executor.
+	f = analyzeSQL(t, s, "SELECT customers.name FROM customers c", Options{})
+	wantFinding(t, f, RuleSchema, SevError, `unknown table or alias "customers"`)
+
+	// Unknown table suppresses cascading column errors.
+	f = analyzeSQL(t, s, "SELECT whatever FROM nosuch", Options{})
+	if n := len(f); n != 1 {
+		t.Errorf("want only the unknown-table error, got %+v", f)
+	}
+}
+
+func TestOrderByResolution(t *testing.T) {
+	s := mustSchema(t)
+	f := analyzeSQL(t, s, "SELECT name, city FROM customers ORDER BY 3", Options{})
+	wantFinding(t, f, RuleSchema, SevError, "out of range")
+
+	f = analyzeSQL(t, s, "SELECT name AS n FROM customers ORDER BY n", Options{})
+	if countSev(f, SevError) != 0 {
+		t.Errorf("alias in ORDER BY should resolve: %+v", f)
+	}
+
+	f = analyzeSQL(t, s, "SELECT name FROM customers UNION SELECT name, city FROM customers", Options{})
+	wantFinding(t, f, RuleSchema, SevError, "different column counts")
+}
+
+func TestTypeChecks(t *testing.T) {
+	s := mustSchema(t)
+
+	f := analyzeSQL(t, s, "SELECT name FROM customers WHERE city = NULL", Options{})
+	wantFinding(t, f, RuleType, SevError, "always unknown")
+
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE custid = 'abc'", Options{})
+	ff := wantFinding(t, f, RuleType, SevError, "non-numeric string")
+	if off := strings.Index("SELECT name FROM customers WHERE custid = 'abc'", "'abc'"); ff.Off != off {
+		t.Errorf("finding at %d, want %d", ff.Off, off)
+	}
+
+	// A string column compared with a number is data-dependent: silent.
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE city = 77", Options{})
+	if countSev(f, SevError) != 0 {
+		t.Errorf("city = 77 should not error: %+v", f)
+	}
+
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE active = 'maybe'", Options{})
+	wantFinding(t, f, RuleType, SevError, "boolean compared")
+
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE custid IN (1, 'two')", Options{})
+	wantFinding(t, f, RuleType, SevError, "non-numeric string")
+
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE custid BETWEEN 1 AND 'ten'", Options{})
+	wantFinding(t, f, RuleType, SevError, "non-numeric string")
+}
+
+func TestSlotTypeChecks(t *testing.T) {
+	s := mustSchema(t)
+	slots := []Slot{{Name: "CUST", Class: ClassText, Sample: "alice", Chain: `via %DEFINE CUST="alice"`}}
+	f := analyzeSQL(t, s, "SELECT name FROM customers WHERE custid = ?", Options{Slots: slots})
+	wantFinding(t, f, RuleType, SevError, "$(CUST)")
+
+	slots[0].Class = ClassMaybeText
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE custid = ?", Options{Slots: slots})
+	wantFinding(t, f, RuleType, SevWarn, "$(CUST)")
+
+	slots[0].Class = ClassNumber
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE custid = ?", Options{Slots: slots})
+	if countSev(f, SevError)+countSev(f, SevWarn) != 0 {
+		t.Errorf("numeric slot should be clean: %+v", f)
+	}
+
+	slots[0].Class = ClassInput
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE custid = ?", Options{Slots: slots})
+	if countSev(f, SevError) != 0 {
+		t.Errorf("request input is data-dependent, should not error: %+v", f)
+	}
+}
+
+func TestInsertChecks(t *testing.T) {
+	s := mustSchema(t)
+
+	f := analyzeSQL(t, s, "INSERT INTO customers (custid, name) VALUES (1, 'Ada', 'extra')", Options{})
+	wantFinding(t, f, RuleType, SevError, "3 value(s) but 2 column(s)")
+
+	f = analyzeSQL(t, s, "INSERT INTO customers (custid, name) VALUES ('x1', 'Ada')", Options{})
+	wantFinding(t, f, RuleType, SevError, "cannot be stored in INTEGER column")
+
+	f = analyzeSQL(t, s, "INSERT INTO customers (custid, name) VALUES (1, NULL)", Options{})
+	wantFinding(t, f, RuleType, SevError, "NOT NULL column customers.name")
+
+	f = analyzeSQL(t, s, "INSERT INTO customers (custid, city) VALUES (1, 'Austin')", Options{})
+	wantFinding(t, f, RuleType, SevError, "omits NOT NULL column(s) without defaults: name")
+
+	f = analyzeSQL(t, s, "INSERT INTO customers (custid, nosuch) VALUES (1, 2)", Options{})
+	wantFinding(t, f, RuleSchema, SevError, `column "nosuch" does not exist`)
+
+	// balance has a default: omitting it is fine.
+	f = analyzeSQL(t, s, "INSERT INTO customers (custid, name) VALUES (1, 'Ada')", Options{})
+	if countSev(f, SevError) != 0 {
+		t.Errorf("clean INSERT produced errors: %+v", f)
+	}
+}
+
+func TestUpdateDeleteChecks(t *testing.T) {
+	s := mustSchema(t)
+	f := analyzeSQL(t, s, "UPDATE customers SET nosuch = 1 WHERE custid = 1", Options{})
+	wantFinding(t, f, RuleSchema, SevError, `column "nosuch" does not exist`)
+
+	f = analyzeSQL(t, s, "UPDATE customers SET name = NULL WHERE custid = 1", Options{})
+	wantFinding(t, f, RuleType, SevError, "NOT NULL column customers.name")
+
+	f = analyzeSQL(t, s, "DELETE FROM customers WHERE city = 'Austin'", Options{})
+	wantFinding(t, f, RulePerf, SevWarn, "sequential scan")
+
+	f = analyzeSQL(t, s, "DELETE FROM customers WHERE custid = 9", Options{})
+	if len(f) != 0 {
+		t.Errorf("indexed DELETE should be clean: %+v", f)
+	}
+}
+
+func TestPerfSeqScan(t *testing.T) {
+	s := mustSchema(t)
+
+	f := analyzeSQL(t, s, "SELECT name FROM customers WHERE city = 'Austin'", Options{})
+	ff := wantFinding(t, f, RulePerf, SevWarn, `no predicate on "customers" can use an index`)
+	if !strings.Contains(ff.Msg, "~2 rows") {
+		t.Errorf("row estimate missing: %q", ff.Msg)
+	}
+	if !strings.Contains(ff.Fix, "CREATE INDEX customers_city_idx ON customers(city)") {
+		t.Errorf("fix = %q", ff.Fix)
+	}
+
+	// An indexed conjunct anywhere on the relation silences the warning.
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE city = 'Austin' AND custid = 1", Options{})
+	if countRule(f, RulePerf) != 0 {
+		t.Errorf("indexed conjunct should silence seq-scan warn: %+v", f)
+	}
+
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE name LIKE 'A%'", Options{})
+	if countRule(f, RulePerf) != 0 {
+		t.Errorf("prefix LIKE on indexed column is index-usable: %+v", f)
+	}
+
+	f = analyzeSQL(t, s, "SELECT name FROM customers WHERE name LIKE '%son'", Options{})
+	wantFinding(t, f, RulePerf, SevWarn, "leading-wildcard LIKE")
+
+	// Leading wildcard known only through an opaque prefix.
+	sql := "SELECT name FROM customers WHERE name LIKE '%x'"
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(sql, "'%x'")
+	f = Analyze(st, s, Options{OpaqueLits: map[int]string{off: "%"}})
+	wantFinding(t, f, RulePerf, SevWarn, "leading-wildcard LIKE")
+}
+
+func TestPerfCrossProduct(t *testing.T) {
+	s := mustSchema(t)
+	f := analyzeSQL(t, s, "SELECT name, total FROM customers, orders", Options{})
+	ff := wantFinding(t, f, RulePerf, SevWarn, "cross product")
+	if !strings.Contains(ff.Msg, "~2 rows") {
+		t.Errorf("product estimate missing: %q", ff.Msg)
+	}
+
+	f = analyzeSQL(t, s, "SELECT name, total FROM customers, orders WHERE customers.custid = orders.custid", Options{})
+	if countRule(f, RulePerf) != 0 {
+		t.Errorf("join predicate should connect the rels: %+v", f)
+	}
+
+	f = analyzeSQL(t, s, "SELECT name, total FROM customers c JOIN orders o ON c.custid = o.custid", Options{})
+	if countRule(f, RulePerf) != 0 {
+		t.Errorf("explicit join is connected: %+v", f)
+	}
+
+	f = analyzeSQL(t, s, "SELECT name, total FROM customers CROSS JOIN orders", Options{})
+	if countRule(f, RulePerf) != 0 {
+		t.Errorf("explicit CROSS JOIN is intentional: %+v", f)
+	}
+}
+
+func TestSelectStarReported(t *testing.T) {
+	s := mustSchema(t)
+	f := analyzeSQL(t, s, "SELECT * FROM customers WHERE custid = 1", Options{Reported: true})
+	wantFinding(t, f, RulePerf, SevInfo, "SELECT *")
+
+	f = analyzeSQL(t, s, "SELECT * FROM customers WHERE custid = 1", Options{})
+	if countRule(f, RulePerf) != 0 {
+		t.Errorf("SELECT * without a report target is fine: %+v", f)
+	}
+}
+
+func TestFromDatabase(t *testing.T) {
+	db := sqldb.NewDatabase("SEMA")
+	sess := sqldb.NewSession(db)
+	for _, stmt := range []string{
+		"CREATE TABLE pets (id INTEGER PRIMARY KEY, species VARCHAR NOT NULL)",
+		"INSERT INTO pets VALUES (1, 'cat'), (2, 'dog'), (3, 'owl')",
+	} {
+		if _, err := sess.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := FromDatabase(db)
+	p := s.Table("pets")
+	if p == nil {
+		t.Fatal("pets missing from snapshot schema")
+	}
+	if p.EstRows != 3 {
+		t.Errorf("EstRows = %d, want 3", p.EstRows)
+	}
+	if ix := p.IndexOn("id"); ix == nil || !ix.Unique {
+		t.Errorf("pkey index missing: %+v", ix)
+	}
+	f := analyzeSQL(t, s, "SELECT nosuch FROM pets", Options{})
+	wantFinding(t, f, RuleSchema, SevError, `column "nosuch" does not exist`)
+}
+
+func TestNilSchema(t *testing.T) {
+	st, err := sqldb.Parse("SELECT nosuch FROM nowhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := Analyze(st, nil, Options{}); f != nil {
+		t.Errorf("nil schema should yield nil findings, got %+v", f)
+	}
+}
+
+func countSev(fs []Finding, sev Severity) int {
+	n := 0
+	for _, f := range fs {
+		if f.Sev == sev {
+			n++
+		}
+	}
+	return n
+}
+
+func countRule(fs []Finding, rule string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+-- Appendix A / Section 3.1.3 schema for schema-aware macro linting.
+-- Parsed with the embedded engine's own SQL parser (sqlsema.FromDDL):
+-- CREATE TABLE synthesizes the same <table>_pkey unique index the
+-- engine would, CREATE INDEX adds the secondary indexes the workload
+-- generator builds, and the seed INSERT rows below are counted into
+-- the row estimates the sqlperf analyzer reports.
+
+CREATE TABLE urldb (
+  url VARCHAR(255) NOT NULL PRIMARY KEY,
+  title VARCHAR(255),
+  description VARCHAR(1024));
+CREATE INDEX urldb_title ON urldb (title);
+
+CREATE TABLE customers (
+  custid INTEGER NOT NULL PRIMARY KEY,
+  name VARCHAR(64) NOT NULL,
+  city VARCHAR(64));
+
+CREATE TABLE products (
+  prodid INTEGER NOT NULL PRIMARY KEY,
+  custid INTEGER NOT NULL,
+  product_name VARCHAR(64) NOT NULL,
+  price DOUBLE NOT NULL,
+  qty INTEGER NOT NULL);
+CREATE INDEX products_custid ON products (custid);
+CREATE INDEX products_name ON products (product_name);
+
+INSERT INTO urldb VALUES
+  ('http://www.ibm.com/data', 'IBM Data', 'database systems'),
+  ('http://www.w3.org/', 'W3C', 'web standards'),
+  ('http://www.research.ibm.com/', 'IBM Research', 'systems research');
+INSERT INTO customers VALUES
+  (10000, 'Celdial Inc', 'Austin'),
+  (10100, 'Acme Corp', 'Armonk');
+INSERT INTO products VALUES
+  (1, 10000, 'bikes mountain', 429.99, 4),
+  (2, 10000, 'helmets pro', 59.95, 10),
+  (3, 10100, 'locks classic', 19.90, 7);
