@@ -1,11 +1,12 @@
 // Command benchrunner regenerates every experiment in DESIGN.md's
 // per-experiment index: the reproductions of the paper's figures and
-// worked examples (E1–E12) and the design-choice ablations (A1–A11).
+// worked examples (E1–E12) and the design-choice ablations (A1–A12).
 //
 //	benchrunner                  run everything at default scale
 //	benchrunner -exp e7,e8       run selected experiments
 //	benchrunner -rows 2000 -requests 1000
 //	benchrunner -json results.json   also write machine-readable results
+//	benchrunner -soak 60s        A12 soak-phase duration
 //	benchrunner -write-golden    (re)generate the golden HTML files
 //	benchrunner -no-subprocess   skip building cmd/db2www for E4
 package main
@@ -18,18 +19,21 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"db2www/internal/experiments"
 	"db2www/internal/obs"
+	"db2www/internal/obs/history"
 	"db2www/internal/sqldb"
 )
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a11) or all")
+		exp          = flag.String("exp", "all", "comma-separated experiment ids (e1..e12, a1..a12) or all")
 		rows         = flag.Int("rows", 500, "urldb dataset rows")
 		requests     = flag.Int("requests", 200, "requests per measurement")
 		seed         = flag.Int64("seed", 1, "dataset seed")
+		soak         = flag.Duration("soak", 0, "A12 soak-phase duration (0 = the experiment's default)")
 		jsonPath     = flag.String("json", "", "write machine-readable results to this file, '-' for stdout (A6: cache hit ratio and served-from-cache latency percentiles)")
 		writeGolden  = flag.Bool("write-golden", false, "write the golden HTML files and exit")
 		noSubprocess = flag.Bool("no-subprocess", false, "skip the E4 fork/exec flow")
@@ -49,7 +53,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Rows: *rows, Requests: *requests, Seed: *seed}
+	cfg := experiments.Config{Rows: *rows, Requests: *requests, Seed: *seed, Soak: *soak}
 	runners := map[string]func(io.Writer, experiments.Config) error{
 		"e1": experiments.E1, "e2": experiments.E2, "e3": experiments.E3,
 		"e4": experiments.E4, "e5": experiments.E5, "e6": experiments.E6,
@@ -58,10 +62,10 @@ func main() {
 		"a1": experiments.A1, "a2": experiments.A2, "a3": experiments.A3,
 		"a5": experiments.A5, "a6": experiments.A6, "a7": experiments.A7,
 		"a8": experiments.A8, "a9": experiments.A9, "a10": experiments.A10,
-		"a11": experiments.A11,
+		"a11": experiments.A11, "a12": experiments.A12,
 	}
 	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8", "a9", "a10", "a11"}
+		"e10", "e11", "e12", "a1", "a2", "a3", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12"}
 
 	var selected []string
 	if *exp == "all" {
@@ -96,12 +100,25 @@ func main() {
 	}
 
 	// jsonResults accumulates the machine-readable rows experiments expose
-	// (currently A6 through A10); keyed by experiment id.
+	// (currently A6 through A12); keyed by experiment id.
 	jsonResults := map[string]any{}
 	// The obs registry accumulates across every experiment in the run;
 	// the delta over the whole batch lands in the JSON envelope so a CI
 	// run's metrics ride along with its latency numbers.
 	metricsBefore := obs.Default.Snapshot()
+	// A -json run also records the whole batch as a time-series: a
+	// history store scraping every 250ms turns the run into trajectories
+	// (request rate ramping, cache warming, txn counters moving) instead
+	// of just endpoint deltas.
+	var hist *history.Store
+	if *jsonPath != "" {
+		hist = history.New(history.Config{
+			Registry:  obs.Default,
+			Interval:  250 * time.Millisecond,
+			Retention: time.Hour,
+		})
+		hist.Start()
+	}
 	failed := false
 	for _, id := range selected {
 		run := runners[id]
@@ -161,6 +178,26 @@ func main() {
 				return nil
 			}
 		}
+		if id == "a12" && *jsonPath != "" {
+			run = func(w io.Writer, cfg experiments.Config) error {
+				r, err := experiments.RunA12(cfg)
+				if err != nil {
+					return err
+				}
+				experiments.PrintA12(w, r)
+				jsonResults["a12"] = r
+				if r.OverheadPct > 5.0 {
+					return fmt.Errorf("a12: history overhead %.1f%% exceeds the 5%% budget", r.OverheadPct)
+				}
+				if r.CriticalAlerts != 0 {
+					return fmt.Errorf("a12: %d critical alert(s) fired during a healthy soak", r.CriticalAlerts)
+				}
+				if r.WindowsNonEmpty < 3 {
+					return fmt.Errorf("a12: only %d non-empty sample windows, want >= 3", r.WindowsNonEmpty)
+				}
+				return nil
+			}
+		}
 		if id == "a11" && *jsonPath != "" {
 			run = func(w io.Writer, cfg experiments.Config) error {
 				r, err := experiments.RunA11(cfg)
@@ -184,8 +221,10 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
+		hist.Scrape() // final scrape so the batch's tail is recorded
+		hist.Close()
 		delta := obs.DeltaSnapshot(metricsBefore, obs.Default.Snapshot())
-		if err := writeJSON(*jsonPath, cfg, jsonResults, delta); err != nil {
+		if err := writeJSON(*jsonPath, cfg, jsonResults, delta, hist); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: writing %s: %v\n", *jsonPath, err)
 			failed = true
 		}
@@ -196,7 +235,7 @@ func main() {
 }
 
 // writeJSON emits the structured results envelope to path ('-' = stdout).
-func writeJSON(path string, cfg experiments.Config, results map[string]any, metricsDelta map[string]float64) error {
+func writeJSON(path string, cfg experiments.Config, results map[string]any, metricsDelta map[string]float64, hist *history.Store) error {
 	doc := map[string]any{
 		"config": map[string]any{
 			"rows": cfg.Rows, "requests": cfg.Requests, "seed": cfg.Seed,
@@ -206,6 +245,18 @@ func writeJSON(path string, cfg experiments.Config, results map[string]any, metr
 		// The busiest statement shapes the run produced, from the engine's
 		// statement stats registry (digest, calls, p99, rows, ...).
 		"statements": sqldb.Statements.Top(5),
+	}
+	if hist != nil {
+		// Every metric that moved during the batch, as [unix_ms, value]
+		// trajectories. Capped so a pathological run cannot balloon the
+		// envelope; the drop count keeps the truncation honest.
+		series, dropped := hist.ExportMoved(64)
+		doc["history"] = map[string]any{
+			"interval_ms":    hist.Interval().Milliseconds(),
+			"scrapes":        hist.Scrapes(),
+			"series":         series,
+			"series_dropped": dropped,
+		}
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

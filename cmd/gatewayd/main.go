@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"db2www/internal/gateway"
 	"db2www/internal/macrolint"
 	"db2www/internal/obs"
+	"db2www/internal/obs/history"
 	"db2www/internal/qcache"
 	"db2www/internal/sqldb"
 	"db2www/internal/sqldriver"
@@ -48,7 +50,8 @@ func main() {
 		auth     = flag.String("auth", "", "user:password for HTTP basic auth (optional)")
 		load     = flag.String("load", "", "restore a database dump instead of generating -dataset")
 		save     = flag.String("save", "", "dump the database to this file on SIGINT/SIGTERM")
-		logPath  = flag.String("accesslog", "", "write NCSA Common Log Format lines to this file; also enables /server-status")
+		logPath  = flag.String("accesslog", "", "write access log lines to this file; also enables /server-status")
+		logFmt   = flag.String("access-log-format", "clf", "access log line format: clf (NCSA Common Log Format) or json (one object per line with trace/flight/digest/latency fields)")
 
 		isolation      = flag.String("isolation", "snapshot", "concurrency control: snapshot (MVCC, readers never block) or serial (global-write-lock baseline)")
 		vacuumInterval = flag.Duration("vacuum-interval", 5*time.Second, "background version-chain vacuum period (0 disables)")
@@ -56,6 +59,11 @@ func main() {
 		qcacheOn    = flag.Bool("qcache", false, "cache %EXEC_SQL query results (LRU, table-version invalidation)")
 		qcacheBytes = flag.Int64("qcache-bytes", 64<<20, "query cache byte budget")
 		qcacheTTL   = flag.Duration("qcache-ttl", 0, "query cache entry lifetime (0 = no TTL, rely on invalidation)")
+
+		historyOn        = flag.Bool("history", true, "embedded metrics time-series: self-scrape the registry into /debug/history, /debug/dash, and the alert engine")
+		historyInterval  = flag.Duration("history-interval", history.DefaultInterval, "history scrape period")
+		historyRetention = flag.Duration("history-retention", history.DefaultRetention, "history sample retention span")
+		alertRules       = flag.String("alert-rules", "", "alert rules file (one rule per line, see docs/HISTORY.md); empty uses the built-in defaults")
 
 		flightOn     = flag.Bool("flight", true, "flight recorder: per-request records with tail-based sampling, SLO burn rates, /debug/flight")
 		flightDir    = flag.String("flight-dir", "", "persist kept flight records (rotating JSONL) and anomaly pprof snapshots here")
@@ -244,6 +252,12 @@ func main() {
 		fmt.Printf("gatewayd: access log at %s, stats at /server-status\n", *logPath)
 	}
 	al := gateway.NewAccessLog(h, logOut)
+	switch *logFmt {
+	case "clf", "json":
+		al.Format = *logFmt
+	default:
+		log.Fatalf("gatewayd: -access-log-format wants clf or json, got %q", *logFmt)
+	}
 	var root http.Handler = al
 	al.AddStatusSection("Build info", obs.BuildKV)
 	if rec != nil {
@@ -370,6 +384,72 @@ func main() {
 		})
 	}
 
+	// History: the embedded time-series self-scraping the same registry
+	// /metrics exposes, with the alert engine on top. Critical firings
+	// trigger the flight recorder's anomaly pprof capture — the alert says
+	// when it got bad, the profile says what the process was doing.
+	var hist *history.Store
+	if *historyOn {
+		rules := history.DefaultRules()
+		if *alertRules != "" {
+			src, err := os.ReadFile(*alertRules)
+			if err != nil {
+				log.Fatalf("gatewayd: reading -alert-rules: %v", err)
+			}
+			rules, err = history.ParseRules(string(src))
+			if err != nil {
+				log.Fatalf("gatewayd: parsing -alert-rules %s: %v", *alertRules, err)
+			}
+		}
+		hist = history.New(history.Config{
+			Registry:  obs.Default,
+			Interval:  *historyInterval,
+			Retention: *historyRetention,
+			Rules:     rules,
+			OnAlert: func(r history.Rule, v float64) {
+				log.Printf("gatewayd: alert firing: %s (value %.4g)", r.String(), v)
+				if r.Severity == history.SeverityCritical {
+					rec.CaptureAnomaly("alert:" + r.Name)
+				}
+			},
+		})
+		hist.Start()
+		defer hist.Close()
+		al.Handle("/debug/history", hist.Handler())
+		al.Handle("/debug/dash", hist.Dashboard())
+		al.AddStatusSection("History", hist.StatusRows)
+	}
+
+	// Liveness and readiness: /healthz answers as long as the process
+	// serves; /readyz runs the registered checks with per-check detail.
+	health := gateway.NewHealth()
+	if engineDB != nil {
+		health.AddCheck("db-open", func() error {
+			if len(engineDB.SchemaSnapshot()) == 0 {
+				return errors.New("no tables loaded")
+			}
+			return nil
+		})
+	}
+	if *lintMode != "off" {
+		health.AddCheck("lint-preflight", func() error {
+			if preErrs > 0 {
+				return fmt.Errorf("%d lint error(s) in preflight", preErrs)
+			}
+			return nil
+		})
+	}
+	if hist != nil {
+		health.AddCheck("no-critical-alert", func() error {
+			if hist.CriticalFiring() {
+				return errors.New("critical alert rule firing")
+			}
+			return nil
+		})
+	}
+	al.Handle("/healthz", health.Liveness())
+	al.Handle("/readyz", health.Readiness())
+
 	if *pprofAddr != "" {
 		// The pprof import registers on http.DefaultServeMux, which the
 		// main listener never serves — profiling stays on its own address.
@@ -385,6 +465,11 @@ func main() {
 		fmt.Printf("gatewayd: flight records at /debug/flight (sample %g, slow >= %s)\n",
 			*flightSample, rec.SlowThreshold())
 	}
+	if hist != nil {
+		fmt.Printf("gatewayd: history at /debug/history, dashboard at /debug/dash (scrape %s, retain %s)\n",
+			hist.Interval(), hist.Retention())
+	}
+	fmt.Printf("gatewayd: health at /healthz, readiness at /readyz\n")
 	fmt.Printf("gatewayd: try http://localhost%s/cgi-bin/db2www/urlquery.d2w/input\n",
 		ensureColon(*addr))
 	log.Fatal(http.ListenAndServe(*addr, root))

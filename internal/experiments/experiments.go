@@ -26,6 +26,9 @@ type Config struct {
 	// DB2WWWBinary is the compiled CGI executable for E4's subprocess
 	// flow; empty skips that half of the experiment.
 	DB2WWWBinary string
+	// Soak is A12's sustained-traffic phase duration (default 3s; CI
+	// passes 60s).
+	Soak time.Duration
 }
 
 func (c Config) withDefaults() Config {

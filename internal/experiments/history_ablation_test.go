@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestA12HistoryAblation runs the history-store experiment at small
+// scale: a short soak still has to deliver non-empty sample windows, a
+// zero critical-alert count, and a populated overhead comparison. The
+// strict 5% budget is enforced by A12/benchrunner at full scale.
+func TestA12HistoryAblation(t *testing.T) {
+	cfg := Config{Rows: 40, Requests: 10, Seed: 1, Soak: 1200 * time.Millisecond}
+	r, err := RunA12(cfg)
+	if err != nil {
+		t.Fatalf("A12: %v", err)
+	}
+	if r.OffMeanMicros <= 0 || r.OnMeanMicros <= 0 {
+		t.Fatalf("timings not populated: %+v", r)
+	}
+	if r.OverheadPct > 50 {
+		t.Fatalf("overhead %.1f%% — history-off path is not actually cheap", r.OverheadPct)
+	}
+	if r.SoakRequests == 0 || r.SoakErrors != 0 {
+		t.Fatalf("soak result: %+v", r)
+	}
+	if r.Soak5xx != 0 {
+		t.Fatalf("healthy soak produced %d 5xx", r.Soak5xx)
+	}
+	if r.CriticalAlerts != 0 {
+		t.Fatalf("healthy soak fired %d critical alerts", r.CriticalAlerts)
+	}
+	if r.WindowsNonEmpty < minSoakWindows {
+		t.Fatalf("windows = %d, want >= %d (scrapes = %d)",
+			r.WindowsNonEmpty, minSoakWindows, r.Scrapes)
+	}
+	var buf bytes.Buffer
+	PrintA12(&buf, r)
+	for _, want := range []string{"history store", "overhead", "critical alerts", "windows"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("PrintA12 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -106,6 +106,28 @@ func (a *anomaly) note(status int, macro string, slo *SLO) {
 	capture(reason, nw)
 }
 
+// fire captures for an externally-supplied reason, subject to the same
+// rate limit as the internal triggers.
+func (a *anomaly) fire(reason string) {
+	if a == nil || reason == "" {
+		return
+	}
+	a.mu.Lock()
+	nw := a.now()
+	if !a.lastCapture.IsZero() && nw.Sub(a.lastCapture) < a.cfg.MinInterval {
+		a.mu.Unlock()
+		return
+	}
+	a.lastCapture = nw
+	capture := a.capture
+	a.mu.Unlock()
+
+	if a.mCaptures != nil {
+		a.mCaptures.Inc()
+	}
+	capture(reason, nw)
+}
+
 // writeProfiles dumps goroutine and heap profiles into the flight dir.
 // No dir, no capture — the trigger still counts, so the metric shows
 // the anomaly even when persistence is off.
@@ -143,6 +165,19 @@ func (a *anomaly) setCapture(fn func(reason string, t time.Time)) {
 	a.mu.Lock()
 	a.capture = fn
 	a.mu.Unlock()
+}
+
+// CaptureAnomaly triggers the recorder's anomaly pprof capture for an
+// incident detected outside the request path — gatewayd calls it when a
+// critical alert rule starts firing, so the profile evidence for "what
+// was the process doing when the alert tripped" lands in the flight dir
+// alongside the request records. Rate-limited exactly like the internal
+// burn-rate and 5xx-burst triggers.
+func (r *Recorder) CaptureAnomaly(reason string) {
+	if r == nil {
+		return
+	}
+	r.anomaly.fire(reason)
 }
 
 // TestHookAnomaly exposes the recorder's anomaly clock/capture hooks to

@@ -32,11 +32,14 @@ type recordSummary struct {
 // flight record.
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if r == nil {
-			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "flight recorder disabled",
+			})
 			return
 		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if id := req.URL.Query().Get("trace"); id != "" {
 			rec := r.Get(id)
 			if rec == nil {

@@ -97,6 +97,26 @@ func (j *Journal) SQL(e SQLExec) {
 	j.mu.Unlock()
 }
 
+// TopDigest returns the statement digest of the request's slowest SQL
+// execution — the digest worth pivoting on in /debug/statements when a
+// logged request looks slow. Empty when nothing ran (or digests are
+// unavailable).
+func (j *Journal) TopDigest() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var top string
+	var topDur int64 = -1
+	for _, e := range j.sql {
+		if e.Digest != "" && e.DurMicros > topDur {
+			top, topDur = e.Digest, e.DurMicros
+		}
+	}
+	return top
+}
+
 // varSnapshot copies the aggregated evaluations in first-seen order.
 func (j *Journal) varSnapshot() ([]VarEval, int) {
 	j.mu.Lock()

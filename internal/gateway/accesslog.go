@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -26,6 +27,11 @@ type AccessLog struct {
 	// StatusPath serves the statistics page when non-empty.
 	// Defaults to "/server-status".
 	StatusPath string
+	// Format selects the log line format: "clf" (default, NCSA Common Log
+	// Format with a trace=/flight=/digest= suffix) or "json" (one JSON
+	// object per line carrying the same fields plus latency in
+	// microseconds — grep-able with jq instead of awk).
+	Format string
 	// MetricsPath serves the obs registry in Prometheus text exposition
 	// format. Defaults to "/metrics"; set "-" to disable.
 	MetricsPath string
@@ -149,7 +155,9 @@ func (l *AccessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	li := &logInfo{}
 	r = r.WithContext(withLogInfo(r.Context(), li))
 	cw := &countingWriter{ResponseWriter: w}
+	start := l.Now()
 	l.next.ServeHTTP(cw, r)
+	elapsed := l.Now().Sub(start)
 	if cw.status == 0 {
 		cw.status = http.StatusOK
 	}
@@ -165,17 +173,51 @@ func (l *AccessLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if u, _, ok := r.BasicAuth(); ok && u != "" {
 		user = u
 	}
-	// NCSA Common Log Format:
-	// host ident authuser [date] "request" status bytes
-	// — plus, when the flight recorder handled the request, a trace=/
-	// flight= suffix so the line joins against /debug/flight records.
-	suffix := ""
-	if traceID, decision := li.get(); traceID != "" {
-		suffix = fmt.Sprintf(" trace=%s flight=%s", traceID, decision)
+	traceID, decision, digest := li.get()
+	var line string
+	if l.Format == "json" {
+		// One JSON object per line: the CLF fields, the flight-recorder
+		// join keys, and the middleware-measured latency.
+		rec := map[string]any{
+			"time":       l.Now().UTC().Format(time.RFC3339Nano),
+			"host":       host,
+			"user":       user,
+			"method":     r.Method,
+			"uri":        r.URL.RequestURI(),
+			"proto":      r.Proto,
+			"status":     cw.status,
+			"bytes":      cw.bytes,
+			"latency_us": elapsed.Microseconds(),
+		}
+		if traceID != "" {
+			rec["trace"] = traceID
+			rec["flight"] = decision
+		}
+		if digest != "" {
+			rec["digest"] = digest
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			b = []byte(`{"error":"marshal"}`)
+		}
+		line = string(b) + "\n"
+	} else {
+		// NCSA Common Log Format:
+		// host ident authuser [date] "request" status bytes
+		// — plus, when the flight recorder handled the request, a trace=/
+		// flight=/digest= suffix so the line joins against /debug/flight
+		// and /debug/statements records.
+		suffix := ""
+		if traceID != "" {
+			suffix = fmt.Sprintf(" trace=%s flight=%s", traceID, decision)
+			if digest != "" {
+				suffix += " digest=" + digest
+			}
+		}
+		line = fmt.Sprintf("%s - %s [%s] \"%s %s %s\" %d %d%s\n",
+			host, user, l.Now().Format("02/Jan/2006:15:04:05 -0700"),
+			r.Method, r.URL.RequestURI(), r.Proto, cw.status, cw.bytes, suffix)
 	}
-	line := fmt.Sprintf("%s - %s [%s] \"%s %s %s\" %d %d%s\n",
-		host, user, l.Now().Format("02/Jan/2006:15:04:05 -0700"),
-		r.Method, r.URL.RequestURI(), r.Proto, cw.status, cw.bytes, suffix)
 
 	maxPaths := l.MaxPaths
 	if maxPaths <= 0 {

@@ -1,0 +1,104 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAccessLogJSONFormat(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The inner handler reports its flight join keys the same way
+		// gateway.Handler does.
+		logInfoFrom(r.Context()).set("tr-123", "keep", "d-abc")
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("short and stout"))
+	})
+	var buf bytes.Buffer
+	al := NewAccessLog(inner, &buf)
+	al.Format = "json"
+	// Deterministic clock: each call advances 250µs, so the measured
+	// latency is exact.
+	base := time.Date(1996, time.June, 4, 10, 0, 0, 0, time.UTC)
+	calls := 0
+	al.Now = func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * 250 * time.Microsecond)
+	}
+
+	req := httptest.NewRequest("GET", "/cgi-bin/db2www/report.d2w/report?X=1", nil)
+	req.RemoteAddr = "10.1.2.3:4242"
+	al.ServeHTTP(httptest.NewRecorder(), req)
+
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("not one JSONL line: %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("line not JSON: %q: %v", line, err)
+	}
+	want := map[string]any{
+		"host":   "10.1.2.3",
+		"method": "GET",
+		"uri":    "/cgi-bin/db2www/report.d2w/report?X=1",
+		"status": float64(http.StatusTeapot),
+		"bytes":  float64(len("short and stout")),
+		"trace":  "tr-123",
+		"flight": "keep",
+		"digest": "d-abc",
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Fatalf("field %s = %v, want %v (line %q)", k, rec[k], v, line)
+		}
+	}
+	if rec["latency_us"].(float64) != 250 {
+		t.Fatalf("latency_us = %v, want 250", rec["latency_us"])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["time"].(string)); err != nil {
+		t.Fatalf("time field %v: %v", rec["time"], err)
+	}
+}
+
+func TestAccessLogJSONOmitsEmptyJoinKeys(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	var buf bytes.Buffer
+	al := NewAccessLog(inner, &buf)
+	al.Format = "json"
+	al.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("line not JSON: %q", buf.String())
+	}
+	for _, absent := range []string{"trace", "flight", "digest"} {
+		if _, ok := rec[absent]; ok {
+			t.Fatalf("field %s present on traceless request: %v", absent, rec)
+		}
+	}
+	if rec["status"].(float64) != 200 {
+		t.Fatalf("status = %v", rec["status"])
+	}
+}
+
+func TestAccessLogCLFDigestSuffix(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		logInfoFrom(r.Context()).set("tr-9", "drop", "d-77")
+		_, _ = w.Write([]byte("ok"))
+	})
+	var buf bytes.Buffer
+	al := NewAccessLog(inner, &buf)
+	al.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	line := buf.String()
+	for _, want := range []string{"trace=tr-9", "flight=drop", "digest=d-77"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("CLF line missing %q: %q", want, line)
+		}
+	}
+}

@@ -127,7 +127,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		decision := h.Flight.Observe(tr, journal)
 		// Hand the decision to the access-log middleware (when present)
 		// so the log line can be joined against /debug/flight.
-		logInfoFrom(ctx).set(tr.ID, decision)
+		logInfoFrom(ctx).set(tr.ID, decision, journal.TopDigest())
 	}
 }
 

@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHealthLivenessAlwaysOK(t *testing.T) {
+	h := NewHealth()
+	rec := httptest.NewRecorder()
+	h.Liveness().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("liveness status = %d", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["status"] != "ok" {
+		t.Fatalf("liveness body = %q, %v", rec.Body.String(), err)
+	}
+}
+
+func TestHealthReadiness(t *testing.T) {
+	h := NewHealth()
+	dbOpen := true
+	var critical error
+	h.AddCheck("db-open", func() error {
+		if !dbOpen {
+			return errors.New("database closed")
+		}
+		return nil
+	})
+	h.AddCheck("no-critical-alert", func() error { return critical })
+
+	get := func() (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		h.Readiness().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("readyz body %q: %v", rec.Body.String(), err)
+		}
+		return rec.Code, body
+	}
+
+	code, body := get()
+	if code != 200 || body["status"] != "ok" {
+		t.Fatalf("all-pass readyz = %d %v", code, body)
+	}
+	checks := body["checks"].([]any)
+	if len(checks) != 2 {
+		t.Fatalf("checks = %v", checks)
+	}
+
+	critical = errors.New("alert 5xx_rate firing")
+	code, body = get()
+	if code != 503 || body["status"] != "unavailable" {
+		t.Fatalf("failing readyz = %d %v", code, body)
+	}
+	// Per-check detail names the failure; the passing check stays ok.
+	var failed, passed bool
+	for _, c := range body["checks"].([]any) {
+		m := c.(map[string]any)
+		switch m["name"] {
+		case "no-critical-alert":
+			if m["ok"] == false && strings.Contains(m["error"].(string), "5xx_rate") {
+				failed = true
+			}
+		case "db-open":
+			if m["ok"] == true {
+				passed = true
+			}
+		}
+	}
+	if !failed || !passed {
+		t.Fatalf("per-check detail wrong: %v", body["checks"])
+	}
+
+	critical = nil
+	dbOpen = false
+	if code, _ := get(); code != 503 {
+		t.Fatalf("db-closed readyz = %d", code)
+	}
+	dbOpen = true
+	if code, _ := get(); code != 200 {
+		t.Fatalf("recovered readyz = %d", code)
+	}
+}
+
+func TestHealthNoChecksReady(t *testing.T) {
+	rec := httptest.NewRecorder()
+	NewHealth().Readiness().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("empty readyz status = %d", rec.Code)
+	}
+}
+
+func TestHealthAddCheckReplaces(t *testing.T) {
+	h := NewHealth()
+	h.AddCheck("c", func() error { return errors.New("v1") })
+	h.AddCheck("c", func() error { return nil })
+	results, ready := h.run()
+	if !ready || len(results) != 1 {
+		t.Fatalf("replaced check: ready=%v results=%v", ready, results)
+	}
+}

@@ -15,24 +15,25 @@ type logInfo struct {
 	mu       sync.Mutex
 	traceID  string
 	decision string
+	digest   string
 }
 
-func (li *logInfo) set(traceID, decision string) {
+func (li *logInfo) set(traceID, decision, digest string) {
 	if li == nil {
 		return
 	}
 	li.mu.Lock()
-	li.traceID, li.decision = traceID, decision
+	li.traceID, li.decision, li.digest = traceID, decision, digest
 	li.mu.Unlock()
 }
 
-func (li *logInfo) get() (traceID, decision string) {
+func (li *logInfo) get() (traceID, decision, digest string) {
 	if li == nil {
-		return "", ""
+		return "", "", ""
 	}
 	li.mu.Lock()
 	defer li.mu.Unlock()
-	return li.traceID, li.decision
+	return li.traceID, li.decision, li.digest
 }
 
 type logInfoKey struct{}

@@ -1,0 +1,126 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// jsonPoint is a compact [unix_ms, value] wire sample.
+type jsonPoint [2]float64
+
+func toJSONPoints(pts []Point) []jsonPoint {
+	out := make([]jsonPoint, len(pts))
+	for i, p := range pts {
+		out[i] = jsonPoint{float64(p.T.UnixMilli()), p.V}
+	}
+	return out
+}
+
+// Handler serves the store's JSON API:
+//
+//	GET /debug/history                       → store meta, series list, alert states
+//	GET /debug/history?series=K              → that series' samples (raw values)
+//	GET /debug/history?series=K&fn=rate      → derived per-second rates
+//	GET /debug/history?series=K&fn=p99       → per-interval windowed quantiles
+//	GET /debug/history?series=K&window=5m    → restrict to the last 5m
+//	GET /debug/history?series=K&step=30s     → step-align (last sample per step)
+//
+// Unknown series and bad parameters return 404/400 with JSON error
+// bodies — the same contract as /debug/flight and /debug/statements.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		q := req.URL.Query()
+		key := q.Get("series")
+		if key == "" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]any{
+				"interval_ms":  s.cfg.Interval.Milliseconds(),
+				"retention_ms": s.cfg.Retention.Milliseconds(),
+				"scrapes":      s.Scrapes(),
+				"series":       s.SeriesList(),
+				"alerts":       s.Alerts(),
+			})
+			return
+		}
+		if !s.Has(key) {
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "no series " + key,
+			})
+			return
+		}
+		window := time.Duration(0)
+		if ws := q.Get("window"); ws != "" {
+			d, err := time.ParseDuration(ws)
+			if err != nil {
+				badParam(w, "window", err)
+				return
+			}
+			window = d
+		}
+		fn := q.Get("fn")
+		var pts []Point
+		switch fn {
+		case "", "raw":
+			fn = "raw"
+			pts = s.Samples(key, window)
+		case "rate":
+			pts = s.Rate(key, window)
+		case "p50", "p90", "p99":
+			qv := map[string]float64{"p50": 0.5, "p90": 0.9, "p99": 0.99}[fn]
+			pts = s.QuantileSeries(key, qv, window)
+		default:
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "unknown fn " + fn + " (want raw, rate, p50, p90, or p99)",
+			})
+			return
+		}
+		if ss := q.Get("step"); ss != "" {
+			step, err := time.ParseDuration(ss)
+			if err != nil || step <= 0 {
+				badParam(w, "step", err)
+				return
+			}
+			pts = stepAlign(pts, step)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"series":    key,
+			"fn":        fn,
+			"window_ms": window.Milliseconds(),
+			"samples":   toJSONPoints(pts),
+		})
+	})
+}
+
+func badParam(w http.ResponseWriter, name string, err error) {
+	w.WriteHeader(http.StatusBadRequest)
+	msg := "bad " + name
+	if err != nil {
+		msg += ": " + err.Error()
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// stepAlign keeps the last point of each step-wide bucket, timestamped
+// at the bucket boundary — a fixed grid regardless of scrape jitter.
+func stepAlign(pts []Point, step time.Duration) []Point {
+	if len(pts) == 0 {
+		return pts
+	}
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		bucket := p.T.Truncate(step)
+		if n := len(out); n > 0 && out[n-1].T.Equal(bucket) {
+			out[n-1].V = p.V
+			continue
+		}
+		out = append(out, Point{T: bucket, V: p.V})
+	}
+	return out
+}

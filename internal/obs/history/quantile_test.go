@@ -1,0 +1,161 @@
+package history
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"db2www/internal/obs"
+)
+
+// bucketWidthAt returns the width of the bucket containing v — the
+// resolution bound the property test allows.
+func bucketWidthAt(bounds []float64, v float64) float64 {
+	lo := 0.0
+	for _, b := range bounds {
+		if v <= b {
+			return b - lo
+		}
+		lo = b
+	}
+	return bounds[len(bounds)-1] - lo
+}
+
+// TestWindowQuantileMatchesCumulative is the A12 property test: the p99
+// the history store derives over a full window (bucket deltas between
+// the oldest and newest in-window scrapes) must match the quantile
+// computed from the registry histogram's raw cumulative buckets within
+// one bucket width — they see the same observations, so only bucket
+// resolution may separate them.
+func TestWindowQuantileMatchesCumulative(t *testing.T) {
+	bounds := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		reg := obs.NewRegistry()
+		h := reg.Histogram("lat_seconds", "t", bounds)
+		s, clk := newTestStore(t, Config{Registry: reg, Interval: time.Second, Retention: time.Hour})
+		clk.tick(s, time.Second) // empty baseline scrape
+
+		n := 50 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			// Log-uniform across the bucket range, plus occasional +Inf
+			// overflow observations.
+			v := math.Pow(10, -3+rng.Float64()*3.8)
+			h.Observe(v)
+			if i%10 == 0 {
+				clk.tick(s, time.Second) // spread observations over scrapes
+			}
+		}
+		clk.tick(s, time.Second)
+
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			got, ok := s.WindowQuantile("lat_seconds", q, time.Hour)
+			if !ok {
+				t.Fatalf("trial %d q%g: no window quantile", trial, q)
+			}
+			// Reference: the same quantile from the registry's cumulative
+			// buckets, rebuilt from FullSnapshot.
+			var want float64
+			found := false
+			for _, smp := range reg.FullSnapshot() {
+				if smp.Name == "lat_seconds" {
+					want = QuantileFromBuckets(smp.Bounds, smp.Buckets, q)
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: histogram missing from FullSnapshot", trial)
+			}
+			tol := bucketWidthAt(bounds, math.Max(got, want)) + 1e-9
+			if math.Abs(got-want) > tol {
+				t.Fatalf("trial %d q%g: history %.6f vs cumulative %.6f, diff beyond one bucket (%.6f)",
+					trial, q, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestWindowQuantileExactWhenSingleWindow(t *testing.T) {
+	// With one empty baseline and one final scrape the window delta IS the
+	// cumulative histogram — the two computations must agree exactly.
+	bounds := []float64{1, 2, 4, 8}
+	reg := obs.NewRegistry()
+	h := reg.Histogram("d", "t", bounds)
+	s, clk := newTestStore(t, Config{Registry: reg, Interval: time.Second, Retention: time.Minute})
+	clk.tick(s, time.Second)
+	for _, v := range []float64{0.5, 1.5, 1.6, 3, 3, 7, 9} {
+		h.Observe(v)
+	}
+	clk.tick(s, time.Second)
+
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, ok := s.WindowQuantile("d", q, time.Minute)
+		if !ok {
+			t.Fatalf("q%g: not ok", q)
+		}
+		var want float64
+		for _, smp := range reg.FullSnapshot() {
+			if smp.Name == "d" {
+				want = QuantileFromBuckets(smp.Bounds, smp.Buckets, q)
+			}
+		}
+		if got != want {
+			t.Fatalf("q%g: window %v != cumulative %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileSeriesPerInterval(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	reg := obs.NewRegistry()
+	h := reg.Histogram("d", "t", bounds)
+	s, clk := newTestStore(t, Config{Registry: reg, Interval: time.Second, Retention: time.Minute})
+	clk.tick(s, time.Second)
+	// Interval 1: all observations tiny.
+	for i := 0; i < 20; i++ {
+		h.Observe(0.5)
+	}
+	clk.tick(s, time.Second)
+	// Interval 2: nothing (no point emitted).
+	clk.tick(s, time.Second)
+	// Interval 3: all observations large.
+	for i := 0; i < 20; i++ {
+		h.Observe(50)
+	}
+	clk.tick(s, time.Second)
+
+	pts := s.QuantileSeries("d", 0.99, 0)
+	if len(pts) != 2 {
+		t.Fatalf("quantile points = %+v, want 2 (empty interval skipped)", pts)
+	}
+	if pts[0].V > 1 {
+		t.Fatalf("interval 1 p99 = %v, want <= 1 (all obs in first bucket)", pts[0].V)
+	}
+	if pts[1].V <= 10 {
+		t.Fatalf("interval 3 p99 = %v, want > 10 (all obs in third bucket)", pts[1].V)
+	}
+}
+
+func TestQuantileFromBucketsEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	if v := QuantileFromBuckets(bounds, []int64{0, 0, 0, 0}, 0.99); v != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", v)
+	}
+	// All mass in the +Inf bucket reports the last finite bound.
+	if v := QuantileFromBuckets(bounds, []int64{0, 0, 0, 10}, 0.5); v != 4 {
+		t.Fatalf("+Inf-only quantile = %v, want 4", v)
+	}
+	// q clamped to [0,1].
+	if v := QuantileFromBuckets(bounds, []int64{10, 0, 0, 0}, -1); v > 1 {
+		t.Fatalf("q<0 quantile = %v", v)
+	}
+	if v := QuantileFromBuckets(bounds, []int64{0, 0, 10, 0}, 2); v != 4 {
+		t.Fatalf("q>1 quantile = %v, want 4 (top of last occupied bucket)", v)
+	}
+	// Interpolation: 10 obs uniform in (1,2], median lands mid-bucket.
+	v := QuantileFromBuckets(bounds, []int64{0, 10, 0, 0}, 0.5)
+	if v < 1 || v > 2 {
+		t.Fatalf("median %v outside containing bucket (1,2]", v)
+	}
+}

@@ -407,6 +407,66 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
+// Sample is one series' full state at a scrape instant — what Snapshot
+// flattens away. Histograms keep their per-bucket counts so a consumer
+// (the history store) can compute windowed quantiles from deltas.
+type Sample struct {
+	// Name is the metric family name; Labels is the rendered `{k="v"}`
+	// label set (or ""), so Name+Labels is the series identity.
+	Name   string
+	Labels string
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string
+	// Value is the counter/gauge value; for histograms it is the
+	// observation count.
+	Value float64
+	// Sum and Buckets are histogram-only: Sum is the sum of observed
+	// values, Buckets the per-bucket (non-cumulative) counts, one per
+	// bound in Bounds plus a final +Inf bucket. Bounds is shared with the
+	// registry and must not be mutated.
+	Sum     float64
+	Bounds  []float64
+	Buckets []int64
+}
+
+// FullSnapshot returns every series with histogram bucket detail, sorted
+// by name then label set. Scrape hooks run first, as for Snapshot.
+func (r *Registry) FullSnapshot() []Sample {
+	r.runScrapeHooks()
+	r.mu.Lock()
+	out := make([]Sample, 0, len(r.families))
+	for _, f := range r.families {
+		for _, s := range f.series {
+			smp := Sample{Name: f.name, Labels: s.labels, Kind: f.kind.String()}
+			switch f.kind {
+			case kindCounter:
+				smp.Value = float64(s.c.Value())
+			case kindGauge:
+				smp.Value = float64(s.g.Value())
+			case kindFloatGauge:
+				smp.Value = s.fg.Value()
+			case kindHistogram:
+				smp.Value = float64(s.h.Count())
+				smp.Sum = s.h.Sum()
+				smp.Bounds = f.bounds
+				smp.Buckets = make([]int64, len(f.bounds)+1)
+				for i := range smp.Buckets {
+					smp.Buckets[i] = s.h.counts[i].Load()
+				}
+			}
+			out = append(out, smp)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
 // DeltaSnapshot returns after-before, keeping only samples that moved.
 func DeltaSnapshot(before, after map[string]float64) map[string]float64 {
 	out := map[string]float64{}

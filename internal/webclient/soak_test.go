@@ -1,0 +1,66 @@
+package webclient
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSoak(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/boom") {
+			w.WriteHeader(500)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	})
+	c := &Client{Handler: h}
+
+	res, err := Soak(SoakConfig{
+		Client:      c,
+		URLs:        []string{"http://s/ok", "http://s/boom"},
+		Duration:    50 * time.Millisecond,
+		Concurrency: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Errors != 0 {
+		t.Fatalf("soak result = %+v", res)
+	}
+	if res.Statuses[200] == 0 || res.Statuses[500] == 0 {
+		t.Fatalf("statuses = %v, want both 200s and 500s", res.Statuses)
+	}
+	if res.Statuses[200]+res.Statuses[500] != res.Requests {
+		t.Fatalf("status counts do not sum to requests: %+v", res)
+	}
+	if res.OK(200) {
+		t.Fatal("OK(200) true despite 500s")
+	}
+	if res.Elapsed < 50*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than the soak duration", res.Elapsed)
+	}
+
+	res, err = Soak(SoakConfig{Client: c, URLs: []string{"http://s/ok"},
+		Duration: 20 * time.Millisecond, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK(200) {
+		t.Fatalf("all-200 soak not OK: %+v", res)
+	}
+}
+
+func TestSoakValidation(t *testing.T) {
+	c := &Client{Handler: http.NotFoundHandler()}
+	for _, cfg := range []SoakConfig{
+		{URLs: []string{"x"}, Duration: time.Millisecond},
+		{Client: c, Duration: time.Millisecond},
+		{Client: c, URLs: []string{"x"}},
+	} {
+		if _, err := Soak(cfg); err == nil {
+			t.Fatalf("Soak(%+v) accepted", cfg)
+		}
+	}
+}
